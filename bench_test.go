@@ -1,0 +1,211 @@
+package exadigit
+
+// One benchmark per table and figure of the paper's evaluation (§IV).
+// Each benchmark regenerates its artifact at a reduced-but-faithful scale
+// so the whole suite runs in minutes; cmd/experiments reproduces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"exadigit/internal/exp"
+	"exadigit/internal/power"
+)
+
+// BenchmarkTableI regenerates the Frontier component overview.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := exp.TableI(); len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the telemetry/FMU interface contract.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the RAPS power verification (idle 7.24,
+// HPL-core 22.3, peak 28.2 MW).
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].RAPSMW, "peakMW")
+	}
+}
+
+// BenchmarkTableIV regenerates the daily replay statistics over a reduced
+// two-day window (the paper replays 183 days; cmd/experiments -days 183
+// reproduces the full study).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum, err := exp.TableIV(exp.DailyConfig{Days: 2, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.PowerMW.Mean, "avgMW")
+		b.ReportMetric(sum.LossPct.Mean, "loss%")
+	}
+}
+
+// BenchmarkFig4 regenerates the peak power breakdown.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows := exp.Fig4()
+		b.ReportMetric(rows[0].MW, "gpuMW")
+	}
+}
+
+// BenchmarkFig7 regenerates the cooling-model validation over a one-hour
+// window (the paper validates ~24 h; cmd/experiments runs the full day).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, data, err := exp.Fig7(exp.Fig7Config{HorizonSec: 3600, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(data.Channels[3].MAPE, "pueMAPE%")
+	}
+}
+
+// BenchmarkFig8 regenerates the synthetic benchmark transient (HPL +
+// OpenMxP with the cooling model coupled).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, data, err := exp.Fig8(900)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(data.HPLPowerMW, "hplMW")
+		b.ReportMetric(data.TempRiseHPLC, "tempRiseC")
+	}
+}
+
+// BenchmarkFig9 regenerates the telemetry-replay validation over a
+// two-hour window (full 24 h via cmd/experiments).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, data, err := exp.Fig9(exp.Fig9Config{Seed: 7, HorizonSec: 2 * 3600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(data.MAPEPercent, "MAPE%")
+	}
+}
+
+// BenchmarkSmartRectifier regenerates what-if 1 (§IV-3) over one day.
+func BenchmarkSmartRectifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunWhatIf(power.SmartRectifier, 1, 9, 91.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EtaGain*100, "etaGain%")
+	}
+}
+
+// BenchmarkDC380 regenerates what-if 2 (§IV-3) over one day.
+func BenchmarkDC380(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunWhatIf(power.DC380, 1, 9, 91.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VariantEta, "eta")
+		b.ReportMetric(res.CarbonReductionPct, "carbonCut%")
+	}
+}
+
+// BenchmarkTwinDayUncooled measures the headline simulation rate the
+// paper quotes ("each 24-hour replay takes about nine minutes ... or just
+// three minutes without [cooling]"): one full simulated day per
+// iteration.
+func BenchmarkTwinDayUncooled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tw, err := NewFrontierTwin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tw.Run(Scenario{
+			Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Report.AvgPowerMW, "avgMW")
+	}
+}
+
+// BenchmarkTwinDayCooled is the same day with the cooling model coupled.
+func BenchmarkTwinDayCooled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tw, err := NewFrontierTwin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tw.Run(Scenario{
+			Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15,
+			Cooling: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Report.AvgPUE, "pue")
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationTick measures the 1 s-vs-15 s tick fidelity/cost
+// trade (the fast path must stay within 1 % energy).
+func BenchmarkAblationTick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, div, err := exp.AblationTick(1800, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(div, "energyDiv%")
+	}
+}
+
+// BenchmarkAblationCoolingCost measures the cooling-coupling cost ratio
+// (paper: ≈3×, 9 min vs 3 min per replayed day).
+func BenchmarkAblationCoolingCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, ratio, err := exp.AblationCoolingCost(1800, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ratio, "ratio")
+	}
+}
+
+// BenchmarkAblationControlDt measures the plant integration-period trade
+// (Finding 6's fidelity-vs-complexity balance).
+func BenchmarkAblationControlDt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationControlDt([]float64{1, 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSchedulers compares FCFS/SJF/EASY on an
+// oversubscribed day.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, reports, err := exp.AblationSchedulers(1800, 21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(reports["easy"].JobsCompleted), "easyJobs")
+	}
+}

@@ -1,0 +1,100 @@
+// Command autocsm generates a cooling-system model from a JSON system
+// specification — the paper's Automated Cooling System Model pipeline
+// (§V): it sizes pumps, heat exchangers, and tower cells from high-level
+// design quantities, verifies the generated plant reaches a balanced
+// steady state at its design load, and optionally emits the model as
+// Modelica source text.
+//
+// Usage:
+//
+//	autocsm [-spec system.json] [-emit-modelica out.mo] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"exadigit"
+	"exadigit/internal/autocsm"
+	"exadigit/internal/cooling"
+	"exadigit/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autocsm: ")
+
+	var (
+		specFile = flag.String("spec", "", "system spec JSON (default: built-in Frontier)")
+		emitPath = flag.String("emit-modelica", "", "write the generated model as Modelica source")
+		verify   = flag.Bool("verify", true, "settle the generated plant at design load and report")
+	)
+	flag.Parse()
+
+	spec := exadigit.FrontierSpec()
+	if *specFile != "" {
+		s, err := exadigit.LoadSpec(*specFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = *s
+	}
+
+	cfg, err := autocsm.Generate(spec.Cooling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated cooling model for %q:\n", spec.Name)
+	fmt.Printf("  %d CDU loops, %d towers × %d cells, %d HTWPs, %d CTWPs, %d EHX\n",
+		cfg.NumCDUs, cfg.NumTowers, cfg.CellsPerTower, cfg.NumHTWPs, cfg.NumCTWPs, cfg.NumEHX)
+	fmt.Printf("  CDU HEX UA %.0f W/degC, EHX UA %.0f W/degC, tower eps %.3f\n",
+		cfg.CDUHex.UANominal, cfg.EHX.UANominal, cfg.Tower.EpsNominal)
+
+	if *emitPath != "" {
+		f, err := os.Create(*emitPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := autocsm.EmitModelica(f, "GeneratedCoolingSystem", cfg); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Modelica source written to %s\n", *emitPath)
+	}
+
+	if *verify {
+		plant, err := cooling.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		heat := make([]float64, cfg.NumCDUs)
+		total := spec.Cooling.DesignHeatMW * 1e6
+		for i := range heat {
+			heat[i] = total / float64(cfg.NumCDUs)
+		}
+		in := cooling.Inputs{
+			CDUHeatW: heat,
+			WetBulbC: spec.Cooling.DesignWetBulbC,
+			ITPowerW: total / 0.945,
+		}
+		if err := plant.SettleToSteadyState(in, 4*3600); err != nil {
+			log.Fatal(err)
+		}
+		o := plant.Snapshot()
+		fmt.Printf("steady state at %.1f MW design load, %.1f degC wet bulb:\n",
+			spec.Cooling.DesignHeatMW, spec.Cooling.DesignWetBulbC)
+		fmt.Printf("  tower rejection  %.2f MW\n", plant.TowerRejectionW()/1e6)
+		fmt.Printf("  primary loop     %.0f gpm, %.1f -> %.1f degC\n",
+			o.HTWFlowM3s*units.M3sToGPM, o.FacilitySupplyC, o.FacilityReturnC)
+		fmt.Printf("  tower loop       %.0f gpm, %d/%d cells staged\n",
+			o.CTWFlowM3s*units.M3sToGPM, o.NumCellsStaged, cfg.TotalCells())
+		fmt.Printf("  secondary supply %.2f degC (setpoint %.1f)\n",
+			o.CDUs[0].SecSupplyTempC, cfg.SecSupplySetC)
+		fmt.Printf("  PUE              %.3f\n", o.PUE)
+	}
+}

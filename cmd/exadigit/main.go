@@ -1,0 +1,67 @@
+// Command exadigit runs the integrated digital twin and serves the
+// dashboard REST API (the paper's web-dashboard backend, §III-B6/III-D):
+// it simulates a scenario on the Frontier twin and then exposes
+// /api/status, /api/series, /api/cooling, /api/run and /api/experiments
+// over HTTP, so what-if experiments can be launched and recalled exactly
+// as through the paper's Kubernetes-hosted dashboard.
+//
+// Usage:
+//
+//	exadigit [-addr :8080] [-workload synthetic] [-horizon 2h]
+//	         [-cooling] [-once]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"exadigit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exadigit: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		workload = flag.String("workload", "synthetic", "initial scenario workload")
+		horizon  = flag.Duration("horizon", 2*time.Hour, "initial scenario duration")
+		cool     = flag.Bool("cooling", true, "couple the cooling model")
+		once     = flag.Bool("once", false, "run the scenario, print status, and exit (no server)")
+	)
+	flag.Parse()
+
+	tw, err := exadigit.NewFrontierTwin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("running initial %s scenario (%v)...", *workload, *horizon)
+	res, err := tw.Run(exadigit.Scenario{
+		Workload:   exadigit.WorkloadKind(*workload),
+		HorizonSec: horizon.Seconds(),
+		TickSec:    15,
+		Cooling:    *cool,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scenario done: %.2f MW avg, %d jobs, PUE %.3f",
+		res.Report.AvgPowerMW, res.Report.JobsCompleted, res.Report.AvgPUE)
+	fmt.Print(exadigit.RenderStatus(tw))
+
+	if *once {
+		return
+	}
+	log.Printf("serving dashboard API on %s", *addr)
+	log.Printf("  GET  /api/status       — live status")
+	log.Printf("  GET  /api/series       — power/PUE/utilization history")
+	log.Printf("  GET  /api/cooling      — the 317 cooling-model channels")
+	log.Printf("  POST /api/run          — launch a what-if (workload=, mode=, horizon_sec=, cooling=)")
+	log.Printf("  GET  /api/experiments  — recall stored what-if results")
+	if err := http.ListenAndServe(*addr, exadigit.DashboardHandler(tw)); err != nil {
+		log.Fatal(err)
+	}
+}

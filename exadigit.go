@@ -1,0 +1,247 @@
+// Package exadigit is a Go reproduction of ExaDigiT — the open-source
+// digital-twin framework for liquid-cooled supercomputers presented in
+// "A Digital Twin Framework for Liquid-cooled Supercomputers as
+// Demonstrated at Exascale" (SC 2024) — demonstrated, as in the paper, on
+// a full-scale model of the Frontier exascale system.
+//
+// The twin couples three subsystems:
+//
+//   - RAPS, the Resource Allocator and Power Simulator: job scheduling
+//     (FCFS/SJF/EASY-backfill), per-node dynamic power from CPU/GPU
+//     utilization traces, and the AC→DC rectification / DC-DC SIVOC
+//     conversion-loss chain;
+//   - a transient thermo-fluid model of the cooling plant (25 CDU loops,
+//     the primary high-temperature-water loop, and the cooling-tower
+//     loop with its PID + staging control system), wrapped behind an
+//     FMI-style co-simulation interface and stepped every 15 s;
+//   - telemetry and visual analytics: Table II-schema datasets for
+//     replay-based verification and validation, an ASCII dashboard, and
+//     an HTTP/JSON API.
+//
+// Quick start:
+//
+//	tw, err := exadigit.NewFrontierTwin()
+//	if err != nil { ... }
+//	res, err := tw.Run(exadigit.Scenario{
+//		Workload:   exadigit.WorkloadSynthetic,
+//		HorizonSec: 4 * 3600,
+//		TickSec:    15,
+//		Cooling:    true,
+//	})
+//	fmt.Printf("avg power %.1f MW, PUE %.3f\n",
+//		res.Report.AvgPowerMW, res.Report.AvgPUE)
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// with cmd/experiments; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package exadigit
+
+import (
+	"net/http"
+
+	"exadigit/internal/anomaly"
+	"exadigit/internal/autocsm"
+	"exadigit/internal/config"
+	"exadigit/internal/cooling"
+	"exadigit/internal/core"
+	"exadigit/internal/fmu"
+	"exadigit/internal/job"
+	"exadigit/internal/optimize"
+	"exadigit/internal/raps"
+	"exadigit/internal/surrogate"
+	"exadigit/internal/telemetry"
+	"exadigit/internal/uq"
+	"exadigit/internal/viz"
+)
+
+// Core twin types.
+type (
+	// Twin is a live digital twin of one system (Fig. 1's architecture).
+	Twin = core.Twin
+	// Scenario describes one simulation or what-if run.
+	Scenario = core.Scenario
+	// Result carries a scenario's report, history, and telemetry export.
+	Result = core.Result
+	// WorkloadKind selects how a scenario's jobs are produced.
+	WorkloadKind = core.WorkloadKind
+	// Report is the §III-B5 end-of-run summary.
+	Report = raps.Report
+	// Sample is one recorded history point (Fig. 9's series).
+	Sample = raps.Sample
+)
+
+// Configuration types (§V's JSON generalization).
+type (
+	// SystemSpec is the machine description consumed from JSON.
+	SystemSpec = config.SystemSpec
+	// PartitionSpec describes one scheduling partition.
+	PartitionSpec = config.PartitionSpec
+	// CoolingSpec is the AutoCSM input.
+	CoolingSpec = config.CoolingSpec
+	// CoolingConfig is a fully sized cooling-plant model.
+	CoolingConfig = cooling.Config
+)
+
+// Telemetry and workload types (Table II, §III-B).
+type (
+	// Dataset is a replayable telemetry capture.
+	Dataset = telemetry.Dataset
+	// JobRecord is the Table II job schema with 15 s power traces.
+	JobRecord = telemetry.JobRecord
+	// GeneratorConfig tunes the synthetic workload generator.
+	GeneratorConfig = job.GeneratorConfig
+	// Job is one schedulable unit of work with utilization traces.
+	Job = job.Job
+)
+
+// NewJob constructs a pending job; fill its traces with FlatTrace or a
+// fingerprint before running.
+func NewJob(id int, name string, nodes int, wallSec, submit float64) *Job {
+	return job.New(id, name, nodes, wallSec, submit)
+}
+
+// FlatTrace builds a constant-utilization trace covering wallSec.
+func FlatTrace(util, wallSec float64) []float64 { return job.FlatTrace(util, wallSec) }
+
+// FMU co-simulation types (§III-C6).
+type (
+	// FMU is the cooling model behind the FMI-style interface.
+	FMU = fmu.Instance
+	// ValueRef identifies an FMU variable.
+	ValueRef = fmu.ValueRef
+)
+
+// Workload kinds.
+const (
+	WorkloadIdle      = core.WorkloadIdle
+	WorkloadPeak      = core.WorkloadPeak
+	WorkloadHPL       = core.WorkloadHPL
+	WorkloadOpenMxP   = core.WorkloadOpenMxP
+	WorkloadSynthetic = core.WorkloadSynthetic
+	WorkloadReplay    = core.WorkloadReplay
+)
+
+// NewFrontierTwin builds a digital twin of Frontier with the published
+// Table I configuration.
+func NewFrontierTwin() (*Twin, error) { return core.NewFrontier() }
+
+// NewTwin builds a twin from a machine specification.
+func NewTwin(spec SystemSpec) (*Twin, error) { return core.NewFromSpec(spec) }
+
+// FrontierSpec returns the built-in Frontier system specification.
+func FrontierSpec() SystemSpec { return config.Frontier() }
+
+// SetonixLikeSpec returns a two-partition (CPU + GPU) machine in the
+// style of Pawsey's Setonix, demonstrating the §V generalization.
+func SetonixLikeSpec() SystemSpec { return config.SetonixLike() }
+
+// LoadSpec reads a system specification from a JSON file.
+func LoadSpec(path string) (*SystemSpec, error) { return config.LoadFile(path) }
+
+// LoadTelemetry reads a telemetry dataset directory written by
+// Dataset.Save.
+func LoadTelemetry(dir string) (*Dataset, error) { return telemetry.Load(dir) }
+
+// DefaultGeneratorConfig returns the Table IV-calibrated synthetic
+// workload parameters.
+func DefaultGeneratorConfig() GeneratorConfig { return job.DefaultGeneratorConfig() }
+
+// GenerateCoolingModel sizes a complete cooling plant from a high-level
+// specification (the paper's AutoCSM, §V).
+func GenerateCoolingModel(spec CoolingSpec) (CoolingConfig, error) { return autocsm.Generate(spec) }
+
+// FrontierCoolingModel returns the hand-calibrated Frontier plant.
+func FrontierCoolingModel() CoolingConfig { return cooling.Frontier() }
+
+// NewCoolingFMU instantiates the cooling model behind the FMI-style
+// co-simulation interface (SetReal / DoStep / GetReal).
+func NewCoolingFMU(cfg CoolingConfig) (*FMU, error) { return fmu.Instantiate(cfg) }
+
+// DashboardHandler returns the HTTP handler serving the twin's REST API
+// (/api/status, /api/series, /api/cooling, /api/run, /api/experiments) —
+// the data source the paper's web dashboard consumes.
+func DashboardHandler(tw *Twin) http.Handler {
+	return viz.NewServer(tw, tw.ExperimentRunner()).Handler()
+}
+
+// RenderStatus draws a terminal dashboard frame for the twin's most
+// recent run.
+func RenderStatus(tw *Twin) string {
+	st := tw.Status()
+	panel := viz.StatusPanel{
+		TimeSec:     st.TimeSec,
+		PowerMW:     st.PowerMW,
+		LossMW:      st.LossMW,
+		Utilization: st.Utilization,
+		PUE:         st.PUE,
+		JobsRunning: st.JobsRunning,
+		JobsPending: st.JobsPending,
+	}
+	for _, p := range tw.Series() {
+		panel.PowerSeriesMW = append(panel.PowerSeriesMW, p.PowerMW)
+	}
+	if sim := tw.Simulation(); sim != nil {
+		for _, w := range sim.PerRackPowerW() {
+			panel.RackPowerKW = append(panel.RackPowerKW, w/1e3)
+		}
+		if plant := sim.CoolingPlant(); plant != nil {
+			o := plant.Snapshot()
+			panel.HTWSupplyC = o.FacilitySupplyC
+			panel.HTWReturnC = o.FacilityReturnC
+			panel.CellsStaged = o.NumCellsStaged
+			panel.TotalCells = len(o.FanPowerW)
+		}
+	}
+	return panel.Render()
+}
+
+// Diagnostics, uncertainty quantification, and higher twin levels.
+
+// AnomalyDetector evaluates the rule-based health monitors of §III-A
+// (blockage, thermal-throttle risk, sustained temperature excursions,
+// PUE degradation) against cooling snapshots.
+type AnomalyDetector = anomaly.Detector
+
+// AnomalyAlarm is one detected condition.
+type AnomalyAlarm = anomaly.Alarm
+
+// NewAnomalyDetector builds a detector with Frontier-appropriate
+// thresholds.
+func NewAnomalyDetector() *AnomalyDetector { return anomaly.NewDetector(anomaly.DefaultConfig()) }
+
+// UQConfig parameterizes an uncertainty-quantification ensemble (§IV's
+// VVUQ requirement).
+type UQConfig = uq.Config
+
+// UQResult carries ensemble confidence intervals on power, energy,
+// losses, efficiency, and carbon.
+type UQResult = uq.Result
+
+// RunUQ executes an ensemble of perturbed-model simulations over the
+// same workload; jobsFactory may be nil for an idle study.
+func RunUQ(cfg UQConfig, jobsFactory func() []*job.Job) (*UQResult, error) {
+	return uq.Run(cfg, jobsFactory)
+}
+
+// PUESurrogate is the L3 data-driven model trained on L4 simulation
+// sweeps (Fig. 2's predictive-twin level).
+type PUESurrogate = surrogate.PUESurrogate
+
+// TrainPUESurrogate sweeps the cooling plant over the given heat-load and
+// wet-bulb grids and fits a real-time PUE/aux-power surrogate.
+func TrainPUESurrogate(cfg CoolingConfig, heatsMW, wetBulbsC []float64) (*PUESurrogate, error) {
+	return surrogate.TrainPUESurrogate(cfg, heatsMW, wetBulbsC)
+}
+
+// SetpointStudy parameterizes the L5 autonomous setpoint optimization
+// (Fig. 2's autonomous-twin level).
+type SetpointStudy = optimize.Config
+
+// SetpointResult reports the optimization outcome.
+type SetpointResult = optimize.Result
+
+// OptimizeSetpoints scores candidate plant setpoints on the simulated
+// plant and returns the feasible minimum-auxiliary-power configuration.
+func OptimizeSetpoints(plantCfg CoolingConfig, study SetpointStudy) (*SetpointResult, error) {
+	return optimize.Run(plantCfg, study)
+}

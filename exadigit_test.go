@@ -1,0 +1,201 @@
+package exadigit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	tw, err := NewFrontierTwin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tw.Run(Scenario{
+		Workload:   WorkloadSynthetic,
+		HorizonSec: 1800,
+		TickSec:    15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.AvgPowerMW < 7 {
+		t.Errorf("avg power = %v MW", res.Report.AvgPowerMW)
+	}
+	out := RenderStatus(tw)
+	if !strings.Contains(out, "ExaDigiT") {
+		t.Errorf("dashboard frame malformed:\n%s", out)
+	}
+}
+
+func TestFacadeSpecRoundTrip(t *testing.T) {
+	spec := FrontierSpec()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := spec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTwin(*loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Run(Scenario{Workload: WorkloadIdle, HorizonSec: 60, TickSec: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSetonixSpec(t *testing.T) {
+	tw, err := NewTwin(SetonixLikeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tw.Run(Scenario{Workload: WorkloadPeak, HorizonSec: 60, TickSec: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 (CPU-only, 1592 nodes) peak power ≈ 1.3 MW: far
+	// smaller than Frontier.
+	if res.Report.MaxPowerMW > 5 {
+		t.Errorf("setonix CPU partition peak = %v MW", res.Report.MaxPowerMW)
+	}
+}
+
+func TestFacadeAutoCSM(t *testing.T) {
+	cfg, err := GenerateCoolingModel(FrontierSpec().Cooling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewCoolingFMU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	// FMU over the generated plant honours the 317-output contract.
+	if got := len(inst.Description().OutputRefs()); got != 317 {
+		t.Errorf("outputs = %d", got)
+	}
+	if _, err := NewCoolingFMU(FrontierCoolingModel()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDashboardHandler(t *testing.T) {
+	tw, err := NewFrontierTwin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Run(Scenario{Workload: WorkloadIdle, HorizonSec: 120, TickSec: 15}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(DashboardHandler(tw))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		PowerMW float64 `json:"power_mw"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PowerMW < 7 || st.PowerMW > 8 {
+		t.Errorf("idle power over HTTP = %v MW", st.PowerMW)
+	}
+}
+
+func TestFacadeTelemetryRoundTrip(t *testing.T) {
+	tw, err := NewFrontierTwin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tw.Run(Scenario{Workload: WorkloadSynthetic, HorizonSec: 1800, TickSec: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "day")
+	if err := res.Dataset.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadTelemetry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Jobs) != len(res.Dataset.Jobs) {
+		t.Errorf("telemetry round trip lost jobs: %d vs %d", len(ds.Jobs), len(res.Dataset.Jobs))
+	}
+	// And it replays.
+	if _, err := tw.Run(Scenario{
+		Workload: WorkloadReplay, Dataset: ds, HorizonSec: 1800, TickSec: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultGeneratorConfigCalibration(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	if cfg.ArrivalMeanSec != 138 || cfg.NodesMean != 268 {
+		t.Errorf("generator defaults drifted from Table IV: %+v", cfg)
+	}
+}
+
+func TestFacadeDiagnosticsAndLevels(t *testing.T) {
+	// UQ ensemble through the facade.
+	res, err := RunUQ(UQConfig{Members: 6, Seed: 2, HorizonSec: 120, TickSec: 15}, func() []*Job {
+		j := NewJob(1, "load", 2000, 600, 0)
+		j.CPUTrace = FlatTrace(0.7, 600)
+		j.GPUTrace = FlatTrace(0.7, 600)
+		return []*Job{j}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PowerMW.Mean < 8 || res.PowerMW.Std <= 0 {
+		t.Errorf("UQ power = %+v", res.PowerMW)
+	}
+	// Anomaly detector over a fresh FMU snapshot.
+	det := NewAnomalyDetector()
+	inst, err := NewCoolingFMU(FrontierCoolingModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Description()
+	refs := make([]ValueRef, 0, 27)
+	vals := make([]float64, 0, 27)
+	for i := 1; i <= 25; i++ {
+		r, err := d.RefByName(fmt.Sprintf("cdu[%d].heat_w", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+		vals = append(vals, 16e6/25)
+	}
+	wb, _ := d.RefByName("wetbulb_temp_c")
+	it, _ := d.RefByName("it_power_w")
+	refs = append(refs, wb, it)
+	vals = append(vals, 20, 16.9e6)
+	if err := inst.SetReal(refs, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := inst.DoStep(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alarms := det.CheckCooling(inst.Plant().Snapshot(), inst.Time())
+	if len(alarms) != 0 {
+		t.Errorf("healthy plant alarmed via facade: %v", alarms)
+	}
+}

@@ -1,0 +1,32 @@
+// Cooling-model validation (§IV-1, Fig. 7): drive both a "physical twin"
+// (parameter-perturbed plant + sensor noise standing in for telemetry)
+// and the nominal model with the same day of CDU heat loads and weather,
+// then compare CDU flow, return temperature, HTW pressure, and PUE —
+// printing RMSE/MAE and ASCII overlays of the series.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exadigit/internal/exp"
+	"exadigit/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("running 6 h cooling-model validation (model vs synthetic telemetry)...")
+	tbl, data, err := exp.Fig7(exp.Fig7Config{HorizonSec: 6 * 3600, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+
+	for _, ch := range data.Channels {
+		fmt.Printf("%s [%s]\n", ch.Name, ch.Unit)
+		fmt.Printf("  model:     %s\n", viz.Sparkline(ch.Predicted, 64))
+		fmt.Printf("  telemetry: %s\n", viz.Sparkline(ch.Measured, 64))
+	}
+	fmt.Println("\npaper: PUE predicted within 1.4 % of telemetry; RMSE/MAE within reasonable bounds")
+}

@@ -1,0 +1,84 @@
+// Dashboard: serve the twin's REST API and poke it like the paper's web
+// dashboard does (§III-B6): read live status, pull the power series, and
+// launch a what-if run over HTTP, then recall the stored result.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"exadigit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tw, err := exadigit.NewFrontierTwin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Prime the twin with a short cooled HPL run.
+	if _, err := tw.Run(exadigit.Scenario{
+		Workload:         exadigit.WorkloadHPL,
+		HorizonSec:       1800,
+		TickSec:          15,
+		Cooling:          true,
+		BenchmarkWallSec: 3600,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := httptest.NewServer(exadigit.DashboardHandler(tw))
+	defer srv.Close()
+	fmt.Printf("dashboard API serving at %s\n\n", srv.URL)
+
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return body
+	}
+
+	fmt.Printf("GET /api/status →\n  %s\n", get("/api/status"))
+
+	var series []map[string]float64
+	if err := json.Unmarshal(get("/api/series"), &series); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /api/series → %d samples (last power %.2f MW)\n",
+		len(series), series[len(series)-1]["power_mw"])
+
+	var coolingOut []map[string]float64
+	if err := json.Unmarshal(get("/api/cooling"), &coolingOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /api/cooling → %d channels\n", len(coolingOut))
+
+	// Launch a what-if over HTTP: a 10-minute idle run under 380 V DC.
+	resp, err := http.PostForm(srv.URL+"/api/run", url.Values{
+		"workload":    {"idle"},
+		"mode":        {"dc380"},
+		"horizon_sec": {"600"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /api/run (dc380 idle what-if) →\n  %s\n", body)
+	fmt.Printf("GET /api/experiments → %s\n", get("/api/experiments"))
+}

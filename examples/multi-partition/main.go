@@ -1,0 +1,62 @@
+// Multi-partition generalization (§V): model a Setonix-like system with
+// separate CPU-only and CPU+GPU partitions from a JSON specification,
+// generate its cooling plant with AutoCSM, and compare the partitions'
+// power envelopes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exadigit"
+	"exadigit/internal/cooling"
+	"exadigit/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := exadigit.SetonixLikeSpec()
+	fmt.Printf("system %q with %d partitions\n", spec.Name, len(spec.Partitions))
+
+	models, err := spec.BuildModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range models {
+		idle := m.Spec.NodeIdle() * float64(m.Topo.NodesTotal) / 1e6
+		peak := m.Spec.NodePeak() * float64(m.Topo.NodesTotal) / 1e6
+		fmt.Printf("  partition %-4s %5d nodes, node envelope %.0f-%.0f W (≈%.2f-%.2f MW at the plug)\n",
+			spec.Partitions[i].Name, m.Topo.NodesTotal,
+			m.Spec.NodeIdle(), m.Spec.NodePeak(), idle/0.94, peak/0.94)
+	}
+
+	// AutoCSM sizes the shared cooling plant for the combined design heat.
+	cfg, err := exadigit.GenerateCoolingModel(spec.Cooling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAutoCSM plant: %d CDUs, %d towers × %d cells, CDU HEX UA %.0f W/degC\n",
+		cfg.NumCDUs, cfg.NumTowers, cfg.CellsPerTower, cfg.CDUHex.UANominal)
+
+	plant, err := cooling.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heat := make([]float64, cfg.NumCDUs)
+	for i := range heat {
+		heat[i] = spec.Cooling.DesignHeatMW * 1e6 / float64(cfg.NumCDUs)
+	}
+	in := cooling.Inputs{
+		CDUHeatW: heat,
+		WetBulbC: spec.Cooling.DesignWetBulbC,
+		ITPowerW: spec.Cooling.DesignHeatMW * 1e6 / 0.945,
+	}
+	if err := plant.SettleToSteadyState(in, 4*3600); err != nil {
+		log.Fatal(err)
+	}
+	o := plant.Snapshot()
+	fmt.Printf("steady state: rejecting %.2f of %.2f MW, primary %.0f gpm, PUE %.3f\n",
+		plant.TowerRejectionW()/1e6, spec.Cooling.DesignHeatMW,
+		o.HTWFlowM3s*units.M3sToGPM, o.PUE)
+}

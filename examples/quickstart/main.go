@@ -1,0 +1,38 @@
+// Quickstart: build a digital twin of Frontier, simulate two hours of
+// synthetic workload with the cooling model coupled, and print the
+// end-of-run report and a terminal dashboard frame.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exadigit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tw, err := exadigit.NewFrontierTwin()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tw.Run(exadigit.Scenario{
+		Workload:   exadigit.WorkloadSynthetic,
+		HorizonSec: 2 * 3600,
+		TickSec:    15,
+		Cooling:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := res.Report
+	fmt.Printf("jobs completed: %d (%.0f jobs/hr)\n", r.JobsCompleted, r.ThroughputPerHr)
+	fmt.Printf("average power:  %.2f MW (peak %.2f MW)\n", r.AvgPowerMW, r.MaxPowerMW)
+	fmt.Printf("losses:         %.2f MW (%.1f %%), eta_system %.3f\n", r.AvgLossMW, r.LossPercent, r.EtaSystem)
+	fmt.Printf("energy:         %.1f MW-hr → %.1f t CO2, $%.0f\n", r.EnergyMWh, r.CO2Tons, r.CostUSD)
+	fmt.Printf("PUE:            %.3f\n\n", r.AvgPUE)
+	fmt.Print(exadigit.RenderStatus(tw))
+}

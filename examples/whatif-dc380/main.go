@@ -1,0 +1,36 @@
+// What-if studies (§IV-3): virtually modify Frontier's power
+// architecture — smart load-sharing rectifiers and direct 380 V DC
+// distribution — and measure the efficiency, cost, and carbon impact
+// against the AC baseline over the same replayed days.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exadigit/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const days = 4
+	fmt.Printf("replaying %d synthetic days per variant...\n\n", days)
+
+	smartTbl, smart, err := exp.SmartRectifier(days, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(smartTbl)
+
+	dcTbl, dc, err := exp.DC380(days, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dcTbl)
+
+	fmt.Printf("summary: DC380 saves %.0f kW on average (%.1f×"+
+		" the smart-rectifier saving), cutting carbon %.1f %%\n",
+		dc.SavingMW*1e3, dc.SavingMW/smart.SavingMW, dc.CarbonReductionPct)
+	fmt.Println("paper: η 93.3 % → 97.3 %, ≈$542k/yr vs ≈$120k/yr, carbon −8.2 %")
+}

@@ -1,0 +1,193 @@
+// Package anomaly implements rule-based health monitoring for the
+// digital twin, covering the §III-A forensic/diagnostic use cases:
+// detecting blade-level coolant blockage from biological growth (flow
+// deviation across CDU peers), early detection of thermal throttling
+// (cold-plate device-temperature estimates), and sustained
+// temperature-setpoint violations. The rule-based style follows the
+// tier-0 HPC anomaly detection the paper cites for Marconi100.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"exadigit/internal/cooling"
+	"exadigit/internal/thermal"
+)
+
+// Kind classifies an alarm.
+type Kind string
+
+// Alarm kinds.
+const (
+	// KindFlowLow flags a CDU whose secondary flow has fallen below its
+	// peers — the blockage signature (§III-A: "blockage to specific
+	// nodes ... can these types of blockages be detected?").
+	KindFlowLow Kind = "secondary-flow-low"
+	// KindSupplyTempHigh flags a sustained secondary-supply excursion
+	// above setpoint.
+	KindSupplyTempHigh Kind = "secondary-supply-high"
+	// KindThrottleRisk flags device temperatures near the throttling
+	// limit (§III-A: "early detection of thermal throttling").
+	KindThrottleRisk Kind = "thermal-throttle-risk"
+	// KindPUEHigh flags facility-efficiency degradation.
+	KindPUEHigh Kind = "pue-high"
+)
+
+// Alarm is one detected condition.
+type Alarm struct {
+	Kind      Kind
+	Subject   string // e.g. "cdu[7]"
+	Value     float64
+	Threshold float64
+	TimeSec   float64
+}
+
+// String renders the alarm for logs.
+func (a Alarm) String() string {
+	return fmt.Sprintf("[%s] %s: %.3f (threshold %.3f) at t=%.0fs",
+		a.Kind, a.Subject, a.Value, a.Threshold, a.TimeSec)
+}
+
+// Config holds the detector thresholds.
+type Config struct {
+	// FlowDeviationFrac flags a CDU whose secondary flow is below
+	// (1 − frac) × the peer median (default 0.15).
+	FlowDeviationFrac float64
+	// SupplyTempMarginC above setpoint that trips the temperature rule
+	// (default 2 °C) after SupplyTempHoldSteps consecutive violations.
+	SupplyTempMarginC   float64
+	SupplyTempHoldSteps int
+	// SupplySetpointC is the secondary supply setpoint (32 °C).
+	SupplySetpointC float64
+	// PUELimit trips the facility-efficiency rule (default 1.10).
+	PUELimit float64
+	// ThrottleLimitC is the device junction limit (default 95 °C) and
+	// ThrottleMarginC the early-warning margin below it (default 5 °C).
+	ThrottleLimitC  float64
+	ThrottleMarginC float64
+	// Plate is the cold-plate conduction model used for device-
+	// temperature estimates.
+	Plate thermal.ColdPlate
+	// PlateFlowM3s is the per-device coolant allocation at design.
+	PlateFlowM3s float64
+}
+
+// DefaultConfig returns Frontier-appropriate thresholds.
+func DefaultConfig() Config {
+	return Config{
+		FlowDeviationFrac:   0.15,
+		SupplyTempMarginC:   2.0,
+		SupplyTempHoldSteps: 8, // 2 min at the 15 s step
+		SupplySetpointC:     32,
+		PUELimit:            1.10,
+		ThrottleLimitC:      95,
+		ThrottleMarginC:     5,
+		Plate:               thermal.ColdPlate{RConduction: 0.010, RConvNom: 0.012, QNominal: 1.2e-5},
+		PlateFlowM3s:        1.2e-5,
+	}
+}
+
+// Detector evaluates the rules over successive cooling snapshots.
+type Detector struct {
+	cfg       Config
+	tempHolds []int // consecutive over-temperature steps per CDU
+}
+
+// NewDetector builds a detector with the given thresholds.
+func NewDetector(cfg Config) *Detector {
+	if cfg.FlowDeviationFrac <= 0 {
+		cfg.FlowDeviationFrac = 0.15
+	}
+	if cfg.SupplyTempHoldSteps <= 0 {
+		cfg.SupplyTempHoldSteps = 8
+	}
+	return &Detector{cfg: cfg}
+}
+
+// CheckCooling evaluates the flow, temperature, and PUE rules against one
+// cooling snapshot taken at simulation time tSec.
+func (d *Detector) CheckCooling(o *cooling.Outputs, tSec float64) []Alarm {
+	var alarms []Alarm
+	n := len(o.CDUs)
+	if d.tempHolds == nil {
+		d.tempHolds = make([]int, n)
+	}
+
+	// Rule 1 — flow deviation from the peer median (blockage signature):
+	// under identical pump-speed control every healthy CDU settles at
+	// nearly the same secondary flow.
+	flows := make([]float64, n)
+	for i := range o.CDUs {
+		flows[i] = o.CDUs[i].SecondaryFlowM3s
+	}
+	med := median(flows)
+	if med > 0 {
+		for i, q := range flows {
+			limit := med * (1 - d.cfg.FlowDeviationFrac)
+			if q < limit {
+				alarms = append(alarms, Alarm{
+					Kind: KindFlowLow, Subject: fmt.Sprintf("cdu[%d]", i+1),
+					Value: q, Threshold: limit, TimeSec: tSec,
+				})
+			}
+		}
+	}
+
+	// Rule 2 — sustained secondary-supply temperature excursion.
+	for i := range o.CDUs {
+		if o.CDUs[i].SecSupplyTempC > d.cfg.SupplySetpointC+d.cfg.SupplyTempMarginC {
+			d.tempHolds[i]++
+		} else {
+			d.tempHolds[i] = 0
+		}
+		if d.tempHolds[i] == d.cfg.SupplyTempHoldSteps {
+			alarms = append(alarms, Alarm{
+				Kind: KindSupplyTempHigh, Subject: fmt.Sprintf("cdu[%d]", i+1),
+				Value:     o.CDUs[i].SecSupplyTempC,
+				Threshold: d.cfg.SupplySetpointC + d.cfg.SupplyTempMarginC,
+				TimeSec:   tSec,
+			})
+		}
+	}
+
+	// Rule 3 — facility efficiency.
+	if o.PUE > d.cfg.PUELimit {
+		alarms = append(alarms, Alarm{
+			Kind: KindPUEHigh, Subject: "facility",
+			Value: o.PUE, Threshold: d.cfg.PUELimit, TimeSec: tSec,
+		})
+	}
+	return alarms
+}
+
+// CheckThrottle estimates the device temperature of a component drawing
+// powerW cooled by coolant at coolantC with per-device flow flowM3s
+// (≤0 uses the design allocation) and flags throttle risk.
+func (d *Detector) CheckThrottle(subject string, powerW, coolantC, flowM3s, tSec float64) (Alarm, bool) {
+	if flowM3s <= 0 {
+		flowM3s = d.cfg.PlateFlowM3s
+	}
+	tDev := d.cfg.Plate.DeviceTemp(powerW, coolantC, flowM3s)
+	warn := d.cfg.ThrottleLimitC - d.cfg.ThrottleMarginC
+	if tDev >= warn {
+		return Alarm{
+			Kind: KindThrottleRisk, Subject: subject,
+			Value: tDev, Threshold: warn, TimeSec: tSec,
+		}, true
+	}
+	return Alarm{}, false
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return 0.5 * (sorted[mid-1] + sorted[mid])
+}

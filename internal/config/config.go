@@ -1,0 +1,340 @@
+// Package config implements the JSON input specification that
+// generalizes ExaDigiT beyond Frontier (§V): "the generalized version of
+// RAPS inputs configuration files describing the system architecture, the
+// cooling system, the scheduler, and the power system". A SystemSpec
+// fully describes a machine — including multi-partition systems such as
+// Setonix with separate CPU-only and CPU+GPU partitions — and builds the
+// corresponding power models and cooling configuration.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"exadigit/internal/power"
+)
+
+// SystemSpec is the top-level machine description.
+type SystemSpec struct {
+	Name string `json:"name"`
+	// Partitions lists the machine's scheduling partitions; Frontier has
+	// one, Setonix-style systems several (§V).
+	Partitions []PartitionSpec `json:"partitions"`
+	Cooling    CoolingSpec     `json:"cooling"`
+	Scheduler  SchedulerSpec   `json:"scheduler"`
+}
+
+// PartitionSpec describes one partition's topology and component powers.
+type PartitionSpec struct {
+	Name string `json:"name"`
+
+	NodesTotal      int `json:"nodes_total"`
+	NodesPerRack    int `json:"nodes_per_rack"`
+	NodesPerChassis int `json:"nodes_per_chassis"`
+	ChassisPerRack  int `json:"chassis_per_rack"`
+	SwitchesPerRack int `json:"switches_per_rack"`
+	RacksPerCDU     int `json:"racks_per_cdu"`
+	NumCDUs         int `json:"num_cdus"`
+
+	CPUIdleW float64 `json:"cpu_idle_w"`
+	CPUMaxW  float64 `json:"cpu_max_w"`
+	GPUIdleW float64 `json:"gpu_idle_w"`
+	GPUMaxW  float64 `json:"gpu_max_w"`
+	RAMW     float64 `json:"ram_w"`
+	NVMeW    float64 `json:"nvme_w"`
+	NICW     float64 `json:"nic_w"`
+	SwitchW  float64 `json:"switch_w"`
+	CDUPumpW float64 `json:"cdu_pump_w"`
+
+	GPUsPerNode int `json:"gpus_per_node"`
+	NICsPerNode int `json:"nics_per_node"`
+	NVMePerNode int `json:"nvme_per_node"`
+
+	Power PowerSpec `json:"power"`
+}
+
+// PowerSpec describes the conversion chain (§III-B1).
+type PowerSpec struct {
+	RectEtaMax     float64 `json:"rect_eta_max"`
+	RectLowDroop   float64 `json:"rect_low_droop"`
+	RectHighDroop  float64 `json:"rect_high_droop"`
+	RectPOptW      float64 `json:"rect_p_opt_w"`
+	RectPMaxW      float64 `json:"rect_p_max_w"`
+	SivocEta       float64 `json:"sivoc_eta"`
+	DCDistEta      float64 `json:"dc_dist_eta"`
+	RectPerChassis int     `json:"rect_per_chassis"`
+	// Mode: "ac-baseline", "smart-rectifier", or "dc380".
+	Mode string `json:"mode"`
+	// CoolingEfficiency converts electrical input to liquid heat (0.945).
+	CoolingEfficiency float64 `json:"cooling_efficiency"`
+}
+
+// CoolingSpec is the AutoCSM input (§V): high-level design quantities
+// from which a full plant model is synthesized.
+type CoolingSpec struct {
+	NumCDUs        int     `json:"num_cdus"`
+	NumTowers      int     `json:"num_towers"`
+	CellsPerTower  int     `json:"cells_per_tower"`
+	NumFanChannels int     `json:"num_fan_channels"`
+	NumHTWPs       int     `json:"num_htwps"`
+	NumCTWPs       int     `json:"num_ctwps"`
+	NumEHX         int     `json:"num_ehx"`
+	DesignHeatMW   float64 `json:"design_heat_mw"`
+	DesignWetBulbC float64 `json:"design_wetbulb_c"`
+	SecSupplyC     float64 `json:"secondary_supply_c"`
+	CTSupplyC      float64 `json:"ct_supply_c"`
+	PrimaryFlowGPM float64 `json:"primary_flow_gpm"`
+	TowerFlowGPM   float64 `json:"tower_flow_gpm"`
+}
+
+// SchedulerSpec selects the scheduling policy.
+type SchedulerSpec struct {
+	Policy string `json:"policy"`
+}
+
+// Frontier returns the built-in Frontier specification matching Table I
+// and §III-C1.
+func Frontier() SystemSpec {
+	return SystemSpec{
+		Name: "frontier",
+		Partitions: []PartitionSpec{{
+			Name:            "compute",
+			NodesTotal:      9472,
+			NodesPerRack:    128,
+			NodesPerChassis: 16,
+			ChassisPerRack:  8,
+			SwitchesPerRack: 32,
+			RacksPerCDU:     3,
+			NumCDUs:         25,
+			CPUIdleW:        90, CPUMaxW: 280,
+			GPUIdleW: 88, GPUMaxW: 560,
+			RAMW: 74, NVMeW: 15, NICW: 20,
+			SwitchW: 250, CDUPumpW: 8700,
+			GPUsPerNode: 4, NICsPerNode: 4, NVMePerNode: 2,
+			Power: PowerSpec{
+				RectEtaMax: 0.963, RectLowDroop: 0.0506, RectHighDroop: 0.0405,
+				RectPOptW: 7500, RectPMaxW: 15000,
+				SivocEta: 0.98, DCDistEta: 0.993, RectPerChassis: 4,
+				Mode: "ac-baseline", CoolingEfficiency: 0.945,
+			},
+		}},
+		Cooling: CoolingSpec{
+			NumCDUs: 25, NumTowers: 5, CellsPerTower: 4, NumFanChannels: 16,
+			NumHTWPs: 4, NumCTWPs: 4, NumEHX: 5,
+			DesignHeatMW: 16, DesignWetBulbC: 20,
+			SecSupplyC: 32, CTSupplyC: 22,
+			PrimaryFlowGPM: 5200, TowerFlowGPM: 9500,
+		},
+		Scheduler: SchedulerSpec{Policy: "fcfs"},
+	}
+}
+
+// SetonixLike returns a two-partition machine in the style of Pawsey's
+// Setonix (§V's generalization target): a CPU-only partition plus a
+// GPU partition, with HPE EX-class components.
+func SetonixLike() SystemSpec {
+	s := SystemSpec{
+		Name: "setonix-like",
+		Partitions: []PartitionSpec{
+			{
+				Name:            "cpu",
+				NodesTotal:      1592,
+				NodesPerRack:    128,
+				NodesPerChassis: 16,
+				ChassisPerRack:  8,
+				SwitchesPerRack: 32,
+				RacksPerCDU:     3,
+				NumCDUs:         5,
+				CPUIdleW:        100, CPUMaxW: 360, // dual-socket Milan
+				GPUIdleW: 0, GPUMaxW: 0,
+				RAMW: 60, NVMeW: 10, NICW: 20,
+				SwitchW: 250, CDUPumpW: 8700,
+				GPUsPerNode: 0, NICsPerNode: 2, NVMePerNode: 1,
+				Power: PowerSpec{
+					RectEtaMax: 0.963, RectLowDroop: 0.0506, RectHighDroop: 0.0405,
+					RectPOptW: 7500, RectPMaxW: 15000,
+					SivocEta: 0.98, DCDistEta: 0.993, RectPerChassis: 4,
+					Mode: "ac-baseline", CoolingEfficiency: 0.945,
+				},
+			},
+			{
+				Name:            "gpu",
+				NodesTotal:      768,
+				NodesPerRack:    128,
+				NodesPerChassis: 16,
+				ChassisPerRack:  8,
+				SwitchesPerRack: 32,
+				RacksPerCDU:     3,
+				NumCDUs:         2,
+				CPUIdleW:        90, CPUMaxW: 280,
+				GPUIdleW: 88, GPUMaxW: 560, // MI250X
+				RAMW: 74, NVMeW: 15, NICW: 20,
+				SwitchW: 250, CDUPumpW: 8700,
+				GPUsPerNode: 4, NICsPerNode: 4, NVMePerNode: 2,
+				Power: PowerSpec{
+					RectEtaMax: 0.963, RectLowDroop: 0.0506, RectHighDroop: 0.0405,
+					RectPOptW: 7500, RectPMaxW: 15000,
+					SivocEta: 0.98, DCDistEta: 0.993, RectPerChassis: 4,
+					Mode: "ac-baseline", CoolingEfficiency: 0.945,
+				},
+			},
+		},
+		Cooling: CoolingSpec{
+			NumCDUs: 7, NumTowers: 2, CellsPerTower: 4, NumFanChannels: 8,
+			NumHTWPs: 3, NumCTWPs: 3, NumEHX: 2,
+			DesignHeatMW: 3.0, DesignWetBulbC: 21,
+			SecSupplyC: 32, CTSupplyC: 24,
+			PrimaryFlowGPM: 1400, TowerFlowGPM: 1800,
+		},
+		Scheduler: SchedulerSpec{Policy: "fcfs"},
+	}
+	return s
+}
+
+// Validate checks the spec for structural consistency.
+func (s *SystemSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("config: system name required")
+	}
+	if len(s.Partitions) == 0 {
+		return fmt.Errorf("config: at least one partition required")
+	}
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		if p.Name == "" {
+			return fmt.Errorf("config: partition %d needs a name", i)
+		}
+		if _, err := p.Topology(); err != nil {
+			return fmt.Errorf("config: partition %q: %w", p.Name, err)
+		}
+		if p.Power.SivocEta <= 0 || p.Power.SivocEta > 1 {
+			return fmt.Errorf("config: partition %q: sivoc_eta %v out of (0,1]", p.Name, p.Power.SivocEta)
+		}
+		if _, err := modeByName(p.Power.Mode); err != nil {
+			return fmt.Errorf("config: partition %q: %w", p.Name, err)
+		}
+		if p.Power.CoolingEfficiency <= 0 || p.Power.CoolingEfficiency > 1 {
+			return fmt.Errorf("config: partition %q: cooling_efficiency out of (0,1]", p.Name)
+		}
+	}
+	if s.Cooling.NumCDUs <= 0 {
+		return fmt.Errorf("config: cooling num_cdus must be positive")
+	}
+	if s.Cooling.DesignHeatMW <= 0 {
+		return fmt.Errorf("config: cooling design_heat_mw must be positive")
+	}
+	if s.Cooling.SecSupplyC <= s.Cooling.CTSupplyC {
+		return fmt.Errorf("config: secondary supply %v must exceed CT supply %v",
+			s.Cooling.SecSupplyC, s.Cooling.CTSupplyC)
+	}
+	if s.Cooling.CTSupplyC <= s.Cooling.DesignWetBulbC {
+		return fmt.Errorf("config: CT supply %v must exceed design wet bulb %v",
+			s.Cooling.CTSupplyC, s.Cooling.DesignWetBulbC)
+	}
+	return nil
+}
+
+// Topology converts the partition counts to a power.Topology.
+func (p *PartitionSpec) Topology() (power.Topology, error) {
+	t := power.Topology{
+		NodesTotal:      p.NodesTotal,
+		NodesPerRack:    p.NodesPerRack,
+		NodesPerChassis: p.NodesPerChassis,
+		ChassisPerRack:  p.ChassisPerRack,
+		SwitchesPerRack: p.SwitchesPerRack,
+		RacksPerCDU:     p.RacksPerCDU,
+		NumCDUs:         p.NumCDUs,
+	}
+	return t, t.Validate()
+}
+
+// BuildModel assembles the power model for one partition.
+func (p *PartitionSpec) BuildModel() (*power.Model, error) {
+	topo, err := p.Topology()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := modeByName(p.Power.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &power.Model{
+		Spec: power.ComponentSpec{
+			CPUIdle: p.CPUIdleW, CPUMax: p.CPUMaxW,
+			GPUIdle: p.GPUIdleW, GPUMax: p.GPUMaxW,
+			RAM: p.RAMW, NVMe: p.NVMeW, NIC: p.NICW,
+			Switch: p.SwitchW, CDUPump: p.CDUPumpW,
+			GPUsPerNode: p.GPUsPerNode, NICsPerNode: p.NICsPerNode, NVMePerNode: p.NVMePerNode,
+		},
+		Chain: power.ConversionChain{
+			Rect: power.RectifierCurve{
+				EtaMax: p.Power.RectEtaMax, LowDroop: p.Power.RectLowDroop,
+				HighDroop: p.Power.RectHighDroop, POptW: p.Power.RectPOptW,
+				PMaxW: p.Power.RectPMaxW,
+			},
+			EtaSIVOC:          p.Power.SivocEta,
+			EtaDCDistribution: p.Power.DCDistEta,
+			RectPerChassis:    p.Power.RectPerChassis,
+			Mode:              mode,
+		},
+		Topo:       topo,
+		CoolingEff: p.Power.CoolingEfficiency,
+	}, nil
+}
+
+// BuildModels assembles every partition's power model.
+func (s *SystemSpec) BuildModels() ([]*power.Model, error) {
+	models := make([]*power.Model, 0, len(s.Partitions))
+	for i := range s.Partitions {
+		m, err := s.Partitions[i].BuildModel()
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+func modeByName(name string) (power.Mode, error) {
+	switch name {
+	case "ac-baseline", "":
+		return power.ACBaseline, nil
+	case "smart-rectifier":
+		return power.SmartRectifier, nil
+	case "dc380":
+		return power.DC380, nil
+	default:
+		return 0, fmt.Errorf("config: unknown power mode %q", name)
+	}
+}
+
+// Parse decodes and validates a SystemSpec from JSON.
+func Parse(data []byte) (*SystemSpec, error) {
+	var s SystemSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads a SystemSpec from a JSON file.
+func LoadFile(path string) (*SystemSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Save writes the spec as indented JSON.
+func (s *SystemSpec) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,153 @@
+package config
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"exadigit/internal/power"
+)
+
+func TestFrontierSpecValidatesAndMatchesBuiltIn(t *testing.T) {
+	s := Frontier()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	models, err := s.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("%d models", len(models))
+	}
+	// The config-built model must agree with the hand-built one.
+	ref := power.NewFrontierModel()
+	var got, want power.SystemPower
+	models[0].ComputeUniform(1, 1, 9472, &got)
+	ref.ComputeUniform(1, 1, 9472, &want)
+	if math.Abs(got.TotalW-want.TotalW) > 1 {
+		t.Errorf("config model %v W vs built-in %v W", got.TotalW, want.TotalW)
+	}
+	models[0].ComputeUniform(0, 0, 9472, &got)
+	ref.ComputeUniform(0, 0, 9472, &want)
+	if math.Abs(got.TotalW-want.TotalW) > 1 {
+		t.Errorf("idle: config %v vs built-in %v", got.TotalW, want.TotalW)
+	}
+}
+
+func TestSetonixLikeMultiPartition(t *testing.T) {
+	s := SetonixLike()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	models, err := s.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("%d partitions, want 2", len(models))
+	}
+	// CPU partition has no GPUs; its peak node power is CPU-dominated.
+	var cpuSP, gpuSP power.SystemPower
+	models[0].ComputeUniform(1, 1, models[0].Topo.NodesTotal, &cpuSP)
+	models[1].ComputeUniform(1, 1, models[1].Topo.NodesTotal, &gpuSP)
+	if cpuSP.Breakdown.GPU != 0 {
+		t.Errorf("CPU partition reports GPU power %v", cpuSP.Breakdown.GPU)
+	}
+	if gpuSP.Breakdown.GPU <= 0 {
+		t.Error("GPU partition should draw GPU power")
+	}
+	// Total system power is the sum over partitions — per-node GPU
+	// partition power dominates.
+	perNodeCPU := cpuSP.TotalW / float64(models[0].Topo.NodesTotal)
+	perNodeGPU := gpuSP.TotalW / float64(models[1].Topo.NodesTotal)
+	if perNodeGPU <= perNodeCPU {
+		t.Errorf("GPU nodes should draw more: %v vs %v", perNodeGPU, perNodeCPU)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frontier.json")
+	orig := Frontier()
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "frontier" || len(loaded.Partitions) != 1 {
+		t.Errorf("loaded = %+v", loaded)
+	}
+	if loaded.Partitions[0].NodesTotal != 9472 {
+		t.Errorf("nodes = %d", loaded.Partitions[0].NodesTotal)
+	}
+	if loaded.Cooling.NumCDUs != 25 {
+		t.Errorf("cooling CDUs = %d", loaded.Cooling.NumCDUs)
+	}
+	if loaded.Partitions[0].Power.Mode != "ac-baseline" {
+		t.Errorf("mode = %q", loaded.Partitions[0].Power.Mode)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := map[string]func(*SystemSpec){
+		"no name":        func(s *SystemSpec) { s.Name = "" },
+		"no partitions":  func(s *SystemSpec) { s.Partitions = nil },
+		"unnamed part":   func(s *SystemSpec) { s.Partitions[0].Name = "" },
+		"bad topology":   func(s *SystemSpec) { s.Partitions[0].ChassisPerRack = 3 },
+		"bad sivoc":      func(s *SystemSpec) { s.Partitions[0].Power.SivocEta = 1.5 },
+		"bad mode":       func(s *SystemSpec) { s.Partitions[0].Power.Mode = "nuclear" },
+		"bad coolingeff": func(s *SystemSpec) { s.Partitions[0].Power.CoolingEfficiency = 0 },
+		"no cdus":        func(s *SystemSpec) { s.Cooling.NumCDUs = 0 },
+		"no heat":        func(s *SystemSpec) { s.Cooling.DesignHeatMW = 0 },
+		"temp order":     func(s *SystemSpec) { s.Cooling.SecSupplyC = s.Cooling.CTSupplyC },
+		"wetbulb order":  func(s *SystemSpec) { s.Cooling.CTSupplyC = s.Cooling.DesignWetBulbC - 1 },
+	}
+	for name, mutate := range cases {
+		s := Frontier()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if _, err := Parse([]byte("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := Parse([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("incomplete spec should fail validation")
+	}
+}
+
+func TestModeMapping(t *testing.T) {
+	s := Frontier()
+	s.Partitions[0].Power.Mode = "dc380"
+	m, err := s.Partitions[0].BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chain.Mode != power.DC380 {
+		t.Errorf("mode = %v", m.Chain.Mode)
+	}
+	s.Partitions[0].Power.Mode = "smart-rectifier"
+	m, err = s.Partitions[0].BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chain.Mode != power.SmartRectifier {
+		t.Errorf("mode = %v", m.Chain.Mode)
+	}
+	// Empty mode defaults to the baseline.
+	s.Partitions[0].Power.Mode = ""
+	m, err = s.Partitions[0].BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chain.Mode != power.ACBaseline {
+		t.Errorf("default mode = %v", m.Chain.Mode)
+	}
+}

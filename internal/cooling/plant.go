@@ -1,0 +1,490 @@
+package cooling
+
+import (
+	"fmt"
+	"math"
+
+	"exadigit/internal/control"
+	"exadigit/internal/hydro"
+	"exadigit/internal/ode"
+	"exadigit/internal/thermal"
+	"exadigit/internal/units"
+)
+
+// Inputs drives one plant step (§III-C4: "The model takes as inputs
+// wet-bulb (outdoor) temperature and heat extracted in watts for each of
+// the 25 CDUs").
+type Inputs struct {
+	// CDUHeatW is the heat load per CDU in watts (already scaled by the
+	// RAPS cooling efficiency of 0.945).
+	CDUHeatW []float64
+	// WetBulbC is the outdoor wet-bulb temperature.
+	WetBulbC float64
+	// ITPowerW is the electrical power of the computing load, used only
+	// for the PUE output. Zero disables the PUE calculation (PUE = 0).
+	ITPowerW float64
+}
+
+// cduState is the per-CDU dynamic state and controllers.
+type cduState struct {
+	secHot  thermal.Volume // rack-outlet (secondary return) volume
+	secCold thermal.Volume // HEX-outlet (secondary supply) volume
+
+	pumpPID  *control.PID // holds loop differential pressure
+	valvePID *control.PID // holds secondary supply temperature
+	valve    *hydro.Valve
+
+	// Last hydraulic solution.
+	qSec      float64 // secondary flow, m³/s
+	qPrim     float64 // primary flow, m³/s
+	pumpSpeed float64
+	pumpPower float64
+	hexDuty   float64 // last heat transferred secondary→primary, W
+	primOutT  float64 // last primary-side outlet temperature
+}
+
+// Plant is the assembled cooling system. Create with New, advance with
+// Step, read with Snapshot.
+type Plant struct {
+	cfg Config
+
+	cdus []cduState
+
+	htwSupply thermal.Volume // cooled HTW leaving the EHXs toward the CDUs
+	htwReturn thermal.Volume // heated HTW collected from the CDU HEXs
+	ctwSupply thermal.Volume // cold CTW leaving the towers
+	ctwReturn thermal.Volume // warmed CTW leaving the EHXs
+
+	htwpPID    *control.PID
+	htwpRate   *control.RateLimiter
+	htwpStager *control.Stager
+	ctwpPID    *control.PID
+	ctwpRate   *control.RateLimiter
+	ctwpStager *control.Stager
+	fanPID     *control.PID
+	cellStager *control.Stager
+
+	// Delay transfer function between the primary-pump loop and the
+	// cooling-tower loop (§III-C5).
+	htwsDelayed *control.TransportDelay
+	htwsGradF   *control.FirstOrderLag
+
+	// Last hydraulic/electrical solution.
+	qHTW       float64
+	qCTW       float64
+	htwpSpeed  float64
+	ctwpSpeed  float64
+	fanSpeed   float64
+	htwHeadPa  float64
+	ctwHeadPa  float64
+	headerDPPa float64
+	htwpPowerW float64 // total across staged pumps
+	ctwpPowerW float64
+	fanPowerW  float64 // total across staged cells
+	ehxStaged  int
+	ehxDutyW   float64
+	towerRejW  float64
+
+	// secFouling multiplies each CDU's secondary-loop resistance to model
+	// blockage from biological growth (§III-A's water-quality use case);
+	// 1.0 everywhere when clean.
+	secFouling []float64
+
+	lastIn Inputs
+	simT   float64
+
+	// scratch state vector for the ODE integrator
+	state []float64
+}
+
+// New builds a plant in a warm-started condition near its typical
+// operating point.
+func New(cfg Config) (*Plant, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plant{cfg: cfg}
+	p.cdus = make([]cduState, cfg.NumCDUs)
+	for i := range p.cdus {
+		c := &p.cdus[i]
+		c.secHot = thermal.Volume{Mass: cfg.SecVolumeKg, T: 36}
+		c.secCold = thermal.Volume{Mass: cfg.SecVolumeKg, T: cfg.SecSupplySetC}
+		c.pumpPID = control.NewPID(4e-7, 8e-8, 0, 0.3, 1.1)
+		c.pumpPID.Reset(0.9)
+		c.valvePID = control.NewPID(0.08, 0.004, 0, 0.05, 1.0)
+		c.valvePID.DirectAction = true // hotter supply → open valve
+		c.valvePID.Reset(0.6)
+		c.valve = hydro.NewValve(cfg.PrimValveDPPa, cfg.PrimBranchQ, cfg.PrimValveRange)
+		c.valve.SetPosition(0.6)
+		c.pumpSpeed = 0.9
+	}
+	p.htwSupply = thermal.Volume{Mass: cfg.HTWVolumeKg, T: 27}
+	p.htwReturn = thermal.Volume{Mass: cfg.HTWVolumeKg, T: 34}
+	p.ctwSupply = thermal.Volume{Mass: cfg.CTWVolumeKg, T: cfg.CTSupplySetC}
+	p.ctwReturn = thermal.Volume{Mass: cfg.CTWVolumeKg, T: cfg.CTSupplySetC + 6}
+
+	p.htwpPID = control.NewPID(5e-7, 8e-8, 0, 0.35, 1.05)
+	p.htwpPID.Reset(0.85)
+	p.htwpRate = &control.RateLimiter{RisePerSec: 0.02, FallPerSec: 0.02}
+	p.htwpRate.Reset(0.85)
+	p.htwpStager = control.NewStager(2, cfg.NumHTWPs, 3,
+		cfg.StageUpSpeed, cfg.StageDownSpeed, cfg.StageUpDwellS, cfg.StageDownDwellS)
+	p.ctwpPID = control.NewPID(5e-7, 8e-8, 0, 0.35, 1.05)
+	p.ctwpPID.Reset(0.85)
+	p.ctwpRate = &control.RateLimiter{RisePerSec: 0.02, FallPerSec: 0.02}
+	p.ctwpRate.Reset(0.85)
+	p.ctwpStager = control.NewStager(2, cfg.NumCTWPs, 3,
+		cfg.StageUpSpeed, cfg.StageDownSpeed, cfg.StageUpDwellS, cfg.StageDownDwellS)
+	p.fanPID = control.NewPID(0.25, 0.004, 0, 0.10, 1.0)
+	p.fanPID.DirectAction = true // warmer basin → faster fans
+	p.fanPID.Reset(0.6)
+	p.cellStager = control.NewStager(4, cfg.TotalCells(), 12,
+		0.9, 0.35, cfg.StageUpDwellS, cfg.StageDownDwellS)
+	p.htwsDelayed = control.NewTransportDelay(cfg.LoopDelayS, cfg.ControlDtS)
+	p.htwsGradF = &control.FirstOrderLag{Tau: 60}
+	p.htwsGradF.Reset(0)
+
+	p.htwpSpeed, p.ctwpSpeed, p.fanSpeed = 0.85, 0.85, 0.6
+	p.ehxStaged = 3
+	p.secFouling = make([]float64, cfg.NumCDUs)
+	for i := range p.secFouling {
+		p.secFouling[i] = 1
+	}
+	p.state = make([]float64, p.Dim())
+	return p, nil
+}
+
+// Dim implements ode.System: two temperatures per CDU plus the four loop
+// volumes.
+func (p *Plant) Dim() int { return 2*len(p.cdus) + 4 }
+
+// Time returns the plant's internal simulation time in seconds.
+func (p *Plant) Time() float64 { return p.simT }
+
+// Step advances the plant by dt seconds under the given inputs,
+// subdividing into ControlDtS control periods. It returns an error only
+// for malformed inputs.
+func (p *Plant) Step(dt float64, in Inputs) error {
+	if len(in.CDUHeatW) != len(p.cdus) {
+		return fmt.Errorf("cooling: got %d CDU heat loads, plant has %d CDUs",
+			len(in.CDUHeatW), len(p.cdus))
+	}
+	for i, h := range in.CDUHeatW {
+		if h < 0 || math.IsNaN(h) {
+			return fmt.Errorf("cooling: CDU %d heat %v invalid", i, h)
+		}
+	}
+	p.lastIn = in
+	steps := int(math.Ceil(dt / p.cfg.ControlDtS))
+	if steps < 1 {
+		steps = 1
+	}
+	h := dt / float64(steps)
+	for s := 0; s < steps; s++ {
+		p.updateControls(h)
+		p.solveHydraulics()
+		p.integrateThermal(h, in)
+		p.simT += h
+	}
+	return nil
+}
+
+// updateControls advances every PID and stager one control period.
+func (p *Plant) updateControls(dt float64) {
+	cfg := p.cfg
+	for i := range p.cdus {
+		c := &p.cdus[i]
+		dpMeas := cfg.SecLoopK * p.secFouling[i] * c.qSec * c.qSec
+		c.pumpSpeed = c.pumpPID.Update(cfg.SecDPSetPa, dpMeas, dt)
+		pos := c.valvePID.Update(cfg.SecSupplySetC, c.secCold.T, dt)
+		c.valve.SetPosition(pos)
+	}
+
+	p.htwpSpeed = p.htwpRate.Update(p.htwpPID.Update(cfg.HTWHeaderSetPa, p.headerDPPa, dt), dt)
+	p.htwpStager.Update(p.htwpSpeed, dt)
+
+	ctwHeader := cfg.StaticPressPa + 0.85*p.ctwHeadPa
+	p.ctwpSpeed = p.ctwpRate.Update(p.ctwpPID.Update(cfg.CTWHeaderSetPa, ctwHeader, dt), dt)
+	p.ctwpStager.Update(p.ctwpSpeed, dt)
+
+	p.fanSpeed = p.fanPID.Update(cfg.CTSupplySetC, p.ctwSupply.T, dt)
+
+	// Tower staging: fan loading plus the delayed HTW-supply temperature
+	// gradient (§III-C5's cross-loop delay transfer function).
+	delayed := p.htwsDelayed.Update(p.htwSupply.T)
+	grad := p.htwsGradF.Update((p.htwSupply.T-delayed)/math.Max(cfg.LoopDelayS, 1), dt)
+	signal := p.fanSpeed
+	if math.Abs(grad) > cfg.CTHTWSGradient {
+		signal = math.Max(signal, 0.95)
+	}
+	p.cellStager.Update(signal, dt)
+
+	// EHXs are staged from the number of towers in operation (§III-C5).
+	towers := (p.cellStager.Count() + cfg.CellsPerTower - 1) / cfg.CellsPerTower
+	p.ehxStaged = clampInt(towers, 1, cfg.NumEHX)
+}
+
+// solveHydraulics computes loop flows from the current pump speeds,
+// staging, and valve positions.
+func (p *Plant) solveHydraulics() {
+	cfg := p.cfg
+
+	// Secondary loops: each CDU pump against its rack-loop curve, with
+	// any injected fouling raising the loop resistance.
+	for i := range p.cdus {
+		c := &p.cdus[i]
+		loopK := cfg.SecLoopK * p.secFouling[i]
+		bank := hydro.PumpBank{Curve: cfg.SecPump, N: 1, Speed: c.pumpSpeed}
+		q, head, err := hydro.SolveLoop(bank, func(q float64) float64 {
+			return loopK * q * q
+		})
+		if err != nil {
+			q, head = 0, 0
+		}
+		c.qSec = q
+		c.pumpPower = cfg.SecPump.Power(q, c.pumpSpeed)
+		_ = head
+	}
+
+	// Primary loop: staged HTWPs against fixed piping plus the parallel
+	// CDU branch network (valve + HEX primary side per branch).
+	hexK := 20e3 / (cfg.PrimBranchQ * cfg.PrimBranchQ)
+	branchKs := make([]float64, len(p.cdus))
+	for i := range p.cdus {
+		branchKs[i] = p.cdus[i].valve.Resistance().K + hexK
+	}
+	eqBranch := hydro.Parallel(resistances(branchKs)...)
+	htwBank := hydro.PumpBank{Curve: cfg.HTWPump, N: p.htwpStager.Count(), Speed: p.htwpSpeed}
+	qHTW, htwHead, err := hydro.SolveLoop(htwBank, func(q float64) float64 {
+		return cfg.HTWLoopK*q*q + eqBranch.Drop(q)
+	})
+	if err != nil {
+		qHTW, htwHead = 0, 0
+	}
+	p.qHTW, p.htwHeadPa = qHTW, htwHead
+	flows, headerDP := hydro.SplitParallel(qHTW, branchKs)
+	p.headerDPPa = headerDP
+	for i := range p.cdus {
+		p.cdus[i].qPrim = flows[i]
+	}
+	p.htwpPowerW = htwBank.Power(htwHead)
+
+	// Cooling-tower loop: staged CTWPs against the fixed tower circuit.
+	ctwBank := hydro.PumpBank{Curve: cfg.CTWPump, N: p.ctwpStager.Count(), Speed: p.ctwpSpeed}
+	qCTW, ctwHead, err := hydro.SolveLoop(ctwBank, func(q float64) float64 {
+		return cfg.CTWLoopK * q * q
+	})
+	if err != nil {
+		qCTW, ctwHead = 0, 0
+	}
+	p.qCTW, p.ctwHeadPa = qCTW, ctwHead
+	p.ctwpPowerW = ctwBank.Power(ctwHead)
+
+	cells := p.cellStager.Count()
+	p.fanPowerW = float64(cells) * cfg.Tower.FanPower(p.fanSpeed)
+}
+
+// thermalSystem adapts the plant's energy balance to ode.System with the
+// hydraulic solution held fixed over the step.
+type thermalSystem struct {
+	p  *Plant
+	in Inputs
+}
+
+// Dim implements ode.System.
+func (s thermalSystem) Dim() int { return s.p.Dim() }
+
+// Derivatives implements ode.System over the packed state
+// [secHot0, secCold0, ..., htwSupply, htwReturn, ctwSupply, ctwReturn].
+func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
+	p := s.p
+	cfg := p.cfg
+	n := len(p.cdus)
+
+	htwSupplyT := y[2*n]
+	htwReturnT := y[2*n+1]
+	ctwSupplyT := y[2*n+2]
+	ctwReturnT := y[2*n+3]
+
+	rho := units.WaterDensity(htwSupplyT)
+	mdotHTW := rho * p.qHTW
+	mdotCTW := units.WaterDensity(ctwSupplyT) * p.qCTW
+
+	// CDU loops and their HEX coupling to the primary loop.
+	var mixNum, mixDen float64
+	for i := range p.cdus {
+		c := &p.cdus[i]
+		secHotT := y[2*i]
+		secColdT := y[2*i+1]
+		mdotSec := units.WaterDensity(secColdT) * c.qSec
+		mdotPrim := rho * c.qPrim
+
+		// Rack pass: the secondary stream picks up the CDU heat load.
+		hot := thermal.Volume{Mass: cfg.SecVolumeKg, T: secHotT}
+		dydt[2*i] = hot.DTdt(mdotSec, secColdT, s.in.CDUHeatW[i])
+
+		// HEX-1600: secondary (hot) → primary (cold).
+		q, secOutT, primOutT := cfg.CDUHex.Transfer(secHotT, mdotSec, htwSupplyT, mdotPrim)
+		cold := thermal.Volume{Mass: cfg.SecVolumeKg, T: secColdT}
+		dydt[2*i+1] = cold.DTdt(mdotSec, secOutT, 0)
+
+		c.hexDuty = q
+		c.primOutT = primOutT
+		mixNum += mdotPrim * primOutT
+		mixDen += mdotPrim
+	}
+	mixT := htwReturnT
+	if mixDen > 0 {
+		mixT = mixNum / mixDen
+	}
+
+	// Intermediate EHX bank: HTW return (hot) → CTW (cold), per unit.
+	nEHX := float64(p.ehxStaged)
+	qEHX, htwOutT, ctwOutT := cfg.EHX.Transfer(
+		htwReturnT, mdotHTW/nEHX, ctwSupplyT, mdotCTW/nEHX)
+	p.ehxDutyW = qEHX * nEHX
+
+	// Cooling-tower cells reject to the wet bulb.
+	cells := p.cellStager.Count()
+	perCell := mdotCTW / float64(cells)
+	cellOutT := cfg.Tower.Outlet(ctwReturnT, s.in.WetBulbC, p.fanSpeed, perCell)
+	p.towerRejW = mdotCTW * units.WaterSpecificHeat(ctwReturnT) * (ctwReturnT - cellOutT)
+
+	hs := thermal.Volume{Mass: cfg.HTWVolumeKg, T: htwSupplyT}
+	dydt[2*n] = hs.DTdt(mdotHTW, htwOutT, 0)
+	hr := thermal.Volume{Mass: cfg.HTWVolumeKg, T: htwReturnT}
+	dydt[2*n+1] = hr.DTdt(mdotHTW, mixT, 0)
+	cs := thermal.Volume{Mass: cfg.CTWVolumeKg, T: ctwSupplyT}
+	dydt[2*n+2] = cs.DTdt(mdotCTW, cellOutT, 0)
+	cr := thermal.Volume{Mass: cfg.CTWVolumeKg, T: ctwReturnT}
+	dydt[2*n+3] = cr.DTdt(mdotCTW, ctwOutT, 0)
+}
+
+func (p *Plant) integrateThermal(dt float64, in Inputs) {
+	n := len(p.cdus)
+	y := p.state
+	for i := range p.cdus {
+		y[2*i] = p.cdus[i].secHot.T
+		y[2*i+1] = p.cdus[i].secCold.T
+	}
+	y[2*n] = p.htwSupply.T
+	y[2*n+1] = p.htwReturn.T
+	y[2*n+2] = p.ctwSupply.T
+	y[2*n+3] = p.ctwReturn.T
+
+	stepper := ode.NewFixedStepper(thermalSystem{p: p, in: in}, ode.RK4)
+	stepper.Integrate(0, dt, y, dt)
+
+	for i := range p.cdus {
+		p.cdus[i].secHot.T = y[2*i]
+		p.cdus[i].secCold.T = y[2*i+1]
+	}
+	p.htwSupply.T = y[2*n]
+	p.htwReturn.T = y[2*n+1]
+	p.ctwSupply.T = y[2*n+2]
+	p.ctwReturn.T = y[2*n+3]
+}
+
+// AuxPowerW returns the total auxiliary (cooling) electrical power: CDU
+// pumps + HTWPs + CTWPs + CT fans — the PUE numerator's non-IT share
+// (§IV-1).
+func (p *Plant) AuxPowerW() float64 {
+	aux := p.htwpPowerW + p.ctwpPowerW + p.fanPowerW
+	for i := range p.cdus {
+		aux += p.cdus[i].pumpPower
+	}
+	return aux
+}
+
+// PUE returns the power usage effectiveness for the last step's IT power,
+// or 0 when no IT power was supplied.
+func (p *Plant) PUE() float64 {
+	if p.lastIn.ITPowerW <= 0 {
+		return 0
+	}
+	return (p.lastIn.ITPowerW + p.AuxPowerW()) / p.lastIn.ITPowerW
+}
+
+// TotalHeatInW returns the heat currently injected by the compute load.
+func (p *Plant) TotalHeatInW() float64 {
+	sum := 0.0
+	for _, h := range p.lastIn.CDUHeatW {
+		sum += h
+	}
+	return sum
+}
+
+// TowerRejectionW returns the heat rejected by the tower cells during the
+// last step.
+func (p *Plant) TowerRejectionW() float64 { return p.towerRejW }
+
+// SettleToSteadyState runs the plant under constant inputs until the loop
+// temperatures stop moving (or maxSeconds elapses). Used by tests and by
+// experiment warm-up.
+func (p *Plant) SettleToSteadyState(in Inputs, maxSeconds float64) error {
+	const window = 120.0
+	prevR, prevCS, prevCR := p.htwReturn.T, p.ctwSupply.T, p.ctwReturn.T
+	for t := 0.0; t < maxSeconds; t += window {
+		if err := p.Step(window, in); err != nil {
+			return err
+		}
+		moved := math.Max(math.Abs(p.htwReturn.T-prevR),
+			math.Max(math.Abs(p.ctwSupply.T-prevCS), math.Abs(p.ctwReturn.T-prevCR)))
+		if moved < 0.004 && t > 1800 {
+			return nil
+		}
+		prevR, prevCS, prevCR = p.htwReturn.T, p.ctwSupply.T, p.ctwReturn.T
+	}
+	return nil
+}
+
+func resistances(ks []float64) []hydro.Resistance {
+	out := make([]hydro.Resistance, len(ks))
+	for i, k := range ks {
+		out[i] = hydro.Resistance{K: k}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// HeatFlows reports the instantaneous heat-flow accounting along the
+// rejection path: total CDU HEX duty, total intermediate-EHX duty, and
+// cooling-tower rejection, all in watts. At steady state the three agree
+// with the injected CDU heat.
+func (p *Plant) HeatFlows() (cduHexW, ehxW, towerW float64) {
+	for i := range p.cdus {
+		cduHexW += p.cdus[i].hexDuty
+	}
+	return cduHexW, p.ehxDutyW, p.towerRejW
+}
+
+// ControlState reports the key actuator commands for dashboards and
+// tests: the first CDU's valve position, the HTWP/CTWP common speeds, the
+// header differential pressure, and the common tower fan speed.
+func (p *Plant) ControlState() (valvePos, htwpSpeed, headerDPPa, ctwpSpeed, fanSpeed float64) {
+	return p.cdus[0].valve.Position(), p.htwpSpeed, p.headerDPPa,
+		p.ctwpSpeed, p.fanSpeed
+}
+
+// InjectSecondaryFouling multiplies CDU cdu's secondary-loop resistance
+// by factor (≥1), modelling blade-level blockage from biological growth —
+// the §III-A water-quality use case. Factor 1 restores the clean loop.
+func (p *Plant) InjectSecondaryFouling(cdu int, factor float64) error {
+	if cdu < 0 || cdu >= len(p.secFouling) {
+		return fmt.Errorf("cooling: CDU %d out of range", cdu)
+	}
+	if factor < 1 {
+		return fmt.Errorf("cooling: fouling factor %v must be ≥ 1", factor)
+	}
+	p.secFouling[cdu] = factor
+	return nil
+}

@@ -1,0 +1,9 @@
+package core
+
+import "exadigit/internal/cooling"
+
+// coolingOutputNamesFrontier caches the 317 channel names of the default
+// Frontier-shaped plant.
+var frontierCoolingNames = cooling.OutputNames(cooling.Frontier())
+
+func coolingOutputNamesFrontier() []string { return frontierCoolingNames }

@@ -1,0 +1,307 @@
+// Package core assembles the ExaDigiT digital twin: the RAPS power and
+// resource simulator, the cooling plant behind its FMU interface, the
+// telemetry pipeline, and the visual-analytics data source. It is the
+// integration layer the paper's Fig. 1 architecture diagram describes,
+// exposed to downstream users through the root exadigit package.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/job"
+	"exadigit/internal/power"
+	"exadigit/internal/raps"
+	"exadigit/internal/telemetry"
+	"exadigit/internal/viz"
+	"exadigit/internal/weather"
+)
+
+// WorkloadKind selects how a scenario's jobs are produced.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	// WorkloadIdle runs no jobs (Table III idle verification).
+	WorkloadIdle WorkloadKind = "idle"
+	// WorkloadPeak pins every node at 100 % (Table III peak).
+	WorkloadPeak WorkloadKind = "peak"
+	// WorkloadHPL runs the 9216-node HPL benchmark (Table III, Fig. 8).
+	WorkloadHPL WorkloadKind = "hpl"
+	// WorkloadOpenMxP runs the OpenMxP benchmark (Fig. 8).
+	WorkloadOpenMxP WorkloadKind = "openmxp"
+	// WorkloadSynthetic draws jobs from the Poisson generator (§III-B3).
+	WorkloadSynthetic WorkloadKind = "synthetic"
+	// WorkloadReplay replays a telemetry dataset (§IV).
+	WorkloadReplay WorkloadKind = "replay"
+)
+
+// Scenario describes one what-if run.
+type Scenario struct {
+	Name     string
+	Workload WorkloadKind
+	// HorizonSec is the simulated duration.
+	HorizonSec float64
+	// TickSec overrides the simulation tick (default 1 s; 15 s is a
+	// faithful speed-up).
+	TickSec float64
+	// Policy names the scheduler ("fcfs" default, "sjf", "easy").
+	Policy string
+	// Cooling couples the thermo-fluid plant.
+	Cooling bool
+	// PowerMode selects the conversion architecture ("ac-baseline",
+	// "smart-rectifier", "dc380").
+	PowerMode string
+	// Generator configures synthetic workloads (zero value → defaults).
+	Generator job.GeneratorConfig
+	// Dataset supplies jobs for replay scenarios.
+	Dataset *telemetry.Dataset
+	// BenchmarkWallSec is the duration of HPL/OpenMxP jobs (default 2 h).
+	BenchmarkWallSec float64
+	// WetBulbC fixes the outdoor wet bulb; 0 uses the seasonal weather
+	// generator starting at WeatherStart.
+	WetBulbC     float64
+	WeatherStart time.Time
+	WeatherSeed  int64
+}
+
+// Result carries everything a scenario produced.
+type Result struct {
+	Scenario Scenario
+	Report   *raps.Report
+	History  []raps.Sample
+	// Dataset is the exported telemetry of the run.
+	Dataset *telemetry.Dataset
+}
+
+// Twin is a live digital twin of one system.
+type Twin struct {
+	Spec config.SystemSpec
+
+	sim       *raps.Simulation
+	lastModel *power.Model
+}
+
+// NewFrontier builds a twin of Frontier.
+func NewFrontier() (*Twin, error) { return NewFromSpec(config.Frontier()) }
+
+// NewFromSpec builds a twin from a machine specification.
+func NewFromSpec(spec config.SystemSpec) (*Twin, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Twin{Spec: spec}, nil
+}
+
+// buildModel constructs the partition-0 power model with the scenario's
+// power mode applied.
+func (tw *Twin) buildModel(mode string) (*power.Model, error) {
+	part := tw.Spec.Partitions[0]
+	if mode != "" {
+		part.Power.Mode = mode
+	}
+	return part.BuildModel()
+}
+
+// buildJobs realizes the scenario workload.
+func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) {
+	wall := sc.BenchmarkWallSec
+	if wall <= 0 {
+		wall = 2 * 3600
+	}
+	switch sc.Workload {
+	case WorkloadIdle, "":
+		return nil, nil
+	case WorkloadPeak:
+		j := job.New(1, "peak", model.Topo.NodesTotal, sc.HorizonSec+1, 0)
+		if err := j.ApplyFingerprint(job.FPMax); err != nil {
+			return nil, err
+		}
+		return []*job.Job{j}, nil
+	case WorkloadHPL:
+		return []*job.Job{job.NewHPL(1, 0, wall)}, nil
+	case WorkloadOpenMxP:
+		return []*job.Job{job.NewOpenMxP(1, 0, wall)}, nil
+	case WorkloadSynthetic:
+		cfg := sc.Generator
+		if cfg.ArrivalMeanSec == 0 {
+			cfg = job.DefaultGeneratorConfig()
+			cfg.MaxNodes = model.Topo.NodesTotal
+		}
+		return job.NewGenerator(cfg).GenerateHorizon(sc.HorizonSec), nil
+	case WorkloadReplay:
+		if sc.Dataset == nil {
+			return nil, fmt.Errorf("core: replay scenario needs a dataset")
+		}
+		return raps.JobsFromDataset(sc.Dataset, model.Spec), nil
+	default:
+		return nil, fmt.Errorf("core: unknown workload %q", sc.Workload)
+	}
+}
+
+// Run executes a scenario to completion and returns its result.
+func (tw *Twin) Run(sc Scenario) (*Result, error) {
+	if sc.HorizonSec <= 0 {
+		return nil, fmt.Errorf("core: scenario horizon must be positive")
+	}
+	model, err := tw.buildModel(sc.PowerMode)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := tw.buildJobs(&sc, model)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := raps.DefaultConfig()
+	if sc.TickSec > 0 {
+		rcfg.TickSec = sc.TickSec
+	}
+	if sc.Policy != "" {
+		rcfg.Policy = sc.Policy
+	}
+	rcfg.EnableCooling = sc.Cooling
+	rcfg.WetBulbC = tw.wetBulbFunc(&sc)
+
+	sim, err := raps.New(rcfg, model, jobs)
+	if err != nil {
+		return nil, err
+	}
+	tw.sim = sim
+	tw.lastModel = model
+	rep, err := sim.Run(sc.HorizonSec)
+	if err != nil {
+		return nil, err
+	}
+	name := sc.Name
+	if name == "" {
+		name = string(sc.Workload)
+	}
+	return &Result{
+		Scenario: sc,
+		Report:   rep,
+		History:  sim.History(),
+		Dataset:  sim.ExportTelemetry(name),
+	}, nil
+}
+
+func (tw *Twin) wetBulbFunc(sc *Scenario) func(float64) float64 {
+	if sc.WetBulbC != 0 {
+		wb := sc.WetBulbC
+		return func(float64) float64 { return wb }
+	}
+	start := sc.WeatherStart
+	if start.IsZero() {
+		start = time.Date(2024, 4, 7, 0, 0, 0, 0, time.UTC)
+	}
+	wcfg := weather.DefaultConfig()
+	if sc.WeatherSeed != 0 {
+		wcfg.Seed = sc.WeatherSeed
+	}
+	gen := weather.NewGenerator(wcfg)
+	lastT := 0.0
+	return func(t float64) float64 {
+		dt := t - lastT
+		lastT = t
+		return gen.At(start.Add(time.Duration(t*float64(time.Second))), dt)
+	}
+}
+
+// Simulation exposes the most recent run's simulation (nil before any
+// run), for white-box inspection by experiments.
+func (tw *Twin) Simulation() *raps.Simulation { return tw.sim }
+
+// Status implements viz.Source over the most recent run.
+func (tw *Twin) Status() viz.Status {
+	if tw.sim == nil {
+		return viz.Status{}
+	}
+	hist := tw.sim.History()
+	if len(hist) == 0 {
+		return viz.Status{}
+	}
+	last := hist[len(hist)-1]
+	return viz.Status{
+		TimeSec:     last.TimeSec,
+		PowerMW:     last.PowerW / 1e6,
+		LossMW:      last.LossW / 1e6,
+		Utilization: last.Utilization,
+		PUE:         last.PUE,
+		JobsRunning: last.JobsRunning,
+		JobsPending: last.JobsPending,
+	}
+}
+
+// Series implements viz.Source.
+func (tw *Twin) Series() []viz.SeriesPoint {
+	if tw.sim == nil {
+		return nil
+	}
+	hist := tw.sim.History()
+	out := make([]viz.SeriesPoint, len(hist))
+	for i, smp := range hist {
+		out[i] = viz.SeriesPoint{
+			TimeSec: smp.TimeSec,
+			PowerMW: smp.PowerW / 1e6,
+			PUE:     smp.PUE,
+			Util:    smp.Utilization,
+		}
+	}
+	return out
+}
+
+// CoolingOutputs implements viz.Source: the named 317-channel snapshot of
+// the most recent cooled run, or nil.
+func (tw *Twin) CoolingOutputs() map[string]float64 {
+	if tw.sim == nil {
+		return nil
+	}
+	plant := tw.sim.CoolingPlant()
+	if plant == nil {
+		return nil
+	}
+	// Rebuild the cooling config from the spec is not needed here: names
+	// depend only on CDU and fan counts, which the plant carries.
+	vec := plant.Snapshot().Vector()
+	names := tw.coolingNames()
+	if len(names) != len(vec) {
+		return nil
+	}
+	out := make(map[string]float64, len(vec))
+	for i, n := range names {
+		out[n] = vec[i]
+	}
+	return out
+}
+
+func (tw *Twin) coolingNames() []string {
+	// The default plant is Frontier-shaped; name layout matches it.
+	return coolingOutputNamesFrontier()
+}
+
+// ExperimentRunner returns a viz.ExperimentRunner that launches scenarios
+// from HTTP parameters (workload, horizon_sec, mode, cooling).
+func (tw *Twin) ExperimentRunner() viz.ExperimentRunner {
+	return func(params map[string]string) (any, error) {
+		sc := Scenario{
+			Workload:   WorkloadKind(params["workload"]),
+			HorizonSec: 900,
+			TickSec:    15,
+		}
+		if sc.Workload == "" {
+			sc.Workload = WorkloadSynthetic
+		}
+		if h := params["horizon_sec"]; h != "" {
+			if _, err := fmt.Sscanf(h, "%f", &sc.HorizonSec); err != nil {
+				return nil, fmt.Errorf("core: bad horizon_sec %q", h)
+			}
+		}
+		sc.PowerMode = params["mode"]
+		sc.Cooling = params["cooling"] == "true"
+		res, err := tw.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		return res.Report, nil
+	}
+}

@@ -1,0 +1,299 @@
+// Package fmu provides a Functional Mock-up Interface (FMI 2.0
+// co-simulation)–style wrapper around the cooling plant, standing in for
+// the paper's Dymola-exported FMU consumed through FMPy (§III-C6). The
+// same lifecycle applies: instantiate, set inputs by value reference,
+// DoStep at the 15 s communication interval, and read the 317 outputs by
+// value reference. Keeping this seam means RAPS is coupled to the cooling
+// model exactly the way the paper's Python RAPS is — through an FMI-shaped
+// boundary — so an actual Modelica FMU could be swapped in behind the
+// same interface.
+package fmu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"exadigit/internal/cooling"
+)
+
+// ValueRef identifies a model variable, mirroring FMI value references.
+type ValueRef uint32
+
+// Causality mirrors the FMI variable causality attribute.
+type Causality int
+
+// Causality values.
+const (
+	Input Causality = iota
+	Output
+	Parameter
+)
+
+// String names the causality.
+func (c Causality) String() string {
+	switch c {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Parameter:
+		return "parameter"
+	}
+	return fmt.Sprintf("causality(%d)", int(c))
+}
+
+// ScalarVariable describes one model variable, as in an FMI
+// modelDescription.xml.
+type ScalarVariable struct {
+	Name      string
+	Ref       ValueRef
+	Causality Causality
+	Unit      string
+}
+
+// ModelDescription lists every variable the model exposes.
+type ModelDescription struct {
+	ModelName string
+	Variables []ScalarVariable
+
+	byName map[string]ValueRef
+}
+
+// RefByName resolves a variable name to its value reference.
+func (d *ModelDescription) RefByName(name string) (ValueRef, error) {
+	if ref, ok := d.byName[name]; ok {
+		return ref, nil
+	}
+	return 0, fmt.Errorf("fmu: unknown variable %q", name)
+}
+
+// OutputRefs returns the refs of all output variables in declaration
+// order.
+func (d *ModelDescription) OutputRefs() []ValueRef {
+	var refs []ValueRef
+	for _, v := range d.Variables {
+		if v.Causality == Output {
+			refs = append(refs, v.Ref)
+		}
+	}
+	return refs
+}
+
+// State tracks the FMI co-simulation lifecycle.
+type State int
+
+// Lifecycle states.
+const (
+	Instantiated State = iota
+	Initialized
+	Stepping
+	Terminated
+)
+
+// ErrLifecycle is returned for calls in the wrong lifecycle state.
+var ErrLifecycle = errors.New("fmu: invalid lifecycle state")
+
+// Instance is an instantiated cooling-model FMU.
+type Instance struct {
+	desc  *ModelDescription
+	plant *cooling.Plant
+	cfg   cooling.Config
+	state State
+	time  float64
+
+	// input buffer, by value reference
+	heatRefs   []ValueRef
+	wetBulbRef ValueRef
+	itPowerRef ValueRef
+	inputs     map[ValueRef]float64
+
+	// last computed outputs, dense by output index
+	outRefs  []ValueRef
+	outIndex map[ValueRef]int
+	lastOut  []float64
+	haveOut  bool
+}
+
+// Instantiate builds an FMU instance over a fresh cooling plant.
+func Instantiate(cfg cooling.Config) (*Instance, error) {
+	plant, err := cooling.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		plant:  plant,
+		cfg:    cfg,
+		state:  Instantiated,
+		inputs: make(map[ValueRef]float64),
+	}
+	inst.buildDescription()
+	return inst, nil
+}
+
+func (m *Instance) buildDescription() {
+	d := &ModelDescription{ModelName: "ExaDigiT.CoolingPlant", byName: make(map[string]ValueRef)}
+	ref := ValueRef(1)
+	add := func(name string, c Causality, unit string) ValueRef {
+		d.Variables = append(d.Variables, ScalarVariable{Name: name, Ref: ref, Causality: c, Unit: unit})
+		d.byName[name] = ref
+		ref++
+		return ref - 1
+	}
+	for i := 1; i <= m.cfg.NumCDUs; i++ {
+		m.heatRefs = append(m.heatRefs, add(fmt.Sprintf("cdu[%d].heat_w", i), Input, "W"))
+	}
+	m.wetBulbRef = add("wetbulb_temp_c", Input, "degC")
+	m.itPowerRef = add("it_power_w", Input, "W")
+
+	m.outIndex = make(map[ValueRef]int)
+	for i, name := range cooling.OutputNames(m.cfg) {
+		unit := ""
+		switch {
+		case hasSuffix(name, "_w"):
+			unit = "W"
+		case hasSuffix(name, "_m3s"):
+			unit = "m3/s"
+		case hasSuffix(name, "_c"):
+			unit = "degC"
+		case hasSuffix(name, "_pa"):
+			unit = "Pa"
+		}
+		r := add(name, Output, unit)
+		m.outRefs = append(m.outRefs, r)
+		m.outIndex[r] = i
+	}
+	m.desc = d
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// Description returns the model description.
+func (m *Instance) Description() *ModelDescription { return m.desc }
+
+// State returns the lifecycle state.
+func (m *Instance) State() State { return m.state }
+
+// Time returns the current communication-point time in seconds.
+func (m *Instance) Time() float64 { return m.time }
+
+// SetupExperiment transitions to Initialized at the given start time.
+func (m *Instance) SetupExperiment(startTime float64) error {
+	if m.state != Instantiated {
+		return fmt.Errorf("%w: SetupExperiment in %v", ErrLifecycle, m.state)
+	}
+	m.time = startTime
+	m.state = Initialized
+	return nil
+}
+
+// SetReal assigns input variables by value reference. Only inputs may be
+// written.
+func (m *Instance) SetReal(refs []ValueRef, values []float64) error {
+	if m.state == Terminated {
+		return fmt.Errorf("%w: SetReal after Terminate", ErrLifecycle)
+	}
+	if len(refs) != len(values) {
+		return fmt.Errorf("fmu: SetReal got %d refs, %d values", len(refs), len(values))
+	}
+	for i, r := range refs {
+		v := m.varByRef(r)
+		if v == nil {
+			return fmt.Errorf("fmu: SetReal: unknown ref %d", r)
+		}
+		if v.Causality != Input {
+			return fmt.Errorf("fmu: SetReal: %q is not an input", v.Name)
+		}
+		m.inputs[r] = values[i]
+	}
+	return nil
+}
+
+// GetReal reads variables by value reference: inputs echo their buffered
+// values; outputs return the values from the last DoStep.
+func (m *Instance) GetReal(refs []ValueRef, values []float64) error {
+	if len(refs) != len(values) {
+		return fmt.Errorf("fmu: GetReal got %d refs, %d values", len(refs), len(values))
+	}
+	for i, r := range refs {
+		if idx, ok := m.outIndex[r]; ok {
+			if !m.haveOut {
+				return fmt.Errorf("fmu: GetReal before first DoStep")
+			}
+			values[i] = m.lastOut[idx]
+			continue
+		}
+		if v := m.varByRef(r); v != nil && v.Causality == Input {
+			values[i] = m.inputs[r]
+			continue
+		}
+		return fmt.Errorf("fmu: GetReal: unknown ref %d", r)
+	}
+	return nil
+}
+
+// DoStep advances the model from the current communication point by
+// stepSize seconds (the paper uses 15 s).
+func (m *Instance) DoStep(stepSize float64) error {
+	switch m.state {
+	case Initialized, Stepping:
+	default:
+		return fmt.Errorf("%w: DoStep in %v", ErrLifecycle, m.state)
+	}
+	if stepSize <= 0 {
+		return fmt.Errorf("fmu: non-positive step %v", stepSize)
+	}
+	in := cooling.Inputs{
+		CDUHeatW: make([]float64, len(m.heatRefs)),
+		WetBulbC: m.inputs[m.wetBulbRef],
+		ITPowerW: m.inputs[m.itPowerRef],
+	}
+	for i, r := range m.heatRefs {
+		in.CDUHeatW[i] = m.inputs[r]
+	}
+	if err := m.plant.Step(stepSize, in); err != nil {
+		return err
+	}
+	m.lastOut = m.plant.Snapshot().Vector()
+	m.haveOut = true
+	m.time += stepSize
+	m.state = Stepping
+	return nil
+}
+
+// Terminate ends the co-simulation; further DoStep calls fail.
+func (m *Instance) Terminate() {
+	m.state = Terminated
+}
+
+// Reset re-instantiates the underlying plant, returning to Instantiated.
+func (m *Instance) Reset() error {
+	plant, err := cooling.New(m.cfg)
+	if err != nil {
+		return err
+	}
+	m.plant = plant
+	m.state = Instantiated
+	m.time = 0
+	m.haveOut = false
+	for r := range m.inputs {
+		delete(m.inputs, r)
+	}
+	return nil
+}
+
+// Plant exposes the wrapped plant for white-box assertions in tests and
+// experiments (not part of the FMI surface).
+func (m *Instance) Plant() *cooling.Plant { return m.plant }
+
+func (m *Instance) varByRef(r ValueRef) *ScalarVariable {
+	idx := sort.Search(len(m.desc.Variables), func(i int) bool {
+		return m.desc.Variables[i].Ref >= r
+	})
+	if idx < len(m.desc.Variables) && m.desc.Variables[idx].Ref == r {
+		return &m.desc.Variables[idx]
+	}
+	return nil
+}

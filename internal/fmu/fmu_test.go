@@ -1,0 +1,236 @@
+package fmu
+
+import (
+	"math"
+	"testing"
+
+	"exadigit/internal/cooling"
+)
+
+func newInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := Instantiate(cooling.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestModelDescriptionShape(t *testing.T) {
+	inst := newInstance(t)
+	d := inst.Description()
+	if d.ModelName != "ExaDigiT.CoolingPlant" {
+		t.Errorf("model name = %q", d.ModelName)
+	}
+	// 25 heat inputs + wet bulb + IT power + 317 outputs.
+	wantVars := 25 + 2 + cooling.NumOutputs
+	if len(d.Variables) != wantVars {
+		t.Fatalf("variables = %d, want %d", len(d.Variables), wantVars)
+	}
+	if got := len(d.OutputRefs()); got != cooling.NumOutputs {
+		t.Errorf("outputs = %d, want %d (§III-C4)", got, cooling.NumOutputs)
+	}
+	// Unique refs and names.
+	refs := map[ValueRef]bool{}
+	names := map[string]bool{}
+	for _, v := range d.Variables {
+		if refs[v.Ref] {
+			t.Fatalf("duplicate ref %d", v.Ref)
+		}
+		if names[v.Name] {
+			t.Fatalf("duplicate name %q", v.Name)
+		}
+		refs[v.Ref] = true
+		names[v.Name] = true
+	}
+	// Units inferred from suffixes.
+	ref, err := d.RefByName("pue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ref
+	if _, err := d.RefByName("no-such-variable"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	inst := newInstance(t)
+	if inst.State() != Instantiated {
+		t.Fatal("fresh instance state wrong")
+	}
+	if err := inst.DoStep(15); err == nil {
+		t.Error("DoStep before SetupExperiment must fail")
+	}
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SetupExperiment(0); err == nil {
+		t.Error("double SetupExperiment must fail")
+	}
+	setTypicalInputs(t, inst)
+	if err := inst.DoStep(15); err != nil {
+		t.Fatal(err)
+	}
+	if inst.State() != Stepping || inst.Time() != 15 {
+		t.Errorf("state %v time %v after DoStep", inst.State(), inst.Time())
+	}
+	inst.Terminate()
+	if err := inst.DoStep(15); err == nil {
+		t.Error("DoStep after Terminate must fail")
+	}
+	if err := inst.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.State() != Instantiated || inst.Time() != 0 {
+		t.Error("Reset should return to Instantiated at t=0")
+	}
+}
+
+func setTypicalInputs(t *testing.T, inst *Instance) {
+	t.Helper()
+	d := inst.Description()
+	refs := make([]ValueRef, 0, 27)
+	vals := make([]float64, 0, 27)
+	for i := 1; i <= 25; i++ {
+		r, err := d.RefByName(nameOfCDUHeat(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+		vals = append(vals, 16e6/25)
+	}
+	wb, err := d.RefByName("wetbulb_temp_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.RefByName("it_power_w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs = append(refs, wb, it)
+	vals = append(vals, 20, 16.9e6)
+	if err := inst.SetReal(refs, vals); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nameOfCDUHeat(i int) string {
+	return "cdu[" + itoa(i) + "].heat_w"
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestSetRealValidation(t *testing.T) {
+	inst := newInstance(t)
+	d := inst.Description()
+	pue, err := d.RefByName("pue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SetReal([]ValueRef{pue}, []float64{1}); err == nil {
+		t.Error("writing an output must fail")
+	}
+	if err := inst.SetReal([]ValueRef{9999}, []float64{1}); err == nil {
+		t.Error("unknown ref must fail")
+	}
+	if err := inst.SetReal([]ValueRef{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestGetRealBeforeStepFails(t *testing.T) {
+	inst := newInstance(t)
+	d := inst.Description()
+	pue, _ := d.RefByName("pue")
+	out := make([]float64, 1)
+	if err := inst.GetReal([]ValueRef{pue}, out); err == nil {
+		t.Error("reading outputs before DoStep must fail")
+	}
+	// Inputs are readable immediately (echo).
+	wb, _ := d.RefByName("wetbulb_temp_c")
+	if err := inst.SetReal([]ValueRef{wb}, []float64{21.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.GetReal([]ValueRef{wb}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 21.5 {
+		t.Errorf("input echo = %v", out[0])
+	}
+}
+
+func TestCoSimulationProducesPhysicalOutputs(t *testing.T) {
+	inst := newInstance(t)
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	setTypicalInputs(t, inst)
+	// Run 30 simulated minutes at the paper's 15 s communication step.
+	for i := 0; i < 120; i++ {
+		if err := inst.DoStep(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := inst.Description()
+	get := func(name string) float64 {
+		r, err := d.RefByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 1)
+		if err := inst.GetReal([]ValueRef{r}, out); err != nil {
+			t.Fatal(err)
+		}
+		return out[0]
+	}
+	pue := get("pue")
+	if pue < 1.01 || pue > 1.10 {
+		t.Errorf("PUE = %v", pue)
+	}
+	if temp := get("cdu[1].secondary_supply_temp_c"); math.Abs(temp-32) > 2.5 {
+		t.Errorf("secondary supply = %v", temp)
+	}
+	if q := get("facility.htw_flow_m3s"); q <= 0 {
+		t.Errorf("HTW flow = %v", q)
+	}
+	// Read the whole output vector at once.
+	refs := d.OutputRefs()
+	vals := make([]float64, len(refs))
+	if err := inst.GetReal(refs, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			t.Fatalf("output %d is NaN", i)
+		}
+	}
+}
+
+func TestDoStepRejectsBadStep(t *testing.T) {
+	inst := newInstance(t)
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	setTypicalInputs(t, inst)
+	if err := inst.DoStep(0); err == nil {
+		t.Error("zero step must fail")
+	}
+	if err := inst.DoStep(-15); err == nil {
+		t.Error("negative step must fail")
+	}
+}
+
+func TestCausalityString(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" || Parameter.String() != "parameter" {
+		t.Error("causality names")
+	}
+	if Causality(9).String() == "" {
+		t.Error("unknown causality should have a name")
+	}
+}

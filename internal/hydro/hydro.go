@@ -1,0 +1,278 @@
+// Package hydro implements the quasi-steady hydraulic network used by the
+// cooling model (§III-C4). Like the paper's Modelica model, flows are
+// computed from pump curves, quadratic pipe resistances, and valve
+// positions; unlike the thermal states, hydraulic states settle in
+// milliseconds, so each plant time step solves the network algebraically
+// (pump curve ∩ system curve) rather than integrating momentum ODEs.
+//
+// Conventions: flow Q in m³/s, pressure rise/drop in Pa, pump speed as a
+// fraction of rated speed in [0, ~1.2].
+package hydro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoSolution is returned when a loop operating point cannot be bracketed.
+var ErrNoSolution = errors.New("hydro: no operating point")
+
+// PumpCurve is a quadratic centrifugal pump characteristic
+//
+//	head(Q, s) = H0·s² − H2·Q²   [Pa]
+//
+// which obeys the affinity laws exactly for a quadratic curve. H0 is the
+// shutoff head at rated speed; H2 sets the head roll-off with flow.
+type PumpCurve struct {
+	H0 float64 // shutoff head at rated speed, Pa
+	H2 float64 // quadratic coefficient, Pa/(m³/s)²
+	// QRated and Eta describe the best-efficiency point for power calc.
+	QRated float64 // rated flow, m³/s
+	Eta    float64 // hydraulic efficiency at the BEP (0..1)
+	PIdle  float64 // parasitic (seal/bearing/VFD) power when spinning, W
+}
+
+// NewPumpCurve builds a curve from two rated-point values: head at zero
+// flow (shutoff, Pa) and the operating point (qRated m³/s at hRated Pa).
+func NewPumpCurve(shutoffPa, qRated, hRatedPa, eta float64) PumpCurve {
+	h2 := (shutoffPa - hRatedPa) / (qRated * qRated)
+	return PumpCurve{H0: shutoffPa, H2: h2, QRated: qRated, Eta: eta}
+}
+
+// Head returns the pressure rise at flow q and speed fraction s.
+func (p PumpCurve) Head(q, s float64) float64 {
+	return p.H0*s*s - p.H2*q*q
+}
+
+// FlowAtHead inverts the curve: the flow delivered against head h at speed
+// s, or 0 if the pump cannot reach that head.
+func (p PumpCurve) FlowAtHead(h, s float64) float64 {
+	num := p.H0*s*s - h
+	if num <= 0 || p.H2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(num / p.H2)
+}
+
+// MaxHead returns the shutoff head at speed s.
+func (p PumpCurve) MaxHead(s float64) float64 { return p.H0 * s * s }
+
+// Power returns the electrical power (W) drawn at flow q and the
+// corresponding head, using hydraulic power / efficiency plus parasitics.
+func (p PumpCurve) Power(q, s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	h := p.Head(q, s)
+	if h < 0 {
+		h = 0
+	}
+	eta := p.Eta
+	if eta <= 0 {
+		eta = 0.7
+	}
+	return h*q/eta + p.PIdle
+}
+
+// Resistance is a quadratic hydraulic resistance ΔP = K·Q·|Q|.
+type Resistance struct {
+	K float64 // Pa/(m³/s)²
+}
+
+// NewResistanceFromPoint builds a resistance passing qRated at dpRated.
+func NewResistanceFromPoint(dpRatedPa, qRated float64) Resistance {
+	return Resistance{K: dpRatedPa / (qRated * qRated)}
+}
+
+// Drop returns the pressure drop at flow q (signed).
+func (r Resistance) Drop(q float64) float64 { return r.K * q * math.Abs(q) }
+
+// FlowAtDrop inverts the resistance for a non-negative drop.
+func (r Resistance) FlowAtDrop(dp float64) float64 {
+	if dp <= 0 || r.K <= 0 {
+		return 0
+	}
+	return math.Sqrt(dp / r.K)
+}
+
+// Series combines resistances in series (K adds).
+func Series(rs ...Resistance) Resistance {
+	var k float64
+	for _, r := range rs {
+		k += r.K
+	}
+	return Resistance{K: k}
+}
+
+// Parallel combines resistances in parallel
+// (1/√K_total = Σ 1/√K_i for quadratic resistances).
+func Parallel(rs ...Resistance) Resistance {
+	var s float64
+	for _, r := range rs {
+		if r.K > 0 {
+			s += 1 / math.Sqrt(r.K)
+		}
+	}
+	if s == 0 {
+		return Resistance{K: math.Inf(1)}
+	}
+	return Resistance{K: 1 / (s * s)}
+}
+
+// Valve is an equal-percentage control valve. Position 1 is fully open
+// with resistance KOpen; closing multiplies the resistance by
+// Rangeability^(2·(1−pos)), with a leakage floor at KMax.
+type Valve struct {
+	KOpen        float64 // resistance fully open, Pa/(m³/s)²
+	Rangeability float64 // typically 30–50; <=1 makes the valve linear-off
+	KMax         float64 // leakage-limited resistance when closed
+
+	pos float64
+}
+
+// NewValve builds an equal-percentage valve sized to pass qRated at
+// dpRated when fully open, with the given rangeability.
+func NewValve(dpRatedPa, qRated, rangeability float64) *Valve {
+	k := dpRatedPa / (qRated * qRated)
+	return &Valve{KOpen: k, Rangeability: rangeability, KMax: k * math.Pow(rangeability, 2), pos: 1}
+}
+
+// SetPosition commands the valve to pos ∈ [0, 1].
+func (v *Valve) SetPosition(pos float64) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > 1 {
+		pos = 1
+	}
+	v.pos = pos
+}
+
+// Position returns the current valve position.
+func (v *Valve) Position() float64 { return v.pos }
+
+// Resistance returns the valve's current hydraulic resistance.
+func (v *Valve) Resistance() Resistance {
+	r := v.Rangeability
+	if r <= 1 {
+		r = 1
+	}
+	k := v.KOpen * math.Pow(r, 2*(1-v.pos))
+	if v.KMax > 0 && k > v.KMax {
+		k = v.KMax
+	}
+	return Resistance{K: k}
+}
+
+// PumpBank is n identical pumps in parallel on a common header, all
+// running at the same speed (how Frontier stages its CTWPs/HTWPs).
+type PumpBank struct {
+	Curve PumpCurve
+	N     int     // pumps currently staged on
+	Speed float64 // common speed fraction
+}
+
+// Flow returns the total delivered flow against head h.
+func (b PumpBank) Flow(h float64) float64 {
+	if b.N <= 0 || b.Speed <= 0 {
+		return 0
+	}
+	return float64(b.N) * b.Curve.FlowAtHead(h, b.Speed)
+}
+
+// Power returns total electrical power at head h.
+func (b PumpBank) Power(h float64) float64 {
+	if b.N <= 0 || b.Speed <= 0 {
+		return 0
+	}
+	q := b.Curve.FlowAtHead(h, b.Speed)
+	return float64(b.N) * b.Curve.Power(q, b.Speed)
+}
+
+// PerPumpFlow returns the flow through each staged pump at head h.
+func (b PumpBank) PerPumpFlow(h float64) float64 {
+	if b.N <= 0 {
+		return 0
+	}
+	return b.Flow(h) / float64(b.N)
+}
+
+// SolveLoop finds the operating point of a pump bank pushing flow around a
+// closed loop whose total pressure drop is given by systemDrop(Q). It
+// returns the loop flow and the matching head. systemDrop must be
+// non-decreasing in Q (true for any series/parallel combination of
+// quadratic resistances).
+func SolveLoop(bank PumpBank, systemDrop func(q float64) float64) (q, head float64, err error) {
+	if bank.N <= 0 || bank.Speed <= 0 {
+		return 0, 0, nil
+	}
+	maxHead := bank.Curve.MaxHead(bank.Speed)
+	// Residual(h) = bankFlow(h) − systemFlowAt(h); we instead root-find on
+	// flow: f(Q) = bankHeadAt(Q) − systemDrop(Q), monotone decreasing.
+	headAt := func(qTot float64) float64 {
+		per := qTot / float64(bank.N)
+		return bank.Curve.Head(per, bank.Speed)
+	}
+	f := func(qTot float64) float64 { return headAt(qTot) - systemDrop(qTot) }
+	lo := 0.0
+	if f(lo) <= 0 {
+		// System drop at zero flow exceeds shutoff head (e.g. static head):
+		// pump is dead-headed.
+		return 0, maxHead, nil
+	}
+	// Bracket: expand hi until f(hi) < 0.
+	hi := bank.Curve.QRated * float64(bank.N) * bank.Speed
+	if hi <= 0 {
+		hi = 1e-3
+	}
+	for i := 0; f(hi) > 0; i++ {
+		hi *= 2
+		if i > 60 {
+			return 0, 0, fmt.Errorf("%w: cannot bracket (hi=%g)", ErrNoSolution, hi)
+		}
+	}
+	// Bisection: robust against the kinks valves introduce.
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	q = (lo + hi) / 2
+	return q, systemDrop(q), nil
+}
+
+// SplitParallel distributes total flow qTot across parallel branches with
+// resistances ks, returning per-branch flows and the common pressure drop.
+// Branches with non-positive K take no flow unless all are non-positive,
+// in which case the flow is split evenly.
+func SplitParallel(qTot float64, ks []float64) (flows []float64, dp float64) {
+	flows = make([]float64, len(ks))
+	if qTot <= 0 || len(ks) == 0 {
+		return flows, 0
+	}
+	var s float64
+	for _, k := range ks {
+		if k > 0 {
+			s += 1 / math.Sqrt(k)
+		}
+	}
+	if s == 0 {
+		for i := range flows {
+			flows[i] = qTot / float64(len(ks))
+		}
+		return flows, 0
+	}
+	// Common dp from equivalent parallel resistance.
+	kEq := 1 / (s * s)
+	dp = kEq * qTot * qTot
+	for i, k := range ks {
+		if k > 0 {
+			flows[i] = math.Sqrt(dp / k)
+		}
+	}
+	return flows, dp
+}

@@ -1,0 +1,287 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// decay is y' = -y, y(0)=1 → y(t) = e^{-t}.
+var decay = Func{N: 1, F: func(t float64, y, dydt []float64) { dydt[0] = -y[0] }}
+
+// oscillator is y” = -y expressed as a 2-state system; energy is conserved.
+var oscillator = Func{N: 2, F: func(t float64, y, dydt []float64) {
+	dydt[0] = y[1]
+	dydt[1] = -y[0]
+}}
+
+func integrateFixed(m Method, h float64) float64 {
+	y := []float64{1}
+	s := NewFixedStepper(decay, m)
+	s.Integrate(0, 1, y, h)
+	return y[0]
+}
+
+func TestFixedStepAccuracy(t *testing.T) {
+	exact := math.Exp(-1)
+	cases := []struct {
+		m   Method
+		h   float64
+		tol float64
+	}{
+		{Euler, 1e-3, 2e-4},
+		{Heun, 1e-2, 1e-5},
+		{RK4, 1e-1, 1e-6},
+	}
+	for _, tc := range cases {
+		got := integrateFixed(tc.m, tc.h)
+		if math.Abs(got-exact) > tc.tol {
+			t.Errorf("%v h=%v: |%v - %v| > %v", tc.m, tc.h, got, exact, tc.tol)
+		}
+	}
+}
+
+// TestConvergenceOrders halves the step and verifies error reduction
+// ratios near 2^p for each method's order p.
+func TestConvergenceOrders(t *testing.T) {
+	exact := math.Exp(-1)
+	orders := []struct {
+		m    Method
+		p    float64
+		hTop float64
+	}{
+		{Euler, 1, 1.0 / 64},
+		{Heun, 2, 1.0 / 16},
+		{RK4, 4, 1.0 / 4},
+	}
+	for _, tc := range orders {
+		e1 := math.Abs(integrateFixed(tc.m, tc.hTop) - exact)
+		e2 := math.Abs(integrateFixed(tc.m, tc.hTop/2) - exact)
+		ratio := e1 / e2
+		want := math.Pow(2, tc.p)
+		if ratio < want*0.7 || ratio > want*1.4 {
+			t.Errorf("%v: error ratio %v, want ≈%v", tc.m, ratio, want)
+		}
+	}
+}
+
+func TestRK4EnergyConservation(t *testing.T) {
+	y := []float64{1, 0}
+	s := NewFixedStepper(oscillator, RK4)
+	s.Integrate(0, 2*math.Pi*10, y, 0.01)
+	energy := y[0]*y[0] + y[1]*y[1]
+	if math.Abs(energy-1) > 1e-6 {
+		t.Errorf("energy drifted to %v after 10 periods", energy)
+	}
+	if math.Abs(y[0]-1) > 1e-5 || math.Abs(y[1]) > 1e-5 {
+		t.Errorf("state after 10 periods = %v, want [1 0]", y)
+	}
+}
+
+func TestAdaptiveDecay(t *testing.T) {
+	y := []float64{1}
+	st, err := IntegrateAdaptive(decay, 0, 5, y, AdaptiveConfig{RelTol: 1e-9, AbsTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-math.Exp(-5)) > 1e-8 {
+		t.Errorf("y(5) = %v, want %v", y[0], math.Exp(-5))
+	}
+	if st.Accepted == 0 {
+		t.Error("no steps accepted")
+	}
+}
+
+func TestAdaptiveOscillatorLongRun(t *testing.T) {
+	y := []float64{0, 1}
+	_, err := IntegrateAdaptive(oscillator, 0, 2*math.Pi*20, y, AdaptiveConfig{RelTol: 1e-8, AbsTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]) > 1e-4 || math.Abs(y[1]-1) > 1e-4 {
+		t.Errorf("state after 20 periods = %v, want [0 1]", y)
+	}
+}
+
+func TestAdaptiveStepRejection(t *testing.T) {
+	// A sharp transient forces at least one rejection with a large HInit.
+	sharp := Func{N: 1, F: func(t float64, y, dydt []float64) {
+		dydt[0] = -50 * (y[0] - math.Cos(t))
+	}}
+	y := []float64{0}
+	st, err := IntegrateAdaptive(sharp, 0, 3, y, AdaptiveConfig{RelTol: 1e-8, AbsTol: 1e-10, HInit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Error("expected at least one rejected step")
+	}
+}
+
+func TestAdaptiveZeroSpan(t *testing.T) {
+	y := []float64{1}
+	if _, err := IntegrateAdaptive(decay, 1, 1, y, AdaptiveConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 1 {
+		t.Error("zero-span integration modified state")
+	}
+}
+
+func TestImplicitStiffDecay(t *testing.T) {
+	// y' = -1000(y - cos t): stiff; explicit Euler at h=0.01 would explode.
+	stiff := Func{N: 1, F: func(t float64, y, dydt []float64) {
+		dydt[0] = -1000 * (y[0] - math.Cos(t))
+	}}
+	y := []float64{0}
+	s := NewImplicitStepper(stiff)
+	if _, err := s.Integrate(0, 2, y, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	// Quasi-steady solution tracks cos(t) closely.
+	if math.Abs(y[0]-math.Cos(2)) > 5e-3 {
+		t.Errorf("y(2) = %v, want ≈%v", y[0], math.Cos(2))
+	}
+}
+
+func TestImplicitMatchesExplicitNonStiff(t *testing.T) {
+	yi := []float64{1}
+	ye := []float64{1}
+	si := NewImplicitStepper(decay)
+	if _, err := si.Integrate(0, 1, yi, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	NewFixedStepper(decay, RK4).Integrate(0, 1, ye, 1e-3)
+	if math.Abs(yi[0]-ye[0]) > 1e-3 {
+		t.Errorf("implicit %v vs explicit %v", yi[0], ye[0])
+	}
+}
+
+func TestImplicitLinearSystem(t *testing.T) {
+	// Coupled linear system with known exponential solution:
+	// y1' = -2 y1 + y2; y2' = y1 - 2 y2. Eigenvalues -1, -3.
+	sys := Func{N: 2, F: func(t float64, y, dydt []float64) {
+		dydt[0] = -2*y[0] + y[1]
+		dydt[1] = y[0] - 2*y[1]
+	}}
+	y := []float64{1, 0}
+	s := NewImplicitStepper(sys)
+	if _, err := s.Integrate(0, 1, y, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	want0 := 0.5*math.Exp(-1) + 0.5*math.Exp(-3)
+	want1 := 0.5*math.Exp(-1) - 0.5*math.Exp(-3)
+	if math.Abs(y[0]-want0) > 1e-3 || math.Abs(y[1]-want1) > 1e-3 {
+		t.Errorf("y = %v, want [%v %v]", y, want0, want1)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Euler.String() != "euler" || Heun.String() != "heun" || RK4.String() != "rk4" {
+		t.Error("method names wrong")
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method should still produce a name")
+	}
+}
+
+func TestFixedIntegrateNoOp(t *testing.T) {
+	y := []float64{1}
+	s := NewFixedStepper(decay, RK4)
+	if got := s.Integrate(5, 5, y, 0.1); got != 5 {
+		t.Errorf("Integrate over empty span returned %v", got)
+	}
+	if y[0] != 1 {
+		t.Error("state modified on empty span")
+	}
+}
+
+func BenchmarkRK4Oscillator(b *testing.B) {
+	s := NewFixedStepper(oscillator, RK4)
+	y := []float64{1, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(0, y, 0.01)
+	}
+}
+
+func BenchmarkImplicitStiff(b *testing.B) {
+	stiff := Func{N: 1, F: func(t float64, y, dydt []float64) {
+		dydt[0] = -1000 * (y[0] - 1)
+	}}
+	s := NewImplicitStepper(stiff)
+	y := []float64{0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(0, y, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDormandPrinceDecay(t *testing.T) {
+	y := []float64{1}
+	st, err := IntegrateDormandPrince(decay, 0, 5, y, AdaptiveConfig{RelTol: 1e-10, AbsTol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-math.Exp(-5)) > 1e-9 {
+		t.Errorf("y(5) = %v, want %v", y[0], math.Exp(-5))
+	}
+	if st.Accepted == 0 {
+		t.Error("no steps accepted")
+	}
+}
+
+func TestDormandPrinceBeatsRKF45PerStep(t *testing.T) {
+	// At equal tolerance the higher-order pair needs fewer accepted
+	// steps on a smooth problem.
+	cfg := AdaptiveConfig{RelTol: 1e-9, AbsTol: 1e-12}
+	yA := []float64{0, 1}
+	stA, err := IntegrateAdaptive(oscillator, 0, 2*math.Pi*5, yA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yB := []float64{0, 1}
+	stB, err := IntegrateDormandPrince(oscillator, 0, 2*math.Pi*5, yB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.Accepted >= stA.Accepted {
+		t.Errorf("DP54 used %d steps, RKF45 %d — expected fewer", stB.Accepted, stA.Accepted)
+	}
+	if math.Abs(yB[0]) > 1e-5 || math.Abs(yB[1]-1) > 1e-5 {
+		t.Errorf("DP54 state after 5 periods = %v", yB)
+	}
+}
+
+func TestDormandPrinceAgreesWithRK4OnPlantLikeSystem(t *testing.T) {
+	// A small thermal-network-like linear system: both integrators land
+	// on the same trajectory.
+	sys := Func{N: 3, F: func(t float64, y, dydt []float64) {
+		dydt[0] = 0.05 * (y[1] - y[0])
+		dydt[1] = 0.03*(y[2]-y[1]) + 0.01*(y[0]-y[1])
+		dydt[2] = 0.02 * (20 - y[2])
+	}}
+	yd := []float64{30, 28, 26}
+	if _, err := IntegrateDormandPrince(sys, 0, 600, yd, AdaptiveConfig{RelTol: 1e-9, AbsTol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	yr := []float64{30, 28, 26}
+	NewFixedStepper(sys, RK4).Integrate(0, 600, yr, 0.5)
+	for i := range yd {
+		if math.Abs(yd[i]-yr[i]) > 1e-5 {
+			t.Errorf("state %d: DP %v vs RK4 %v", i, yd[i], yr[i])
+		}
+	}
+}
+
+func TestDormandPrinceZeroSpanAndValidation(t *testing.T) {
+	y := []float64{1}
+	if _, err := IntegrateDormandPrince(decay, 2, 2, y, AdaptiveConfig{}); err != nil || y[0] != 1 {
+		t.Error("zero span should no-op")
+	}
+	if _, err := IntegrateDormandPrince(decay, 0, 1, []float64{1, 2}, AdaptiveConfig{}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}

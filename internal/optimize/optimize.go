@@ -1,0 +1,129 @@
+// Package optimize implements the L5 (autonomous) layer of the twin
+// taxonomy (Fig. 2): the paper's example is "training an agent to
+// perform automated setpoint control for improved cooling efficiency".
+// Here the digital twin itself is the training ground: candidate plant
+// setpoints — the cooling-tower leaving-water setpoint and the primary
+// header differential-pressure setpoint — are evaluated against the
+// simulated plant at a given operating point, and the feasible
+// combination with the lowest auxiliary power is selected. Because every
+// candidate is scored on the L4 model, no physical plant is put at risk
+// (the virtual-prototyping value proposition of §I).
+package optimize
+
+import (
+	"fmt"
+
+	"exadigit/internal/cooling"
+)
+
+// Config describes one setpoint-optimization study.
+type Config struct {
+	// CTSupplyCandidatesC are candidate tower leaving-water setpoints.
+	CTSupplyCandidatesC []float64
+	// HTWHeaderCandidatesPa are candidate primary header ΔP setpoints.
+	HTWHeaderCandidatesPa []float64
+	// Operating point to optimize for.
+	HeatMW   float64
+	WetBulbC float64
+	// MaxSecSupplyC is the feasibility constraint on the CDU secondary
+	// supply temperature (the compute load's coolant spec).
+	MaxSecSupplyC float64
+	// SettleMaxSec bounds each candidate's settling run (default 2 h).
+	SettleMaxSec float64
+}
+
+// Evaluation scores one candidate.
+type Evaluation struct {
+	CTSupplyC   float64
+	HTWHeaderPa float64
+	AuxMW       float64
+	PUE         float64
+	SecSupplyC  float64 // hottest CDU secondary supply at steady state
+	Feasible    bool
+}
+
+// Result reports the study.
+type Result struct {
+	Baseline Evaluation
+	Best     Evaluation
+	All      []Evaluation
+	SavingMW float64 // baseline aux − best aux
+}
+
+// Run evaluates every candidate pair on a fresh plant and returns the
+// feasible minimum-auxiliary-power configuration.
+func Run(plantCfg cooling.Config, cfg Config) (*Result, error) {
+	if cfg.HeatMW <= 0 {
+		return nil, fmt.Errorf("optimize: HeatMW must be positive")
+	}
+	if len(cfg.CTSupplyCandidatesC) == 0 {
+		return nil, fmt.Errorf("optimize: no CT supply candidates")
+	}
+	if len(cfg.HTWHeaderCandidatesPa) == 0 {
+		return nil, fmt.Errorf("optimize: no header candidates")
+	}
+	if cfg.MaxSecSupplyC <= 0 {
+		cfg.MaxSecSupplyC = plantCfg.SecSupplySetC + 1.0
+	}
+	if cfg.SettleMaxSec <= 0 {
+		cfg.SettleMaxSec = 2 * 3600
+	}
+
+	baseline, err := evaluate(plantCfg, cfg, plantCfg.CTSupplySetC, plantCfg.HTWHeaderSetPa)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Baseline: baseline, Best: baseline}
+	for _, ct := range cfg.CTSupplyCandidatesC {
+		for _, hdr := range cfg.HTWHeaderCandidatesPa {
+			ev, err := evaluate(plantCfg, cfg, ct, hdr)
+			if err != nil {
+				return nil, err
+			}
+			res.All = append(res.All, ev)
+			if ev.Feasible && ev.AuxMW < res.Best.AuxMW {
+				res.Best = ev
+			}
+		}
+	}
+	res.SavingMW = res.Baseline.AuxMW - res.Best.AuxMW
+	return res, nil
+}
+
+func evaluate(plantCfg cooling.Config, cfg Config, ctSupplyC, headerPa float64) (Evaluation, error) {
+	ev := Evaluation{CTSupplyC: ctSupplyC, HTWHeaderPa: headerPa}
+	if ctSupplyC <= cfg.WetBulbC {
+		// A tower cannot cool below the wet bulb; candidate infeasible
+		// without simulation.
+		return ev, nil
+	}
+	trial := plantCfg
+	trial.CTSupplySetC = ctSupplyC
+	trial.HTWHeaderSetPa = headerPa
+	plant, err := cooling.New(trial)
+	if err != nil {
+		return ev, err
+	}
+	heat := make([]float64, trial.NumCDUs)
+	for i := range heat {
+		heat[i] = cfg.HeatMW * 1e6 / float64(trial.NumCDUs)
+	}
+	in := cooling.Inputs{
+		CDUHeatW: heat,
+		WetBulbC: cfg.WetBulbC,
+		ITPowerW: cfg.HeatMW * 1e6 / 0.945,
+	}
+	if err := plant.SettleToSteadyState(in, cfg.SettleMaxSec); err != nil {
+		return ev, err
+	}
+	ev.AuxMW = plant.AuxPowerW() / 1e6
+	ev.PUE = plant.PUE()
+	o := plant.Snapshot()
+	for i := range o.CDUs {
+		if o.CDUs[i].SecSupplyTempC > ev.SecSupplyC {
+			ev.SecSupplyC = o.CDUs[i].SecSupplyTempC
+		}
+	}
+	ev.Feasible = ev.SecSupplyC <= cfg.MaxSecSupplyC
+	return ev, nil
+}

@@ -1,0 +1,92 @@
+package optimize
+
+import (
+	"testing"
+
+	"exadigit/internal/cooling"
+)
+
+func TestRunValidation(t *testing.T) {
+	cfg := cooling.Frontier()
+	if _, err := Run(cfg, Config{}); err == nil {
+		t.Error("zero heat should fail")
+	}
+	if _, err := Run(cfg, Config{HeatMW: 10}); err == nil {
+		t.Error("no candidates should fail")
+	}
+	if _, err := Run(cfg, Config{HeatMW: 10, CTSupplyCandidatesC: []float64{24}}); err == nil {
+		t.Error("no header candidates should fail")
+	}
+}
+
+func TestSetpointOptimizationAtPartLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-candidate plant study")
+	}
+	// Part load in mild weather: the operating regime where relaxed
+	// setpoints pay off (slower fans, slower pumps).
+	res, err := Run(cooling.Frontier(), Config{
+		CTSupplyCandidatesC:   []float64{22, 24, 26},
+		HTWHeaderCandidatesPa: []float64{100e3, 140e3},
+		HeatMW:                9,
+		WetBulbC:              12,
+		MaxSecSupplyC:         33.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 6 {
+		t.Fatalf("evaluations = %d", len(res.All))
+	}
+	if !res.Best.Feasible {
+		t.Fatal("best candidate must be feasible")
+	}
+	if res.Best.SecSupplyC > 33.0 {
+		t.Errorf("best violates the supply constraint: %v", res.Best.SecSupplyC)
+	}
+	// The optimizer never does worse than the baseline (it keeps the
+	// baseline when nothing beats it).
+	if res.Best.AuxMW > res.Baseline.AuxMW+1e-9 {
+		t.Errorf("best aux %v MW exceeds baseline %v MW", res.Best.AuxMW, res.Baseline.AuxMW)
+	}
+	// At this mild operating point a relaxed configuration should win
+	// something.
+	if res.SavingMW <= 0 {
+		t.Errorf("expected positive aux saving at part load, got %v MW", res.SavingMW)
+	}
+	// PUE accompanies the aux saving.
+	if res.Best.PUE > res.Baseline.PUE+1e-9 {
+		t.Errorf("best PUE %v should not exceed baseline %v", res.Best.PUE, res.Baseline.PUE)
+	}
+}
+
+func TestInfeasibleCandidatesRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plant study")
+	}
+	// CT setpoint at/below wet bulb is physically unreachable and must
+	// be skipped without simulation; absurdly hot setpoints break the
+	// secondary constraint and must be marked infeasible.
+	res, err := Run(cooling.Frontier(), Config{
+		CTSupplyCandidatesC:   []float64{15, 38},
+		HTWHeaderCandidatesPa: []float64{140e3},
+		HeatMW:                16,
+		WetBulbC:              20,
+		MaxSecSupplyC:         32.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.All {
+		if ev.CTSupplyC == 15 && ev.Feasible {
+			t.Error("setpoint below wet bulb must be infeasible")
+		}
+		if ev.CTSupplyC == 38 && ev.Feasible {
+			t.Error("38 °C tower water must break the secondary constraint")
+		}
+	}
+	// With every candidate infeasible the optimizer holds the baseline.
+	if res.Best.CTSupplyC != res.Baseline.CTSupplyC {
+		t.Error("baseline should be retained when all candidates fail")
+	}
+}

@@ -1,0 +1,417 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIComponentValues(t *testing.T) {
+	s := FrontierComponents()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"GPU idle", s.GPUIdle, 88},
+		{"GPU max", s.GPUMax, 560},
+		{"CPU idle", s.CPUIdle, 90},
+		{"CPU max", s.CPUMax, 280},
+		{"RAM", s.RAM, 74},
+		{"NVMe", s.NVMe, 15},
+		{"NIC", s.NIC, 20},
+		{"Switch", s.Switch, 250},
+		{"CDU pump", s.CDUPump, 8700},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestTableITopology(t *testing.T) {
+	topo := FrontierTopology()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodesTotal != 9472 {
+		t.Errorf("nodes = %d", topo.NodesTotal)
+	}
+	if topo.NumRacks() != 74 {
+		t.Errorf("racks = %d, want 74", topo.NumRacks())
+	}
+	if topo.NumCDUs != 25 || topo.RacksPerCDU != 3 {
+		t.Errorf("CDUs = %d × %d racks", topo.NumCDUs, topo.RacksPerCDU)
+	}
+	// Rack 72 and 73 belong to the last CDU (74 racks over 25 CDUs).
+	if topo.CDUOfRack(0) != 0 || topo.CDUOfRack(73) != 24 || topo.CDUOfRack(72) != 24 {
+		t.Error("CDU mapping wrong")
+	}
+}
+
+func TestTopologyValidateErrors(t *testing.T) {
+	bad := FrontierTopology()
+	bad.ChassisPerRack = 7
+	if bad.Validate() == nil {
+		t.Error("chassis mismatch should fail")
+	}
+	bad = FrontierTopology()
+	bad.NumCDUs = 10
+	if bad.Validate() == nil {
+		t.Error("too few CDUs should fail")
+	}
+	bad = FrontierTopology()
+	bad.NodesTotal = 0
+	if bad.Validate() == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad = FrontierTopology()
+	bad.NodesPerChassis = 15
+	if bad.Validate() == nil {
+		t.Error("non-divisible chassis should fail")
+	}
+}
+
+func TestNodePowerEq3(t *testing.T) {
+	s := FrontierComponents()
+	if got := s.NodeIdle(); got != 626 {
+		t.Errorf("idle node = %v, want 626 (90+4·88+4·20+74+2·15)", got)
+	}
+	if got := s.NodePeak(); got != 2704 {
+		t.Errorf("peak node = %v, want 2704 (280+4·560+4·20+74+2·15)", got)
+	}
+	// HPL core phase: CPU 33 %, GPU 79 % (§IV-2).
+	got := s.NodePower(0.33, 0.79)
+	want := (90 + 0.33*190) + 4*(88+0.79*472) + 80 + 74 + 30
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("HPL node = %v, want %v", got, want)
+	}
+}
+
+func TestNodePowerClampsUtilization(t *testing.T) {
+	s := FrontierComponents()
+	if s.NodePower(-1, -1) != s.NodeIdle() {
+		t.Error("negative utilization should clamp to idle")
+	}
+	if s.NodePower(2, 2) != s.NodePeak() {
+		t.Error("over-unity utilization should clamp to peak")
+	}
+}
+
+func TestNodePowerMonotoneProperty(t *testing.T) {
+	s := FrontierComponents()
+	f := func(a, b float64) bool {
+		u1 := math.Mod(math.Abs(a), 1)
+		u2 := math.Mod(math.Abs(b), 1)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return s.NodePower(u1, u1) <= s.NodePower(u2, u2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectifierCurveShape(t *testing.T) {
+	r := FrontierRectifier()
+	peak := r.Eta(r.POptW)
+	if peak != 0.963 {
+		t.Errorf("peak efficiency = %v, want exactly 0.963 at the optimum", peak)
+	}
+	// Light-load penalty of 1–2 % at a few-kW loads (§IV-3).
+	light := r.Eta(2500)
+	if peak-light < 0.01 || peak-light > 0.035 {
+		t.Errorf("light-load penalty = %v, want 1-3.5 %%", peak-light)
+	}
+	// Mild droop above optimum.
+	heavy := r.Eta(11000)
+	if heavy >= peak || peak-heavy > 0.02 {
+		t.Errorf("heavy-load droop = %v", peak-heavy)
+	}
+	if r.Eta(0) >= r.Eta(1000) {
+		t.Error("efficiency should improve away from zero load")
+	}
+	if r.Eta(-5) != r.EtaMax-r.LowDroop {
+		t.Error("negative load should return the floor")
+	}
+}
+
+// TestTableIII reproduces the paper's RAPS power verification: idle
+// 7.24 MW, HPL core phase 22.3 MW on 9216 nodes, peak 28.2 MW.
+func TestTableIII(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	cases := []struct {
+		name       string
+		cpu, gpu   float64
+		nodes      int
+		wantMW     float64
+		tolPercent float64
+	}{
+		{"idle", 0, 0, 9472, 7.24, 1.0},
+		{"hpl-core", 0.33, 0.79, 9216, 22.3, 1.0},
+		{"peak", 1, 1, 9472, 28.2, 1.0},
+	}
+	for _, tc := range cases {
+		m.ComputeUniform(tc.cpu, tc.gpu, tc.nodes, &sp)
+		gotMW := sp.TotalW / 1e6
+		errPct := 100 * math.Abs(gotMW-tc.wantMW) / tc.wantMW
+		if errPct > tc.tolPercent {
+			t.Errorf("%s: %0.2f MW, want %0.2f MW (err %0.2f %%)", tc.name, gotMW, tc.wantMW, errPct)
+		}
+	}
+}
+
+// TestFig4Breakdown checks the peak-power decomposition: GPUs dominate at
+// ≈21.2 MW and all contributors sum to the total.
+func TestFig4Breakdown(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	m.ComputeUniform(1, 1, 9472, &sp)
+	b := sp.Breakdown
+	if math.Abs(b.GPU-9472*4*560)/1e6 > 1e-9 {
+		t.Errorf("GPU = %v MW, want 21.217", b.GPU/1e6)
+	}
+	if math.Abs(b.CPU-9472*280)/1e6 > 1e-9 {
+		t.Errorf("CPU = %v MW", b.CPU/1e6)
+	}
+	if math.Abs(b.Total()-sp.TotalW) > 1 {
+		t.Errorf("breakdown sum %v != total %v", b.Total(), sp.TotalW)
+	}
+	// GPUs are by far the dominant contributor.
+	if b.GPU < 0.7*sp.TotalW {
+		t.Errorf("GPUs should dominate peak power: %v of %v", b.GPU, sp.TotalW)
+	}
+}
+
+func TestSystemEfficiencyNearPublished(t *testing.T) {
+	// At a realistic (bimodal) operating point — most nodes running jobs
+	// near full tilt, the rest idle, averaging ≈60 % of peak power — the
+	// paper quotes η_system ≈ 93.3 % with losses ≈ 6.7 %.
+	m := NewFrontierModel()
+	n := m.Topo.NodesTotal
+	cu := make([]float64, n)
+	gu := make([]float64, n)
+	for i := 0; i < n*7/10; i++ { // 70 % of nodes busy
+		cu[i] = 0.9
+		gu[i] = 0.85
+	}
+	var sp SystemPower
+	m.Compute(cu, gu, &sp)
+	eta := sp.Efficiency()
+	if eta < 0.925 || eta > 0.945 {
+		t.Errorf("η_system = %v, want ≈0.933", eta)
+	}
+	lossFrac := sp.LossW() / sp.TotalW
+	if lossFrac < 0.05 || lossFrac > 0.08 {
+		t.Errorf("loss fraction = %v, want ≈0.06-0.07", lossFrac)
+	}
+}
+
+func TestConversionLossAccounting(t *testing.T) {
+	c := FrontierChain()
+	res := c.Chassis(16 * 1700.0) // 16 nodes at 1.7 kW
+	// Eq. 2: input = output + losses.
+	if math.Abs(res.InputW-(16*1700.0+res.RectLossW+res.SivocLossW)) > 1e-6 {
+		t.Error("power not conserved through the chain")
+	}
+	if res.RectsActive != 4 {
+		t.Errorf("baseline uses all 4 rectifiers, got %d", res.RectsActive)
+	}
+	if res.RectLossW <= 0 || res.SivocLossW <= 0 {
+		t.Error("losses must be positive under load")
+	}
+	zero := c.Chassis(0)
+	if zero.InputW != 0 || zero.RectLossW != 0 {
+		t.Error("zero load draws nothing")
+	}
+}
+
+func TestSmartRectifierStagesDownAtIdle(t *testing.T) {
+	c := FrontierChain()
+	c.Mode = SmartRectifier
+	idleChassis := 16 * 626.0 / 0.98 // SIVOC input at idle ≈ 10.2 kW
+	res := c.Chassis(16 * 626.0)
+	if res.RectsActive >= 4 {
+		t.Errorf("smart staging should shed rectifiers at idle, got %d", res.RectsActive)
+	}
+	// The staged configuration must beat sharing across all four.
+	base := FrontierChain().Chassis(16 * 626.0)
+	if res.InputW >= base.InputW {
+		t.Errorf("smart %v W should draw less than baseline %v W at idle (bus %v W)",
+			res.InputW, base.InputW, idleChassis)
+	}
+}
+
+func TestSmartRectifierRespectsRating(t *testing.T) {
+	c := FrontierChain()
+	c.Mode = SmartRectifier
+	res := c.Chassis(16 * 2704.0) // peak: 44.1 kW bus
+	perRect := (16 * 2704.0 / 0.98) / float64(res.RectsActive)
+	if perRect > c.Rect.PMaxW {
+		t.Errorf("per-rectifier load %v exceeds rating %v", perRect, c.Rect.PMaxW)
+	}
+}
+
+// TestWhatIfSmartRectifier reproduces the ≈0.1 % efficiency gain of §IV-3.
+func TestWhatIfSmartRectifier(t *testing.T) {
+	base := NewFrontierModel()
+	smart := NewFrontierModel()
+	smart.Chain.Mode = SmartRectifier
+	var spB, spS SystemPower
+	// Evaluate across a daily utilization mix (weighted toward mid loads).
+	gainSum, n := 0.0, 0
+	for _, u := range []float64{0.0, 0.15, 0.3, 0.5, 0.7, 0.9} {
+		base.ComputeUniform(u, u, 9472, &spB)
+		smart.ComputeUniform(u, u, 9472, &spS)
+		gainSum += spS.Efficiency() - spB.Efficiency()
+		n++
+		if spS.TotalW > spB.TotalW+1 {
+			t.Errorf("smart staging must never draw more power (u=%v)", u)
+		}
+	}
+	gain := gainSum / float64(n)
+	if gain < 0.0002 || gain > 0.01 {
+		t.Errorf("average efficiency gain = %v, want ≈0.001 (0.1 %%)", gain)
+	}
+}
+
+// TestWhatIfDC380 reproduces the §IV-3 result: system efficiency rises
+// from ≈93.3 % to ≈97.3 % under direct 380 V DC distribution.
+func TestWhatIfDC380(t *testing.T) {
+	dc := NewFrontierModel()
+	dc.Chain.Mode = DC380
+	var sp SystemPower
+	dc.ComputeUniform(0.4, 0.55, 9472, &sp)
+	eta := sp.Efficiency()
+	if math.Abs(eta-0.973) > 0.003 {
+		t.Errorf("DC380 η = %v, want ≈0.973", eta)
+	}
+	base := NewFrontierModel()
+	var spB SystemPower
+	base.ComputeUniform(0.4, 0.55, 9472, &spB)
+	saving := spB.TotalW - sp.TotalW
+	if saving <= 0 {
+		t.Error("DC380 must reduce total power")
+	}
+	// ≈4 % of system power is recovered.
+	if frac := saving / spB.TotalW; frac < 0.025 || frac > 0.06 {
+		t.Errorf("DC380 saving fraction = %v, want ≈0.04", frac)
+	}
+}
+
+func TestComputePartialUtilizationVectors(t *testing.T) {
+	m := NewFrontierModel()
+	var full, short SystemPower
+	m.ComputeUniform(0, 0, 9472, &full)
+	// Short vectors: remaining nodes idle — same as all-idle.
+	m.Compute([]float64{0, 0}, []float64{0, 0}, &short)
+	if math.Abs(full.TotalW-short.TotalW) > 1 {
+		t.Errorf("short vectors should pad idle: %v vs %v", short.TotalW, full.TotalW)
+	}
+}
+
+func TestPerCDUPartition(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	m.ComputeUniform(0.5, 0.5, 9472, &sp)
+	if len(sp.PerCDUInputW) != 25 {
+		t.Fatalf("CDU count = %d", len(sp.PerCDUInputW))
+	}
+	sum := 0.0
+	for i, w := range sp.PerCDUInputW {
+		if w <= 0 {
+			t.Errorf("CDU %d has no load", i)
+		}
+		sum += w
+	}
+	if math.Abs(sum+sp.CDUPumpW-sp.TotalW) > 1 {
+		t.Errorf("CDU partition %v + pumps %v != total %v", sum, sp.CDUPumpW, sp.TotalW)
+	}
+	// The last CDU serves 2 racks (74 = 24×3 + 2): about 2/3 the load.
+	ratio := sp.PerCDUInputW[24] / sp.PerCDUInputW[0]
+	if math.Abs(ratio-2.0/3) > 0.01 {
+		t.Errorf("last CDU ratio = %v, want ≈0.667", ratio)
+	}
+}
+
+func TestCDUHeat(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	m.ComputeUniform(1, 1, 9472, &sp)
+	heat := m.CDUHeatW(&sp)
+	for i := range heat {
+		if math.Abs(heat[i]-0.945*sp.PerCDUInputW[i]) > 1e-9 {
+			t.Errorf("CDU %d heat = %v, want 94.5 %% of input", i, heat[i])
+		}
+	}
+}
+
+func TestComputeReusesAllocation(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	m.ComputeUniform(0.5, 0.5, 100, &sp)
+	first := &sp.PerCDUInputW[0]
+	m.ComputeUniform(0.7, 0.7, 100, &sp)
+	if first != &sp.PerCDUInputW[0] {
+		t.Error("Compute should reuse the PerCDU slice")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ACBaseline.String() != "ac-baseline" || SmartRectifier.String() != "smart-rectifier" || DC380.String() != "dc380" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should have a name")
+	}
+}
+
+func BenchmarkComputeFullSystem(b *testing.B) {
+	m := NewFrontierModel()
+	n := m.Topo.NodesTotal
+	cu := make([]float64, n)
+	gu := make([]float64, n)
+	for i := range cu {
+		cu[i] = 0.5
+		gu[i] = 0.6
+	}
+	var sp SystemPower
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Compute(cu, gu, &sp)
+	}
+}
+
+func TestPerRackPartition(t *testing.T) {
+	m := NewFrontierModel()
+	var sp SystemPower
+	m.ComputeUniform(0.5, 0.5, 9472, &sp)
+	if len(sp.PerRackInputW) != 74 {
+		t.Fatalf("racks = %d, want 74", len(sp.PerRackInputW))
+	}
+	sum := 0.0
+	for r, w := range sp.PerRackInputW {
+		if w <= 0 {
+			t.Errorf("rack %d has no power", r)
+		}
+		sum += w
+	}
+	if math.Abs(sum+sp.CDUPumpW-sp.TotalW) > 1 {
+		t.Errorf("rack partition %v + pumps %v != total %v", sum, sp.CDUPumpW, sp.TotalW)
+	}
+	// Per-rack and per-CDU partitions agree.
+	topo := m.Topo
+	cduSum := make([]float64, topo.NumCDUs)
+	for r, w := range sp.PerRackInputW {
+		cduSum[topo.CDUOfRack(r)] += w
+	}
+	for c := range cduSum {
+		if math.Abs(cduSum[c]-sp.PerCDUInputW[c]) > 1e-6 {
+			t.Fatalf("CDU %d: rack sum %v != CDU %v", c, cduSum[c], sp.PerCDUInputW[c])
+		}
+	}
+}

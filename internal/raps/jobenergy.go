@@ -1,0 +1,93 @@
+package raps
+
+import "sort"
+
+// JobEnergy is the per-job energy attribution of §III-A's first use case
+// ("visualizing energy consumption on a per-job basis").
+type JobEnergy struct {
+	JobID     int
+	Name      string
+	NodeCount int
+	// NodeEnergyMWh is the energy measured at the 48 V node input
+	// (Eq. 1's P_S48V) integrated over the job's runtime.
+	NodeEnergyMWh float64
+	// FacilityEnergyMWh scales NodeEnergyMWh by the system-wide ratio of
+	// facility energy to node-output energy, attributing each job its
+	// proportional share of conversion losses, switches, and CDU pumps.
+	FacilityEnergyMWh float64
+	// CO2Tons and CostUSD price the facility share with the run's
+	// emission factor and tariff.
+	CO2Tons float64
+	CostUSD float64
+}
+
+// trackJobEnergy accumulates per-job node-level energy each tick; called
+// from Tick with the current utilizations already applied.
+func (s *Simulation) trackJobEnergy(dt float64) {
+	if s.jobEnergyJ == nil {
+		s.jobEnergyJ = make(map[int]float64)
+	}
+	for _, r := range s.sch.Running() {
+		cu, gu := r.UtilAt(s.now - r.StartTime)
+		p := s.model.Spec.NodePower(cu, gu) * float64(r.NodeCount)
+		s.jobEnergyJ[r.ID] += p * dt
+	}
+}
+
+// JobEnergyReport returns every started job's attributed energy, sorted
+// by facility share descending. The facility multiplier is the run-wide
+// total energy divided by node-output energy, so per-job facility shares
+// sum to the total minus the idle floor.
+func (s *Simulation) JobEnergyReport() []JobEnergy {
+	mult := 1.0
+	if s.nodeOutJ > 0 {
+		mult = s.energyJ / s.nodeOutJ
+	}
+	ef := 0.0
+	if s.convInJ > 0 {
+		eta := s.nodeOutJ / s.convInJ
+		if eta > 0 {
+			ef = s.cfg.EmissionIntensity / 2204.6 / eta
+		}
+	}
+	byID := make(map[int]*JobEnergy)
+	add := func(id int, name string, nodes int) {
+		if joules, ok := s.jobEnergyJ[id]; ok {
+			mwh := joules / 3.6e9
+			fac := mwh * mult
+			byID[id] = &JobEnergy{
+				JobID: id, Name: name, NodeCount: nodes,
+				NodeEnergyMWh:     mwh,
+				FacilityEnergyMWh: fac,
+				CO2Tons:           fac * ef,
+				CostUSD:           fac * s.cfg.ElectricityUSDPerMWh,
+			}
+		}
+	}
+	for _, j := range s.completed {
+		add(j.ID, j.Name, j.NodeCount)
+	}
+	for _, j := range s.sch.Running() {
+		add(j.ID, j.Name, j.NodeCount)
+	}
+	out := make([]JobEnergy, 0, len(byID))
+	for _, je := range byID {
+		out = append(out, *je)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].FacilityEnergyMWh != out[k].FacilityEnergyMWh {
+			return out[i].FacilityEnergyMWh > out[k].FacilityEnergyMWh
+		}
+		return out[i].JobID < out[k].JobID
+	})
+	return out
+}
+
+// TopConsumers returns the n largest jobs by facility energy.
+func (s *Simulation) TopConsumers(n int) []JobEnergy {
+	all := s.JobEnergyReport()
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

@@ -1,0 +1,515 @@
+// Package raps implements the Resource Allocator and Power Simulator —
+// the paper's core module (§III-B, Algorithm 1). A Simulation advances
+// one-second ticks: arriving jobs enter the pending queue, the scheduler
+// assigns nodes, per-node power follows the CPU/GPU utilization traces
+// through the Eq. 3 component model with Eq. 1-2 conversion losses, and
+// every 15 s the aggregated per-CDU heat drives the cooling model through
+// the FMU interface. At the end of a run the §III-B5 report is produced:
+// jobs completed, throughput, average power, energy, losses, CO₂
+// emissions (Eq. 6), and electricity cost.
+package raps
+
+import (
+	"fmt"
+	"math"
+
+	"exadigit/internal/cooling"
+	"exadigit/internal/fmu"
+	"exadigit/internal/job"
+	"exadigit/internal/power"
+	"exadigit/internal/sched"
+	"exadigit/internal/telemetry"
+	"exadigit/internal/units"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Policy names the scheduling policy ("fcfs", "sjf", "easy").
+	Policy string
+	// TickSec is the simulation tick (Algorithm 1 uses 1 s; 15 s is a
+	// faithful speed-up because utilization traces advance at 15 s
+	// quanta anyway).
+	TickSec float64
+	// CoolingDtSec is the cooling-model coupling period (15 s, §III-B).
+	CoolingDtSec float64
+	// EnableCooling couples the cooling FMU (≈3× slower, §IV-3).
+	EnableCooling bool
+	// WetBulbC supplies the outdoor wet-bulb temperature over simulation
+	// time; nil means a constant 20 °C.
+	WetBulbC func(tSec float64) float64
+	// ElectricityUSDPerMWh prices energy for the cost report. The
+	// default 91.5 $/MWh reproduces the paper's ≈$900k/yr for 1.14 MW of
+	// losses.
+	ElectricityUSDPerMWh float64
+	// EmissionIntensity is EI in Eq. 6, lb CO₂ per MWh (852.3).
+	EmissionIntensity float64
+	// EmissionIntensityFn optionally supplies a time-varying EI
+	// (lb CO₂/MWh) — the paper notes the grid's intensity "can vary
+	// regionally and even hourly". When set it overrides
+	// EmissionIntensity and enables carbon-aware what-if studies.
+	EmissionIntensityFn func(tSec float64) float64
+	// HistoryDtSec is the sampling period of the recorded series (15 s).
+	HistoryDtSec float64
+	// RecordCDUHeat stores the per-CDU heat vector in each history
+	// sample (needed by the Fig. 7 cooling-validation experiment).
+	RecordCDUHeat bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Policy:               "fcfs",
+		TickSec:              1,
+		CoolingDtSec:         15,
+		EnableCooling:        false,
+		ElectricityUSDPerMWh: 91.5,
+		EmissionIntensity:    852.3,
+		HistoryDtSec:         15,
+	}
+}
+
+// Sample is one entry of the recorded history (Fig. 9's plotted series).
+type Sample struct {
+	TimeSec       float64
+	PowerW        float64 // predicted instantaneous system power
+	LossW         float64 // rectification + conversion losses
+	Utilization   float64 // active nodes / total nodes
+	EtaSystem     float64 // Eq. 1 conversion efficiency
+	EtaCooling    float64 // H / P_system (§IV-2)
+	PUE           float64 // 0 when cooling disabled
+	HTWReturnC    float64 // primary return temperature (Fig. 8); 0 if disabled
+	HTWSupplyC    float64 // primary supply temperature; 0 if disabled
+	SecSupplyMaxC float64 // hottest CDU secondary supply; 0 if disabled
+	JobsRunning   int
+	JobsPending   int
+	// CDUHeatW is the per-CDU heat load fed to the cooling model; only
+	// populated when Config.RecordCDUHeat is set.
+	CDUHeatW []float64
+}
+
+// Report is the §III-B5 end-of-run summary.
+type Report struct {
+	JobsCompleted   int
+	ThroughputPerHr float64
+	AvgPowerMW      float64
+	MaxPowerMW      float64
+	MinPowerMW      float64
+	EnergyMWh       float64
+	AvgLossMW       float64
+	MaxLossMW       float64
+	LossPercent     float64 // average loss / average power
+	EtaSystem       float64 // energy-weighted Eq. 1 efficiency
+	CO2Tons         float64 // Eq. 6
+	CostUSD         float64
+	AvgUtilization  float64
+	AvgPUE          float64 // 0 when cooling disabled
+	SimSeconds      float64
+	// Workload statistics for Table IV.
+	AvgArrivalSec  float64
+	AvgNodesPerJob float64
+	AvgRuntimeMin  float64
+}
+
+// Simulation is one RAPS run in progress.
+type Simulation struct {
+	cfg    Config
+	model  *power.Model
+	sch    *sched.Scheduler
+	fmuGet []fmu.ValueRef
+
+	cool     *fmu.Instance
+	heatRefs []fmu.ValueRef
+	wbRef    fmu.ValueRef
+	itRef    fmu.ValueRef
+
+	pending []*job.Job // future arrivals, sorted by submit time
+	nextArr int
+
+	nodeCPU []float64
+	nodeGPU []float64
+
+	now     float64
+	sp      power.SystemPower
+	history []Sample
+
+	// accumulators
+	energyJ      float64
+	lossJ        float64
+	nodeOutJ     float64
+	convInJ      float64
+	utilSum      float64
+	pueSum       float64
+	pueCount     int
+	ticks        int
+	maxPowerW    float64
+	minPowerW    float64
+	maxLossW     float64
+	completed    []*job.Job
+	lastHistoryT float64
+	jobEnergyJ   map[int]float64
+	// weightedEIJ integrates P·EI·dt for time-varying-EI carbon
+	// accounting (J·lb/MWh).
+	weightedEIJ float64
+}
+
+// New builds a simulation over the given power model. jobs may arrive in
+// any order; they are sorted by submit time internally.
+func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
+	if cfg.TickSec <= 0 {
+		return nil, fmt.Errorf("raps: TickSec must be positive")
+	}
+	if cfg.CoolingDtSec <= 0 {
+		cfg.CoolingDtSec = 15
+	}
+	if cfg.HistoryDtSec <= 0 {
+		cfg.HistoryDtSec = 15
+	}
+	if cfg.ElectricityUSDPerMWh == 0 {
+		cfg.ElectricityUSDPerMWh = 91.5
+	}
+	if cfg.EmissionIntensity == 0 {
+		cfg.EmissionIntensity = 852.3
+	}
+	policy, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:       cfg,
+		model:     model,
+		sch:       sched.NewScheduler(model.Topo.NodesTotal, policy),
+		nodeCPU:   make([]float64, model.Topo.NodesTotal),
+		nodeGPU:   make([]float64, model.Topo.NodesTotal),
+		minPowerW: math.Inf(1),
+	}
+	s.pending = append(s.pending, jobs...)
+	sortJobsBySubmit(s.pending)
+
+	if cfg.EnableCooling {
+		inst, err := fmu.Instantiate(cooling.Frontier())
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.SetupExperiment(0); err != nil {
+			return nil, err
+		}
+		d := inst.Description()
+		for i := 1; i <= model.Topo.NumCDUs; i++ {
+			r, err := d.RefByName(fmt.Sprintf("cdu[%d].heat_w", i))
+			if err != nil {
+				return nil, err
+			}
+			s.heatRefs = append(s.heatRefs, r)
+		}
+		if s.wbRef, err = d.RefByName("wetbulb_temp_c"); err != nil {
+			return nil, err
+		}
+		if s.itRef, err = d.RefByName("it_power_w"); err != nil {
+			return nil, err
+		}
+		ret, err := d.RefByName("facility.return_temp_c")
+		if err != nil {
+			return nil, err
+		}
+		sup, err := d.RefByName("facility.supply_temp_c")
+		if err != nil {
+			return nil, err
+		}
+		s.fmuGet = []fmu.ValueRef{ret, sup}
+		for i := 1; i <= model.Topo.NumCDUs; i++ {
+			r, err := d.RefByName(fmt.Sprintf("cdu[%d].secondary_supply_temp_c", i))
+			if err != nil {
+				return nil, err
+			}
+			s.fmuGet = append(s.fmuGet, r)
+		}
+		s.cool = inst
+	}
+	return s, nil
+}
+
+func sortJobsBySubmit(jobs []*job.Job) {
+	// insertion-stable sort by (submit, id)
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && less(jobs[k], jobs[k-1]); k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}
+
+func less(a, b *job.Job) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// History returns the recorded series.
+func (s *Simulation) History() []Sample { return s.history }
+
+// PerRackPowerW returns the most recent per-rack input power (the
+// §III-A heat-map channel). The slice is live simulation state; callers
+// must copy it if they retain it.
+func (s *Simulation) PerRackPowerW() []float64 { return s.sp.PerRackInputW }
+
+// CoolingPlant exposes the coupled plant (nil when cooling is disabled).
+func (s *Simulation) CoolingPlant() *cooling.Plant {
+	if s.cool == nil {
+		return nil
+	}
+	return s.cool.Plant()
+}
+
+// Run advances the simulation for the given horizon (Algorithm 1's
+// RUNSIMULATION) and returns the end-of-run report.
+func (s *Simulation) Run(horizonSec float64) (*Report, error) {
+	steps := int(math.Round(horizonSec / s.cfg.TickSec))
+	for i := 0; i < steps; i++ {
+		if err := s.Tick(); err != nil {
+			return nil, err
+		}
+	}
+	return s.ReportNow(), nil
+}
+
+// Tick advances one simulation tick (Algorithm 1's TICK).
+func (s *Simulation) Tick() error {
+	dt := s.cfg.TickSec
+	s.now += dt
+
+	// Release completed jobs (lines 15-20); their nodes read as idle when
+	// utilizations are rebuilt below.
+	s.completed = append(s.completed, s.sch.Reap(s.now)...)
+
+	// Admit newly arrived jobs (line 8).
+	for s.nextArr < len(s.pending) && s.pending[s.nextArr].SubmitTime <= s.now {
+		s.sch.Submit(s.pending[s.nextArr])
+		s.nextArr++
+	}
+	// Schedule (line 9).
+	s.sch.Schedule(s.now)
+
+	// Refresh per-node utilization from the running jobs' traces.
+	for i := range s.nodeCPU {
+		s.nodeCPU[i] = 0
+		s.nodeGPU[i] = 0
+	}
+	for _, r := range s.sch.Running() {
+		cu, gu := r.UtilAt(s.now - r.StartTime)
+		for _, n := range r.Nodes {
+			s.nodeCPU[n] = cu
+			s.nodeGPU[n] = gu
+		}
+	}
+
+	// Recalculate power and apply losses (lines 21-22).
+	s.model.Compute(s.nodeCPU, s.nodeGPU, &s.sp)
+	s.accumulate(dt)
+	s.trackJobEnergy(dt)
+
+	// Couple the cooling model every 15 s (lines 23-26).
+	if s.cool != nil && s.onBoundary(s.cfg.CoolingDtSec) {
+		if err := s.stepCooling(); err != nil {
+			return err
+		}
+	}
+	if s.now-s.lastHistoryT >= s.cfg.HistoryDtSec-1e-9 {
+		s.recordSample()
+		s.lastHistoryT = s.now
+	}
+	s.ticks++
+	return nil
+}
+
+// onBoundary reports whether the current time is a multiple of period.
+func (s *Simulation) onBoundary(period float64) bool {
+	m := math.Mod(s.now+1e-9, period)
+	return m < s.cfg.TickSec-1e-9 || period-m < 1e-6
+}
+
+func (s *Simulation) stepCooling() error {
+	heat := s.model.CDUHeatW(&s.sp)
+	vals := make([]float64, 0, len(heat)+2)
+	refs := make([]fmu.ValueRef, 0, len(heat)+2)
+	for i, h := range heat {
+		refs = append(refs, s.heatRefs[i])
+		vals = append(vals, h)
+	}
+	wb := 20.0
+	if s.cfg.WetBulbC != nil {
+		wb = s.cfg.WetBulbC(s.now)
+	}
+	refs = append(refs, s.wbRef, s.itRef)
+	vals = append(vals, wb, s.sp.TotalW)
+	if err := s.cool.SetReal(refs, vals); err != nil {
+		return err
+	}
+	if err := s.cool.DoStep(s.cfg.CoolingDtSec); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Simulation) accumulate(dt float64) {
+	p := s.sp.TotalW
+	s.energyJ += p * dt
+	ei := s.cfg.EmissionIntensity
+	if s.cfg.EmissionIntensityFn != nil {
+		ei = s.cfg.EmissionIntensityFn(s.now)
+	}
+	s.weightedEIJ += p * dt * ei
+	s.lossJ += s.sp.LossW() * dt
+	s.nodeOutJ += s.sp.NodeOutW * dt
+	s.convInJ += (s.sp.NodeOutW + s.sp.LossW()) * dt
+	util := float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total())
+	s.utilSum += util * dt
+	if p > s.maxPowerW {
+		s.maxPowerW = p
+	}
+	if p < s.minPowerW {
+		s.minPowerW = p
+	}
+	if l := s.sp.LossW(); l > s.maxLossW {
+		s.maxLossW = l
+	}
+	if s.cool != nil {
+		if pue := s.cool.Plant().PUE(); pue > 0 {
+			s.pueSum += pue
+			s.pueCount++
+		}
+	}
+}
+
+func (s *Simulation) recordSample() {
+	smp := Sample{
+		TimeSec:     s.now,
+		PowerW:      s.sp.TotalW,
+		LossW:       s.sp.LossW(),
+		Utilization: float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total()),
+		EtaSystem:   s.sp.Efficiency(),
+		JobsRunning: len(s.sch.Running()),
+		JobsPending: s.sch.Pending(),
+	}
+	if s.sp.TotalW > 0 {
+		heat := 0.0
+		for _, h := range s.model.CDUHeatW(&s.sp) {
+			heat += h
+		}
+		smp.EtaCooling = heat / s.sp.TotalW
+	}
+	if s.cool != nil {
+		smp.PUE = s.cool.Plant().PUE()
+		out := make([]float64, len(s.fmuGet))
+		if err := s.cool.GetReal(s.fmuGet, out); err == nil {
+			smp.HTWReturnC = out[0]
+			smp.HTWSupplyC = out[1]
+			for _, v := range out[2:] {
+				if v > smp.SecSupplyMaxC {
+					smp.SecSupplyMaxC = v
+				}
+			}
+		}
+	}
+	if s.cfg.RecordCDUHeat {
+		smp.CDUHeatW = s.model.CDUHeatW(&s.sp)
+	}
+	s.history = append(s.history, smp)
+}
+
+// ReportNow summarizes the run so far (§III-B5's output statistics).
+func (s *Simulation) ReportNow() *Report {
+	r := &Report{
+		JobsCompleted: len(s.completed),
+		SimSeconds:    s.now,
+	}
+	if s.now <= 0 {
+		return r
+	}
+	hours := s.now / 3600
+	r.ThroughputPerHr = float64(r.JobsCompleted) / hours
+	r.AvgPowerMW = units.WToMW(s.energyJ / s.now)
+	r.MaxPowerMW = units.WToMW(s.maxPowerW)
+	if !math.IsInf(s.minPowerW, 1) {
+		r.MinPowerMW = units.WToMW(s.minPowerW)
+	}
+	r.EnergyMWh = s.energyJ / 3.6e9
+	r.AvgLossMW = units.WToMW(s.lossJ / s.now)
+	r.MaxLossMW = units.WToMW(s.maxLossW)
+	if r.AvgPowerMW > 0 {
+		r.LossPercent = 100 * r.AvgLossMW / r.AvgPowerMW
+	}
+	if s.convInJ > 0 {
+		r.EtaSystem = s.nodeOutJ / s.convInJ
+	}
+	// Eq. 6: Ef = EI × (1 ton / 2204.6 lb) × 1/η_system, with EI taken
+	// as the energy-weighted average when a time-varying profile is set.
+	if r.EtaSystem > 0 && s.energyJ > 0 {
+		avgEI := s.weightedEIJ / s.energyJ
+		ef := avgEI * units.LbToMetricTon / r.EtaSystem
+		r.CO2Tons = r.EnergyMWh * ef
+	}
+	r.CostUSD = r.EnergyMWh * s.cfg.ElectricityUSDPerMWh
+	r.AvgUtilization = s.utilSum / s.now
+	if s.pueCount > 0 {
+		r.AvgPUE = s.pueSum / float64(s.pueCount)
+	}
+	if n := len(s.completed); n > 0 {
+		var nodes, runtime float64
+		for _, j := range s.completed {
+			nodes += float64(j.NodeCount)
+			runtime += j.WallTimeSec
+		}
+		r.AvgNodesPerJob = nodes / float64(n)
+		r.AvgRuntimeMin = runtime / float64(n) / 60
+		if n > 1 {
+			first := s.completed[0].SubmitTime
+			last := s.completed[n-1].SubmitTime
+			if last > first {
+				r.AvgArrivalSec = (last - first) / float64(n-1)
+			}
+		}
+	}
+	return r
+}
+
+// ExportTelemetry converts the run so far into a Table II-style dataset:
+// every job that has started (completed or still running) with its power
+// traces, plus the predicted power series as the "measured" channel (our
+// substitute for production telemetry).
+func (s *Simulation) ExportTelemetry(epoch string) *telemetry.Dataset {
+	d := &telemetry.Dataset{Epoch: epoch, SeriesDtSec: s.cfg.HistoryDtSec}
+	spec := s.model.Spec
+	for _, j := range s.completed {
+		d.Jobs = append(d.Jobs, telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	}
+	for _, j := range s.sch.Running() {
+		d.Jobs = append(d.Jobs, telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	}
+	for _, smp := range s.history {
+		wb := 20.0
+		if s.cfg.WetBulbC != nil {
+			wb = s.cfg.WetBulbC(smp.TimeSec)
+		}
+		d.Series = append(d.Series, telemetry.SeriesPoint{
+			TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: wb,
+		})
+	}
+	return d
+}
+
+// JobsFromDataset converts telemetry job records into replay-pinned jobs
+// using the model's component power ranges (telemetry carries power, the
+// simulator needs utilization — footnote 1).
+func JobsFromDataset(d *telemetry.Dataset, spec power.ComponentSpec) []*job.Job {
+	jobs := make([]*job.Job, 0, len(d.Jobs))
+	for i := range d.Jobs {
+		jobs = append(jobs, d.Jobs[i].ToJob(spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	}
+	return jobs
+}

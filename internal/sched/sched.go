@@ -1,0 +1,299 @@
+// Package sched implements the resource-allocation half of RAPS
+// (§III-B4): a node pool tracking free/busy nodes, the scheduling
+// policies named in the paper (First-Come-First-Served and Shortest Job
+// First), an EASY-backfill policy (the paper's "more sophisticated
+// algorithms" future work), and a replay mode that pins jobs to their
+// telemetry start times ("replayed using the physical twin's scheduling
+// policy").
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"exadigit/internal/job"
+)
+
+// NodePool allocates node indices from a fixed-size machine.
+type NodePool struct {
+	free  []int // stack of free node indices
+	inUse []bool
+	total int
+}
+
+// NewNodePool builds a pool of n nodes, all free.
+func NewNodePool(n int) *NodePool {
+	p := &NodePool{
+		free:  make([]int, n),
+		inUse: make([]bool, n),
+		total: n,
+	}
+	// Pop from the end; seed so that node 0 is allocated first.
+	for i := 0; i < n; i++ {
+		p.free[i] = n - 1 - i
+	}
+	return p
+}
+
+// Total returns the machine size.
+func (p *NodePool) Total() int { return p.total }
+
+// Available returns the number of free nodes.
+func (p *NodePool) Available() int { return len(p.free) }
+
+// InUse returns the number of allocated nodes.
+func (p *NodePool) InUse() int { return p.total - len(p.free) }
+
+// Alloc reserves n nodes, returning their indices, or nil if the pool
+// cannot satisfy the request.
+func (p *NodePool) Alloc(n int) []int {
+	if n <= 0 || n > len(p.free) {
+		return nil
+	}
+	out := make([]int, n)
+	base := len(p.free) - n
+	copy(out, p.free[base:])
+	p.free = p.free[:base]
+	for _, id := range out {
+		p.inUse[id] = true
+	}
+	return out
+}
+
+// Release returns nodes to the pool. Releasing a free node panics — it
+// indicates scheduler state corruption.
+func (p *NodePool) Release(nodes []int) {
+	for _, id := range nodes {
+		if id < 0 || id >= p.total {
+			panic(fmt.Sprintf("sched: release of invalid node %d", id))
+		}
+		if !p.inUse[id] {
+			panic(fmt.Sprintf("sched: double release of node %d", id))
+		}
+		p.inUse[id] = false
+		p.free = append(p.free, id)
+	}
+}
+
+// Policy orders the pending queue before each scheduling pass.
+type Policy interface {
+	// Name identifies the policy in configs and reports.
+	Name() string
+	// Order sorts pending in the order jobs should be considered.
+	Order(pending []*job.Job)
+	// Backfill reports whether jobs behind a blocked queue head may
+	// start out of order.
+	Backfill() bool
+}
+
+// FCFS is First-Come-First-Served: strict submit order, no backfill.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Order implements Policy (stable by submit time, then ID).
+func (FCFS) Order(pending []*job.Job) { orderBySubmit(pending) }
+
+// Backfill implements Policy.
+func (FCFS) Backfill() bool { return false }
+
+// SJF is Shortest-Job-First by requested wall time.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Order implements Policy.
+func (SJF) Order(pending []*job.Job) {
+	sort.SliceStable(pending, func(i, k int) bool {
+		if pending[i].WallTimeSec != pending[k].WallTimeSec {
+			return pending[i].WallTimeSec < pending[k].WallTimeSec
+		}
+		return pending[i].ID < pending[k].ID
+	})
+}
+
+// Backfill implements Policy.
+func (SJF) Backfill() bool { return false }
+
+// EASY is FCFS with EASY backfilling: when the queue head cannot start,
+// later jobs may run if they fit in the currently free nodes and finish
+// before the head's earliest possible start (its "shadow time").
+type EASY struct{}
+
+// Name implements Policy.
+func (EASY) Name() string { return "easy-backfill" }
+
+// Order implements Policy.
+func (EASY) Order(pending []*job.Job) { orderBySubmit(pending) }
+
+// Backfill implements Policy.
+func (EASY) Backfill() bool { return true }
+
+func orderBySubmit(pending []*job.Job) {
+	sort.SliceStable(pending, func(i, k int) bool {
+		if pending[i].SubmitTime != pending[k].SubmitTime {
+			return pending[i].SubmitTime < pending[k].SubmitTime
+		}
+		return pending[i].ID < pending[k].ID
+	})
+}
+
+// PolicyByName resolves the scheduler policy names accepted in configs.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "fcfs", "":
+		return FCFS{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "easy", "easy-backfill", "backfill":
+		return EASY{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// Scheduler runs the Algorithm 1 SCHEDULEJOBS procedure against a pool.
+type Scheduler struct {
+	Pool    *NodePool
+	Policy  Policy
+	pending []*job.Job
+	running []*job.Job
+}
+
+// NewScheduler builds a scheduler over n nodes with the given policy.
+func NewScheduler(n int, policy Policy) *Scheduler {
+	return &Scheduler{Pool: NewNodePool(n), Policy: policy}
+}
+
+// Submit queues a job (Algorithm 1 line 8: "Add newly arriving jobs to
+// pending queue").
+func (s *Scheduler) Submit(j *job.Job) {
+	j.State = job.Pending
+	s.pending = append(s.pending, j)
+}
+
+// Pending returns the queued job count.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// Running returns the jobs currently holding nodes.
+func (s *Scheduler) Running() []*job.Job { return s.running }
+
+// Schedule performs one scheduling pass at simulation time now, starting
+// every job the policy admits. Started jobs are returned.
+// Replay-pinned jobs (ReplayStart ≥ 0) only start once now reaches their
+// pinned time, ahead of policy order.
+func (s *Scheduler) Schedule(now float64) []*job.Job {
+	var started []*job.Job
+
+	// Replay-pinned jobs start exactly on schedule when possible.
+	remaining := s.pending[:0]
+	for _, j := range s.pending {
+		if j.ReplayStart >= 0 && now >= j.ReplayStart {
+			if nodes := s.Pool.Alloc(j.NodeCount); nodes != nil {
+				s.start(j, nodes, now)
+				started = append(started, j)
+				continue
+			}
+		}
+		remaining = append(remaining, j)
+	}
+	s.pending = remaining
+
+	s.Policy.Order(s.pending)
+	blockedHead := (*job.Job)(nil)
+	shadow := 0.0
+	remaining = s.pending[:0]
+	for _, j := range s.pending {
+		if j.ReplayStart >= 0 {
+			// Pinned jobs wait for their moment; never policy-started.
+			remaining = append(remaining, j)
+			continue
+		}
+		switch {
+		case blockedHead == nil:
+			if nodes := s.Pool.Alloc(j.NodeCount); nodes != nil {
+				s.start(j, nodes, now)
+				started = append(started, j)
+				continue
+			}
+			if !s.Policy.Backfill() {
+				remaining = append(remaining, j)
+				// FCFS/SJF: a blocked head blocks everyone behind it.
+				blockedHead = j
+				shadow = -1
+				continue
+			}
+			blockedHead = j
+			shadow = s.shadowTime(now, j)
+			remaining = append(remaining, j)
+		case shadow < 0:
+			remaining = append(remaining, j)
+		default:
+			// EASY backfill: only if the candidate fits now and cannot
+			// delay the blocked head.
+			if j.NodeCount <= s.Pool.Available() && now+j.WallTimeSec <= shadow {
+				if nodes := s.Pool.Alloc(j.NodeCount); nodes != nil {
+					s.start(j, nodes, now)
+					started = append(started, j)
+					continue
+				}
+			}
+			remaining = append(remaining, j)
+		}
+	}
+	s.pending = remaining
+	return started
+}
+
+// shadowTime computes the earliest time the blocked head could start,
+// assuming running jobs end at StartTime+WallTimeSec.
+func (s *Scheduler) shadowTime(now float64, head *job.Job) float64 {
+	type ending struct {
+		t     float64
+		nodes int
+	}
+	ends := make([]ending, 0, len(s.running))
+	for _, r := range s.running {
+		ends = append(ends, ending{t: r.StartTime + r.WallTimeSec, nodes: r.NodeCount})
+	}
+	sort.Slice(ends, func(i, k int) bool { return ends[i].t < ends[k].t })
+	avail := s.Pool.Available()
+	for _, e := range ends {
+		avail += e.nodes
+		if avail >= head.NodeCount {
+			return e.t
+		}
+	}
+	// Head can never start (larger than machine): no backfill window.
+	return now
+}
+
+func (s *Scheduler) start(j *job.Job, nodes []int, now float64) {
+	j.State = job.Running
+	j.StartTime = now
+	j.Nodes = nodes
+	s.running = append(s.running, j)
+}
+
+// Reap completes every running job whose wall time has elapsed by now,
+// releasing its nodes (Algorithm 1 lines 16-19). Completed jobs are
+// returned.
+func (s *Scheduler) Reap(now float64) []*job.Job {
+	var done []*job.Job
+	keep := s.running[:0]
+	for _, j := range s.running {
+		if now >= j.StartTime+j.WallTimeSec {
+			j.State = job.Completed
+			j.EndTime = now
+			s.Pool.Release(j.Nodes)
+			j.Nodes = nil
+			done = append(done, j)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	s.running = keep
+	return done
+}

@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exadigit/internal/job"
+)
+
+func TestNodePoolAllocRelease(t *testing.T) {
+	p := NewNodePool(10)
+	if p.Total() != 10 || p.Available() != 10 || p.InUse() != 0 {
+		t.Fatal("fresh pool wrong")
+	}
+	a := p.Alloc(4)
+	if len(a) != 4 || p.Available() != 6 || p.InUse() != 4 {
+		t.Fatalf("alloc 4: %v, avail %d", a, p.Available())
+	}
+	b := p.Alloc(6)
+	if len(b) != 6 || p.Available() != 0 {
+		t.Fatal("alloc remainder failed")
+	}
+	if p.Alloc(1) != nil {
+		t.Error("overallocation must fail")
+	}
+	p.Release(a)
+	if p.Available() != 4 {
+		t.Error("release failed")
+	}
+	if got := p.Alloc(0); got != nil {
+		t.Error("zero alloc should return nil")
+	}
+}
+
+func TestNodePoolNoDoubleAllocationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewNodePool(64)
+		rng := rand.New(rand.NewSource(1))
+		var held [][]int
+		seen := make(map[int]bool)
+		for _, op := range ops {
+			if op%2 == 0 || len(held) == 0 {
+				n := int(op%16) + 1
+				nodes := p.Alloc(n)
+				if nodes == nil {
+					continue
+				}
+				for _, id := range nodes {
+					if seen[id] {
+						return false // double allocation!
+					}
+					seen[id] = true
+				}
+				held = append(held, nodes)
+			} else {
+				i := rng.Intn(len(held))
+				for _, id := range held[i] {
+					delete(seen, id)
+				}
+				p.Release(held[i])
+				held = append(held[:i], held[i+1:]...)
+			}
+		}
+		return p.InUse() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodePoolDoubleReleasePanics(t *testing.T) {
+	p := NewNodePool(4)
+	a := p.Alloc(2)
+	p.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release must panic")
+		}
+	}()
+	p.Release(a)
+}
+
+func TestNodePoolInvalidReleasePanics(t *testing.T) {
+	p := NewNodePool(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range release must panic")
+		}
+	}()
+	p.Release([]int{99})
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"fcfs": "fcfs", "": "fcfs", "sjf": "sjf",
+		"easy": "easy-backfill", "backfill": "easy-backfill",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%q → %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("slurm"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestFCFSOrdering(t *testing.T) {
+	s := NewScheduler(10, FCFS{})
+	// Submit out of order; FCFS starts them by submit time.
+	j2 := job.New(2, "b", 5, 100, 20)
+	j1 := job.New(1, "a", 5, 100, 10)
+	s.Submit(j2)
+	s.Submit(j1)
+	started := s.Schedule(30)
+	if len(started) != 2 {
+		t.Fatalf("started %d", len(started))
+	}
+	if started[0].ID != 1 || started[1].ID != 2 {
+		t.Errorf("FCFS order: %d, %d", started[0].ID, started[1].ID)
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	s := NewScheduler(10, FCFS{})
+	s.Submit(job.New(1, "big", 8, 100, 0))
+	started := s.Schedule(0)
+	if len(started) != 1 {
+		t.Fatal("big job should start")
+	}
+	// Head (needs 8) blocks; the small job behind must NOT start under FCFS.
+	s.Submit(job.New(2, "huge", 8, 100, 1))
+	s.Submit(job.New(3, "small", 1, 10, 2))
+	started = s.Schedule(5)
+	if len(started) != 0 {
+		t.Errorf("FCFS must not backfill, started %d jobs", len(started))
+	}
+}
+
+func TestSJFPrefersShortJobs(t *testing.T) {
+	s := NewScheduler(4, SJF{})
+	s.Submit(job.New(1, "long", 4, 1000, 0))
+	s.Submit(job.New(2, "short", 4, 10, 1))
+	started := s.Schedule(2)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Errorf("SJF should start the short job first: %+v", started)
+	}
+}
+
+func TestEASYBackfill(t *testing.T) {
+	s := NewScheduler(10, EASY{})
+	long := job.New(1, "long", 8, 1000, 0)
+	s.Submit(long)
+	if got := s.Schedule(0); len(got) != 1 {
+		t.Fatal("long job should start")
+	}
+	// Head needs 8 nodes (only 2 free) → blocked until t=1000.
+	s.Submit(job.New(2, "head", 8, 100, 1))
+	// Fits in 2 free nodes and ends before 1000 → backfills.
+	fits := job.New(3, "fits", 2, 50, 2)
+	// Fits in nodes but would outlive the shadow window → must wait.
+	tooLong := job.New(4, "toolong", 2, 5000, 3)
+	s.Submit(fits)
+	s.Submit(tooLong)
+	started := s.Schedule(5)
+	if len(started) != 1 || started[0].ID != 3 {
+		ids := []int{}
+		for _, j := range started {
+			ids = append(ids, j.ID)
+		}
+		t.Errorf("EASY should backfill only job 3, started %v", ids)
+	}
+}
+
+func TestEASYShadowAdvancesAfterCompletion(t *testing.T) {
+	s := NewScheduler(10, EASY{})
+	s.Submit(job.New(1, "long", 8, 100, 0))
+	s.Schedule(0)
+	s.Submit(job.New(2, "head", 10, 100, 1))
+	s.Schedule(1)
+	// At t=100 the long job ends; head can now run.
+	done := s.Reap(100)
+	if len(done) != 1 {
+		t.Fatal("long job should complete")
+	}
+	started := s.Schedule(100)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Error("head should start after resources free")
+	}
+}
+
+func TestReapReleasesNodes(t *testing.T) {
+	s := NewScheduler(8, FCFS{})
+	j := job.New(1, "j", 8, 60, 0)
+	s.Submit(j)
+	s.Schedule(0)
+	if s.Pool.Available() != 0 {
+		t.Fatal("all nodes should be busy")
+	}
+	if done := s.Reap(30); len(done) != 0 {
+		t.Error("too early to reap")
+	}
+	done := s.Reap(60)
+	if len(done) != 1 || done[0].State != job.Completed {
+		t.Fatal("job should complete at its wall time")
+	}
+	if s.Pool.Available() != 8 {
+		t.Error("nodes should be released")
+	}
+	if done[0].EndTime != 60 {
+		t.Errorf("end time = %v", done[0].EndTime)
+	}
+}
+
+func TestReplayPinnedStart(t *testing.T) {
+	s := NewScheduler(10, FCFS{})
+	j := job.New(1, "replay", 4, 100, 0)
+	j.ReplayStart = 50
+	s.Submit(j)
+	if got := s.Schedule(0); len(got) != 0 {
+		t.Error("pinned job must not start before its telemetry time")
+	}
+	if got := s.Schedule(49); len(got) != 0 {
+		t.Error("still too early")
+	}
+	got := s.Schedule(50)
+	if len(got) != 1 || got[0].StartTime != 50 {
+		t.Errorf("pinned job should start at 50: %+v", got)
+	}
+}
+
+func TestReplayPinnedDoesNotStealPolicySlot(t *testing.T) {
+	s := NewScheduler(4, FCFS{})
+	pinned := job.New(1, "replay", 4, 100, 0)
+	pinned.ReplayStart = 1000
+	s.Submit(pinned)
+	free := job.New(2, "free", 4, 10, 1)
+	s.Submit(free)
+	started := s.Schedule(5)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Error("policy job should run while the pinned job waits")
+	}
+}
+
+func TestSchedulerConservesNodesUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewScheduler(128, EASY{})
+	id := 1
+	for tick := 0; tick < 2000; tick++ {
+		now := float64(tick)
+		if rng.Float64() < 0.3 {
+			s.Submit(job.New(id, "j", 1+rng.Intn(64), 1+float64(rng.Intn(200)), now))
+			id++
+		}
+		s.Reap(now)
+		s.Schedule(now)
+		used := 0
+		for _, r := range s.Running() {
+			used += r.NodeCount
+		}
+		if used != s.Pool.InUse() {
+			t.Fatalf("tick %d: running jobs hold %d nodes but pool says %d", tick, used, s.Pool.InUse())
+		}
+		if used+s.Pool.Available() != 128 {
+			t.Fatalf("tick %d: node conservation violated", tick)
+		}
+	}
+}
+
+func TestJobLargerThanMachineNeverStarts(t *testing.T) {
+	s := NewScheduler(4, EASY{})
+	s.Submit(job.New(1, "toobig", 8, 100, 0))
+	s.Submit(job.New(2, "ok", 2, 10, 1))
+	started := s.Schedule(1)
+	// The oversized head can never run; backfill window is degenerate,
+	// but the small job fits "now" with shadow=now → cannot backfill
+	// (now+wall > now). Accept either it waiting or running; key
+	// invariant: the oversized job never starts.
+	for _, j := range started {
+		if j.ID == 1 {
+			t.Fatal("impossible job must never start")
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package stats implements the descriptive statistics and error metrics
+// used in the paper's verification-and-validation section (§IV): RMSE and
+// MAE between model predictions and telemetry (Fig. 7), min/avg/max/std
+// summaries (Table IV), percentiles, correlation, and time-series
+// resampling helpers for aligning series recorded at different telemetry
+// resolutions (Table II lists cadences from 1 s to 10 min).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by metrics that require at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrLengthMismatch is returned when paired series differ in length.
+var ErrLengthMismatch = errors.New("stats: length mismatch")
+
+// Summary holds the Table IV-style descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Min, Max  float64
+	Mean, Std float64
+	Sum       float64
+	Median    float64
+	P05, P95  float64
+}
+
+// Summarize computes a Summary of vals. Returns ErrEmpty for no data.
+func Summarize(vals []float64) (Summary, error) {
+	var s Summary
+	if len(vals) == 0 {
+		return s, ErrEmpty
+	}
+	s.N = len(vals)
+	s.Min, s.Max = vals[0], vals[0]
+	for _, v := range vals {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	for _, v := range vals {
+		d := v - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(s.N))
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P05 = quantileSorted(sorted, 0.05)
+	s.P95 = quantileSorted(sorted, 0.95)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Std returns the population standard deviation, or 0 for fewer than two
+// samples.
+func Std(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	s := 0.0
+	for _, v := range vals {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(vals)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation
+// between order statistics.
+func Quantile(vals []float64, q float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RMSE returns the root-mean-square error between predicted and measured.
+func RMSE(pred, meas []float64) (float64, error) {
+	if len(pred) != len(meas) {
+		return 0, ErrLengthMismatch
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - meas[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error between predicted and measured.
+func MAE(pred, meas []float64) (float64, error) {
+	if len(pred) != len(meas) {
+		return 0, ErrLengthMismatch
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - meas[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MAPE returns the mean absolute percentage error (in percent) between
+// predicted and measured, skipping points where measured is zero.
+func MAPE(pred, meas []float64) (float64, error) {
+	if len(pred) != len(meas) {
+		return 0, ErrLengthMismatch
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	s, n := 0.0, 0
+	for i := range pred {
+		if meas[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - meas[i]) / meas[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return 100 * s / float64(n), nil
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	den := math.Sqrt(sxx * syy)
+	if den == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / den, nil
+}
+
+// Resample converts a series sampled at srcDt seconds to dstDt seconds by
+// averaging (downsampling, dstDt > srcDt) or sample-and-hold
+// (upsampling). Both periods must be positive; for downsampling dstDt
+// must be an integer multiple of srcDt.
+func Resample(vals []float64, srcDt, dstDt float64) ([]float64, error) {
+	if srcDt <= 0 || dstDt <= 0 {
+		return nil, errors.New("stats: non-positive period")
+	}
+	if len(vals) == 0 {
+		return nil, ErrEmpty
+	}
+	if dstDt == srcDt {
+		return append([]float64(nil), vals...), nil
+	}
+	if dstDt > srcDt {
+		ratio := dstDt / srcDt
+		k := int(math.Round(ratio))
+		if math.Abs(ratio-float64(k)) > 1e-9 {
+			return nil, errors.New("stats: downsample ratio must be integral")
+		}
+		out := make([]float64, 0, (len(vals)+k-1)/k)
+		for i := 0; i < len(vals); i += k {
+			end := i + k
+			if end > len(vals) {
+				end = len(vals)
+			}
+			out = append(out, Mean(vals[i:end]))
+		}
+		return out, nil
+	}
+	// Upsample by sample-and-hold.
+	ratio := srcDt / dstDt
+	k := int(math.Round(ratio))
+	if math.Abs(ratio-float64(k)) > 1e-9 {
+		return nil, errors.New("stats: upsample ratio must be integral")
+	}
+	out := make([]float64, 0, len(vals)*k)
+	for _, v := range vals {
+		for j := 0; j < k; j++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Rolling is an O(1)-update rolling accumulator for streaming series
+// (used by the live dashboard and the RAPS per-tick statistics).
+type Rolling struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Push adds a sample.
+func (r *Rolling) Push(v float64) {
+	if r.n == 0 {
+		r.min, r.max = v, v
+	} else {
+		if v < r.min {
+			r.min = v
+		}
+		if v > r.max {
+			r.max = v
+		}
+	}
+	r.n++
+	r.sum += v
+	r.sumSq += v * v
+}
+
+// N returns the number of samples pushed.
+func (r *Rolling) N() int { return r.n }
+
+// Mean returns the running mean (0 if empty).
+func (r *Rolling) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Std returns the running population standard deviation (0 if < 2 samples).
+func (r *Rolling) Std() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	m := r.Mean()
+	v := r.sumSq/float64(r.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the minimum pushed value (0 if empty).
+func (r *Rolling) Min() float64 { return r.min }
+
+// Max returns the maximum pushed value (0 if empty).
+func (r *Rolling) Max() float64 { return r.max }
+
+// Sum returns the sum of pushed values.
+func (r *Rolling) Sum() float64 { return r.sum }

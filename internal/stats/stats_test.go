@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("N/Min/Max = %d/%v/%v", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s, err := Summarize(clean)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.P05 <= s.Median && s.Median <= s.P95 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(vals, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestRMSEMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	meas := []float64{1, 2, 7}
+	rmse, err := RMSE(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rmse-4/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %v", rmse)
+	}
+	mae, err := MAE(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mae-4.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", mae)
+	}
+}
+
+func TestRMSEAtLeastMAE(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		rmse, _ := RMSE(a, b)
+		mae, _ := MAE(a, b)
+		if rmse < mae-1e-12 {
+			t.Fatalf("RMSE %v < MAE %v", rmse, mae)
+		}
+	}
+}
+
+func TestErrorsOnMismatch(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Error("RMSE mismatch")
+	}
+	if _, err := MAE(nil, nil); err != ErrEmpty {
+		t.Error("MAE empty")
+	}
+	if _, err := MAPE([]float64{1}, []float64{2, 3}); err != ErrLengthMismatch {
+		t.Error("MAPE mismatch")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Error("Pearson mismatch")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	// Zero measurements are skipped.
+	got, err = MAPE([]float64{110, 5}, []float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE with zero = %v, want 10", got)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err != ErrEmpty {
+		t.Error("all-zero measured should be ErrEmpty")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestResampleDown(t *testing.T) {
+	// 1 s → 15 s cadence, as RAPS does for the cooling-model coupling.
+	in := make([]float64, 30)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out, err := Resample(in, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	if out[0] != 7 || out[1] != 22 {
+		t.Errorf("out = %v, want [7 22]", out)
+	}
+}
+
+func TestResampleUp(t *testing.T) {
+	out, err := Resample([]float64{1, 2}, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1, 2, 2, 2}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestResampleIdentityAndErrors(t *testing.T) {
+	out, err := Resample([]float64{1, 2, 3}, 5, 5)
+	if err != nil || len(out) != 3 {
+		t.Fatal("identity resample failed")
+	}
+	out[0] = 99 // must be a copy
+	if o2, _ := Resample([]float64{1, 2, 3}, 5, 5); o2[0] != 1 {
+		t.Error("identity resample should copy")
+	}
+	if _, err := Resample([]float64{1}, 0, 5); err == nil {
+		t.Error("zero src period")
+	}
+	if _, err := Resample([]float64{1}, 2, 5); err == nil {
+		t.Error("non-integral ratio should error")
+	}
+	if _, err := Resample(nil, 1, 5); err != ErrEmpty {
+		t.Error("empty input")
+	}
+}
+
+func TestResamplePartialTailWindow(t *testing.T) {
+	out, err := Resample([]float64{1, 2, 3, 4, 5}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[2] != 5 {
+		t.Errorf("tail window: %v", out)
+	}
+}
+
+func TestRollingMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var r Rolling
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*5 + 17
+		r.Push(vals[i])
+	}
+	s, _ := Summarize(vals)
+	if r.N() != s.N {
+		t.Errorf("N = %d vs %d", r.N(), s.N)
+	}
+	if math.Abs(r.Mean()-s.Mean) > 1e-9 {
+		t.Errorf("Mean = %v vs %v", r.Mean(), s.Mean)
+	}
+	if math.Abs(r.Std()-s.Std) > 1e-9 {
+		t.Errorf("Std = %v vs %v", r.Std(), s.Std)
+	}
+	if r.Min() != s.Min || r.Max() != s.Max {
+		t.Errorf("Min/Max mismatch")
+	}
+	if math.Abs(r.Sum()-s.Sum) > 1e-9 {
+		t.Errorf("Sum mismatch")
+	}
+}
+
+func TestRollingEmpty(t *testing.T) {
+	var r Rolling
+	if r.Mean() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Error("zero-value Rolling should report zeros")
+	}
+}

@@ -1,0 +1,146 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"exadigit/internal/cooling"
+)
+
+func TestRidgeExactOnLinearData(t *testing.T) {
+	// y = 3 + 2a − b over exact features: OLS recovers the coefficients.
+	var X [][]float64
+	var y []float64
+	for a := 0.0; a < 4; a++ {
+		for b := 0.0; b < 4; b++ {
+			X = append(X, []float64{1, a, b})
+			y = append(y, 3+2*a-b)
+		}
+	}
+	var r Ridge
+	if err := r.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	w := r.Weights()
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-9 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	if got := r.Predict([]float64{1, 2, 1}); math.Abs(got-6) > 1e-9 {
+		t.Errorf("predict = %v, want 6", got)
+	}
+}
+
+func TestRidgeRegularizationShrinks(t *testing.T) {
+	X := [][]float64{{1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 4, 6}
+	var ols Ridge
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	reg := Ridge{Lambda: 10}
+	if err := reg.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Weights()[1]) >= math.Abs(ols.Weights()[1]) {
+		t.Errorf("ridge slope %v should shrink below OLS %v", reg.Weights()[1], ols.Weights()[1])
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	var r Ridge
+	if err := r.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := r.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch should fail")
+	}
+	if err := r.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if err := r.Fit([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero-width features should fail")
+	}
+}
+
+func TestPUESurrogateTrainsAndGeneralizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plant sweep")
+	}
+	s, err := TrainPUESurrogate(cooling.Frontier(),
+		[]float64{6, 12, 18, 24},
+		[]float64{8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrainingPoints) != 12 {
+		t.Fatalf("training points = %d", len(s.TrainingPoints))
+	}
+	// The fit must explain the training sweep.
+	if r2 := s.R2(); r2 < 0.9 {
+		t.Errorf("R² = %v on the training sweep", r2)
+	}
+	// Held-out point: simulate the true plant at an off-grid operating
+	// point and compare.
+	plant, err := cooling.New(cooling.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := make([]float64, 25)
+	for i := range heat {
+		heat[i] = 15e6 / 25
+	}
+	in := cooling.Inputs{CDUHeatW: heat, WetBulbC: 18, ITPowerW: 15e6 / 0.945}
+	if err := plant.SettleToSteadyState(in, 3*3600); err != nil {
+		t.Fatal(err)
+	}
+	truth := plant.PUE()
+	pred, err := s.Predict(15, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-truth) > 0.01 {
+		t.Errorf("held-out PUE: surrogate %v vs plant %v", pred, truth)
+	}
+	aux, err := s.PredictAuxMW(15, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aux-plant.AuxPowerW()/1e6) > 0.12 {
+		t.Errorf("held-out aux: surrogate %v MW vs plant %v MW", aux, plant.AuxPowerW()/1e6)
+	}
+	// Physical sanity: warmer weather degrades PUE.
+	cool, _ := s.Predict(15, 8)
+	warm, _ := s.Predict(15, 26)
+	if warm <= cool {
+		t.Errorf("PUE should worsen with wet bulb: %v vs %v", warm, cool)
+	}
+}
+
+func TestPUESurrogateValidation(t *testing.T) {
+	if _, err := TrainPUESurrogate(cooling.Frontier(), []float64{10}, []float64{20}); err == nil {
+		t.Error("1×1 grid should fail")
+	}
+	var s PUESurrogate
+	if _, err := s.Predict(10, 20); err == nil {
+		t.Error("untrained predict should fail")
+	}
+	if _, err := s.PredictAuxMW(10, 20); err == nil {
+		t.Error("untrained aux predict should fail")
+	}
+}
+
+func BenchmarkSurrogatePredict(b *testing.B) {
+	// The L3 value proposition: inference in nanoseconds vs seconds of
+	// L4 simulation.
+	s := &PUESurrogate{feats: quadFeatures2{aLo: 5, aHi: 25, bLo: 5, bHi: 25}, trained: true}
+	s.pue.weights = []float64{1.04, 0.01, 0.02, 0.001, 0.002, 0.0005}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Predict(15, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

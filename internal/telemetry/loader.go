@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// JobLoader parses a bespoke telemetry format into the common JobRecord
+// schema. The registry realizes the paper's pluggable reader architecture
+// (§V), which has been used to ingest datasets such as Marconi100's PM100.
+type JobLoader interface {
+	// Name identifies the format (e.g. "exadigit-jsonl", "pm100-csv").
+	Name() string
+	// LoadJobs parses the stream into job records.
+	LoadJobs(r io.Reader) ([]JobRecord, error)
+}
+
+var (
+	loaderMu sync.RWMutex
+	loaders  = map[string]JobLoader{}
+)
+
+// RegisterLoader adds a loader to the registry; re-registering a name
+// replaces the previous loader.
+func RegisterLoader(l JobLoader) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	loaders[l.Name()] = l
+}
+
+// LoaderByName fetches a registered loader.
+func LoaderByName(name string) (JobLoader, error) {
+	loaderMu.RLock()
+	defer loaderMu.RUnlock()
+	if l, ok := loaders[name]; ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("telemetry: no loader %q (have %v)", name, LoaderNames())
+}
+
+// LoaderNames lists registered formats, sorted.
+func LoaderNames() []string {
+	loaderMu.RLock()
+	defer loaderMu.RUnlock()
+	names := make([]string, 0, len(loaders))
+	for n := range loaders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// jsonlLoader is the native format.
+type jsonlLoader struct{}
+
+func (jsonlLoader) Name() string { return "exadigit-jsonl" }
+
+func (jsonlLoader) LoadJobs(r io.Reader) ([]JobRecord, error) { return ReadJobsJSONL(r) }
+
+// pm100Loader reads a PM100-style CSV: one row per job with average
+// powers instead of full traces (job_id, nodes, submit, start, duration,
+// avg_cpu_power, avg_gpu_power). Traces are expanded as constants — the
+// same simplification the paper's synthetic workloads use (§III-B3).
+type pm100Loader struct{}
+
+func (pm100Loader) Name() string { return "pm100-csv" }
+
+func (pm100Loader) LoadJobs(r io.Reader) ([]JobRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("telemetry: empty pm100 file")
+	}
+	var jobs []JobRecord
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("telemetry: pm100 row %d has %d columns, want 7", i+1, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: pm100 row %d id: %w", i+1, err)
+		}
+		nodes, err := strconv.Atoi(row[1])
+		if err != nil || nodes <= 0 {
+			return nil, fmt.Errorf("telemetry: pm100 row %d nodes invalid", i+1)
+		}
+		fl := make([]float64, 5)
+		for k := 0; k < 5; k++ {
+			if fl[k], err = strconv.ParseFloat(row[2+k], 64); err != nil {
+				return nil, fmt.Errorf("telemetry: pm100 row %d col %d: %w", i+1, 2+k, err)
+			}
+		}
+		submit, start, dur, cpuW, gpuW := fl[0], fl[1], fl[2], fl[3], fl[4]
+		n := int(dur/15) + 1
+		rec := JobRecord{
+			JobName: fmt.Sprintf("pm100-%d", id), JobID: id, NodeCount: nodes,
+			SubmitTime: submit, StartTime: start, WallTime: dur,
+			CPUPowerW: make([]float64, n), GPUPowerW: make([]float64, n),
+		}
+		for k := 0; k < n; k++ {
+			rec.CPUPowerW[k] = cpuW
+			rec.GPUPowerW[k] = gpuW
+		}
+		jobs = append(jobs, rec)
+	}
+	return jobs, nil
+}
+
+func init() {
+	RegisterLoader(jsonlLoader{})
+	RegisterLoader(pm100Loader{})
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// swfLoader reads the Standard Workload Format used by the Parallel
+// Workloads Archive — the lingua franca for published HPC job traces and
+// a natural target for the paper's pluggable reader architecture (§V).
+//
+// SWF is line-oriented: comments start with ';', data rows carry 18
+// whitespace-separated fields. The loader consumes the fields RAPS needs:
+//
+//	1  job number          4  run time (s)
+//	2  submit time (s)     5  allocated processors → node count
+//	3  wait time (s)       6  average CPU time used → utilization proxy
+//
+// SWF has no GPU accounting, so GPU power defaults to idle unless the
+// header carries a "; GPUPowerW:" annotation.
+type swfLoader struct{}
+
+// Name implements JobLoader.
+func (swfLoader) Name() string { return "swf" }
+
+// LoadJobs implements JobLoader.
+func (swfLoader) LoadJobs(r io.Reader) ([]JobRecord, error) {
+	var jobs []JobRecord
+	gpuPowerW := 88.0 // idle MI250X unless annotated
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if v, ok := headerFloat(line, "GPUPowerW:"); ok {
+				gpuPowerW = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 11 {
+			return nil, fmt.Errorf("telemetry: swf line %d has %d fields, want ≥11", lineNo, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d job id: %w", lineNo, err)
+		}
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d submit: %w", lineNo, err)
+		}
+		wait, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d wait: %w", lineNo, err)
+		}
+		runTime, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d run time: %w", lineNo, err)
+		}
+		procs, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d processors: %w", lineNo, err)
+		}
+		avgCPU, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: swf line %d cpu time: %w", lineNo, err)
+		}
+		if runTime <= 0 || procs <= 0 {
+			continue // SWF uses -1 for cancelled/unknown jobs
+		}
+		// CPU utilization = average CPU seconds per wall second, clamped.
+		util := 0.0
+		if runTime > 0 && avgCPU > 0 {
+			util = avgCPU / runTime
+			if util > 1 {
+				util = 1
+			}
+		}
+		n := int(runTime/15) + 1
+		rec := JobRecord{
+			JobName:    fmt.Sprintf("swf-%d", id),
+			JobID:      id,
+			NodeCount:  procs,
+			SubmitTime: submit,
+			StartTime:  submit + wait,
+			WallTime:   runTime,
+			CPUPowerW:  make([]float64, n),
+			GPUPowerW:  make([]float64, n),
+		}
+		cpuW := PowerFromUtil(util, 90, 280)
+		for k := 0; k < n; k++ {
+			rec.CPUPowerW[k] = cpuW
+			rec.GPUPowerW[k] = gpuPowerW
+		}
+		jobs = append(jobs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("telemetry: swf stream contained no usable jobs")
+	}
+	return jobs, nil
+}
+
+func headerFloat(line, key string) (float64, bool) {
+	idx := strings.Index(line, key)
+	if idx < 0 {
+		return 0, false
+	}
+	rest := strings.TrimSpace(line[idx+len(key):])
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func init() {
+	RegisterLoader(swfLoader{})
+}

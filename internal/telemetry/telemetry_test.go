@@ -1,0 +1,373 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exadigit/internal/job"
+)
+
+func TestUtilPowerRoundTrip(t *testing.T) {
+	for _, u := range []float64{0, 0.25, 0.5, 0.79, 1} {
+		p := PowerFromUtil(u, 88, 560)
+		back := UtilFromPower(p, 88, 560)
+		if math.Abs(back-u) > 1e-12 {
+			t.Errorf("u=%v → p=%v → %v", u, p, back)
+		}
+	}
+}
+
+func TestUtilFromPowerClamps(t *testing.T) {
+	if UtilFromPower(50, 88, 560) != 0 {
+		t.Error("below idle should clamp to 0")
+	}
+	if UtilFromPower(999, 88, 560) != 1 {
+		t.Error("above max should clamp to 1")
+	}
+	if UtilFromPower(100, 100, 100) != 0 {
+		t.Error("degenerate range should return 0")
+	}
+	if PowerFromUtil(-1, 88, 560) != 88 || PowerFromUtil(2, 88, 560) != 560 {
+		t.Error("PowerFromUtil should clamp utilization")
+	}
+}
+
+func TestJobRecordConversionRoundTrip(t *testing.T) {
+	j := job.New(42, "hpl", 9216, 3600, 100)
+	if err := j.ApplyFingerprint(job.FPHPL); err != nil {
+		t.Fatal(err)
+	}
+	j.StartTime = 150
+	rec := FromJob(j, 90, 280, 88, 560)
+	if rec.JobID != 42 || rec.NodeCount != 9216 || rec.WallTime != 3600 {
+		t.Errorf("record = %+v", rec)
+	}
+	back := rec.ToJob(90, 280, 88, 560)
+	if back.ReplayStart != 150 {
+		t.Errorf("replay start = %v", back.ReplayStart)
+	}
+	if len(back.CPUTrace) != len(j.CPUTrace) {
+		t.Fatalf("trace lengths differ")
+	}
+	for i := range j.CPUTrace {
+		if math.Abs(back.CPUTrace[i]-j.CPUTrace[i]) > 1e-12 {
+			t.Fatalf("cpu trace diverged at %d: %v vs %v", i, back.CPUTrace[i], j.CPUTrace[i])
+		}
+		if math.Abs(back.GPUTrace[i]-j.GPUTrace[i]) > 1e-12 {
+			t.Fatalf("gpu trace diverged at %d", i)
+		}
+	}
+}
+
+func TestJobsJSONLRoundTrip(t *testing.T) {
+	jobs := []JobRecord{
+		{JobName: "a", JobID: 1, NodeCount: 4, SubmitTime: 0, StartTime: 5, WallTime: 60,
+			CPUPowerW: []float64{100, 150}, GPUPowerW: []float64{200, 300}},
+		{JobName: "b", JobID: 2, NodeCount: 9216, SubmitTime: 10, StartTime: 20, WallTime: 120,
+			CPUPowerW: []float64{152.7}, GPUPowerW: []float64{460.9}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobsJSONL(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].JobName != "a" || got[1].NodeCount != 9216 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got[1].GPUPowerW[0] != 460.9 {
+		t.Errorf("trace lost: %v", got[1].GPUPowerW)
+	}
+}
+
+func TestReadJobsJSONLRejectsBadRecords(t *testing.T) {
+	if _, err := ReadJobsJSONL(strings.NewReader(`{"job_id":1,"node_count":0}`)); err == nil {
+		t.Error("zero node count should fail")
+	}
+	if _, err := ReadJobsJSONL(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	pts := []SeriesPoint{
+		{TimeSec: 0, MeasuredPowerW: 17e6, WetBulbC: 18.5},
+		{TimeSec: 15, MeasuredPowerW: 17.2e6, WetBulbC: 18.6},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].MeasuredPowerW != 17.2e6 || got[0].WetBulbC != 18.5 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestSeriesCSVErrors(t *testing.T) {
+	if _, err := ReadSeriesCSV(strings.NewReader("")); err == nil {
+		t.Error("empty file should fail")
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("h1,h2,h3\nx,1,2\n")); err == nil {
+		t.Error("non-numeric time should fail")
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("h1,h2\n1,2\n")); err == nil {
+		t.Error("wrong column count should fail")
+	}
+}
+
+func TestDatasetSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "capture")
+	d := &Dataset{
+		Epoch:       "2024-01-18",
+		SeriesDtSec: 15,
+		Jobs: []JobRecord{{JobName: "x", JobID: 1, NodeCount: 2, WallTime: 30,
+			CPUPowerW: []float64{100}, GPUPowerW: []float64{200}}},
+		Series: []SeriesPoint{{TimeSec: 0, MeasuredPowerW: 1e6, WetBulbC: 20}},
+	}
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != "2024-01-18" || got.SeriesDtSec != 15 {
+		t.Errorf("meta = %+v", got)
+	}
+	if len(got.Jobs) != 1 || len(got.Series) != 1 {
+		t.Errorf("content lost: %d jobs, %d series", len(got.Jobs), len(got.Series))
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestAddSensorNoise(t *testing.T) {
+	mk := func() *Dataset {
+		d := &Dataset{SeriesDtSec: 15}
+		for i := 0; i < 1000; i++ {
+			d.Series = append(d.Series, SeriesPoint{TimeSec: float64(i) * 15, MeasuredPowerW: 17e6})
+		}
+		return d
+	}
+	a := mk()
+	a.AddSensorNoise(0.01, 7)
+	var sum, sumSq float64
+	for _, p := range a.Series {
+		rel := p.MeasuredPowerW/17e6 - 1
+		sum += rel
+		sumSq += rel * rel
+	}
+	mean := sum / 1000
+	std := math.Sqrt(sumSq/1000 - mean*mean)
+	if math.Abs(mean) > 0.002 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	if math.Abs(std-0.01) > 0.002 {
+		t.Errorf("noise std = %v, want 0.01", std)
+	}
+	// Determinism.
+	b := mk()
+	b.AddSensorNoise(0.01, 7)
+	for i := range a.Series {
+		if a.Series[i].MeasuredPowerW != b.Series[i].MeasuredPowerW {
+			t.Fatal("noise must be deterministic per seed")
+		}
+	}
+}
+
+func TestLoaderRegistry(t *testing.T) {
+	names := LoaderNames()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["exadigit-jsonl"] || !found["pm100-csv"] {
+		t.Fatalf("built-in loaders missing: %v", names)
+	}
+	if _, err := LoaderByName("nope"); err == nil {
+		t.Error("unknown loader should error")
+	}
+	l, err := LoaderByName("exadigit-jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := l.LoadJobs(strings.NewReader(`{"job_name":"a","job_id":1,"node_count":2,"wall_time":30}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Errorf("jsonl loader returned %d jobs", len(jobs))
+	}
+}
+
+func TestPM100Loader(t *testing.T) {
+	l, err := LoaderByName("pm100-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvData := "job_id,nodes,submit,start,duration,avg_cpu_power,avg_gpu_power\n" +
+		"7,16,0,30,120,150,400\n"
+	jobs, err := l.LoadJobs(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	j := jobs[0]
+	if j.JobID != 7 || j.NodeCount != 16 || j.StartTime != 30 || j.WallTime != 120 {
+		t.Errorf("job = %+v", j)
+	}
+	// Constant traces covering the duration.
+	if len(j.CPUPowerW) != 9 {
+		t.Errorf("trace length = %d, want 9 (120 s / 15 s + 1)", len(j.CPUPowerW))
+	}
+	for _, p := range j.CPUPowerW {
+		if p != 150 {
+			t.Fatal("cpu trace not constant")
+		}
+	}
+	// Malformed rows.
+	if _, err := l.LoadJobs(strings.NewReader("h\nbad")); err == nil {
+		t.Error("bad pm100 should fail")
+	}
+	if _, err := l.LoadJobs(strings.NewReader("")); err == nil {
+		t.Error("empty pm100 should fail")
+	}
+	if _, err := l.LoadJobs(strings.NewReader("h1,h2,h3,h4,h5,h6,h7\n1,0,0,0,1,1,1\n")); err == nil {
+		t.Error("zero nodes should fail")
+	}
+}
+
+func TestSWFLoader(t *testing.T) {
+	l, err := LoaderByName("swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := `; Parallel Workloads Archive style header
+; GPUPowerW: 460.9
+1  0    30  120  16  60  -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+2  100  0   600  128 600 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+3  200  10  -1   4   10  -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+`
+	jobs, err := l.LoadJobs(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 has run time -1 (cancelled) and is skipped.
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs, want 2", len(jobs))
+	}
+	j := jobs[0]
+	if j.JobID != 1 || j.NodeCount != 16 || j.SubmitTime != 0 || j.StartTime != 30 || j.WallTime != 120 {
+		t.Errorf("job 1 = %+v", j)
+	}
+	// Utilization 60/120 = 0.5 → CPU power 90+0.5·190 = 185 W.
+	if math.Abs(j.CPUPowerW[0]-185) > 1e-9 {
+		t.Errorf("cpu power = %v, want 185", j.CPUPowerW[0])
+	}
+	// GPU power from the header annotation.
+	if j.GPUPowerW[0] != 460.9 {
+		t.Errorf("gpu power = %v, want 460.9 (annotated)", j.GPUPowerW[0])
+	}
+	// Job 2: fully busy CPU (600/600 → clamped 1.0 → 280 W).
+	if jobs[1].CPUPowerW[0] != 280 {
+		t.Errorf("job 2 cpu power = %v", jobs[1].CPUPowerW[0])
+	}
+	// Errors.
+	if _, err := l.LoadJobs(strings.NewReader("")); err == nil {
+		t.Error("empty swf should fail")
+	}
+	if _, err := l.LoadJobs(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, err := l.LoadJobs(strings.NewReader("x 0 0 10 4 5 0 0 0 0 0\n")); err == nil {
+		t.Error("bad id should fail")
+	}
+}
+
+func TestSWFRoundTripThroughRAPSSchema(t *testing.T) {
+	l, _ := LoaderByName("swf")
+	jobs, err := l.LoadJobs(strings.NewReader("7 50 25 300 64 150 0 0 0 0 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0].ToJob(90, 280, 88, 560)
+	if j.ReplayStart != 75 {
+		t.Errorf("replay start = %v, want submit+wait = 75", j.ReplayStart)
+	}
+	cu, gu := j.UtilAt(0)
+	if math.Abs(cu-0.5) > 1e-9 {
+		t.Errorf("cpu util = %v, want 0.5", cu)
+	}
+	if gu != 0 {
+		t.Errorf("gpu util = %v, want 0 (idle default)", gu)
+	}
+}
+
+func TestJobsJSONLRoundTripProperty(t *testing.T) {
+	// Arbitrary job records survive the JSONL round trip bit-exactly.
+	f := func(id int, nodes uint8, submit, wall float64, cpu, gpu []float64) bool {
+		rec := JobRecord{
+			JobName:    "prop",
+			JobID:      id,
+			NodeCount:  int(nodes%200) + 1,
+			SubmitTime: math.Mod(math.Abs(submit), 1e6),
+			WallTime:   math.Mod(math.Abs(wall), 1e5),
+			CPUPowerW:  sanitize(cpu),
+			GPUPowerW:  sanitize(gpu),
+		}
+		var buf bytes.Buffer
+		if err := WriteJobsJSONL(&buf, []JobRecord{rec}); err != nil {
+			return false
+		}
+		got, err := ReadJobsJSONL(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		if g.JobID != rec.JobID || g.NodeCount != rec.NodeCount ||
+			g.SubmitTime != rec.SubmitTime || g.WallTime != rec.WallTime {
+			return false
+		}
+		if len(g.CPUPowerW) != len(rec.CPUPowerW) || len(g.GPUPowerW) != len(rec.GPUPowerW) {
+			return false
+		}
+		for i := range rec.CPUPowerW {
+			if g.CPUPowerW[i] != rec.CPUPowerW[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize strips non-finite values (JSON cannot carry them) and bounds
+// length; the telemetry schema only ever holds finite watts.
+func sanitize(vals []float64) []float64 {
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(math.Abs(v), 1e4))
+		if len(out) == 64 {
+			break
+		}
+	}
+	return out
+}

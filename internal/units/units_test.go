@@ -1,0 +1,170 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFlowConversionsRoundTrip(t *testing.T) {
+	f := func(gpm float64) bool {
+		gpm = math.Mod(math.Abs(gpm), 20000)
+		m3s := gpm * GPMToM3s
+		return almostEqual(m3s*M3sToGPM, gpm, 1e-9*math.Max(1, gpm))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownFlowConversion(t *testing.T) {
+	// 10000 gpm (cooling tower loop order of magnitude) ≈ 0.6309 m³/s.
+	got := 10000 * GPMToM3s
+	if !almostEqual(got, 0.63090, 1e-4) {
+		t.Errorf("10000 gpm = %v m³/s, want ≈0.6309", got)
+	}
+}
+
+func TestPressureConversions(t *testing.T) {
+	if !almostEqual(100*PSIToPa, 689475.7293, 1e-3) {
+		t.Errorf("100 psi = %v Pa", 100*PSIToPa)
+	}
+	if !almostEqual(689475.7293*PaToPSI, 100, 1e-6) {
+		t.Errorf("round trip failed")
+	}
+}
+
+func TestTemperatureConversions(t *testing.T) {
+	cases := []struct{ c, f float64 }{
+		{0, 32}, {100, 212}, {-40, -40}, {37, 98.6},
+	}
+	for _, tc := range cases {
+		if !almostEqual(CToF(tc.c), tc.f, 1e-9) {
+			t.Errorf("CToF(%v) = %v, want %v", tc.c, CToF(tc.c), tc.f)
+		}
+		if !almostEqual(FToC(tc.f), tc.c, 1e-9) {
+			t.Errorf("FToC(%v) = %v, want %v", tc.f, FToC(tc.f), tc.c)
+		}
+	}
+	if !almostEqual(CToK(25), 298.15, 1e-12) {
+		t.Errorf("CToK(25) = %v", CToK(25))
+	}
+	if !almostEqual(KToC(CToK(25)), 25, 1e-12) {
+		t.Errorf("K/C round trip failed")
+	}
+}
+
+func TestWaterDensity(t *testing.T) {
+	cases := []struct{ tC, want, tol float64 }{
+		{4, 1000.0, 1.0},
+		{20, 998.2, 1.5},
+		{25, 997.0, 1.5},
+		{40, 992.2, 2.0},
+		{60, 983.2, 2.5},
+	}
+	for _, tc := range cases {
+		got := WaterDensity(tc.tC)
+		if !almostEqual(got, tc.want, tc.tol) {
+			t.Errorf("WaterDensity(%v) = %v, want %v±%v", tc.tC, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestWaterDensityMonotonicDecreasingAboveFour(t *testing.T) {
+	prev := WaterDensity(5)
+	for tC := 6.0; tC <= 80; tC++ {
+		d := WaterDensity(tC)
+		if d >= prev {
+			t.Fatalf("density not decreasing at %v °C: %v >= %v", tC, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestWaterSpecificHeat(t *testing.T) {
+	cases := []struct{ tC, want, tol float64 }{
+		{20, 4184, 8},
+		{25, 4180, 8},
+		{40, 4179, 10},
+	}
+	for _, tc := range cases {
+		got := WaterSpecificHeat(tc.tC)
+		if !almostEqual(got, tc.want, tc.tol) {
+			t.Errorf("WaterSpecificHeat(%v) = %v, want %v±%v", tc.tC, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestWaterViscosity(t *testing.T) {
+	// Reference: 1.0016 mPa·s at 20 °C, 0.6527 at 40 °C.
+	if got := WaterViscosity(20); !almostEqual(got, 1.0016e-3, 3e-5) {
+		t.Errorf("WaterViscosity(20) = %v", got)
+	}
+	if got := WaterViscosity(40); !almostEqual(got, 0.6527e-3, 3e-5) {
+		t.Errorf("WaterViscosity(40) = %v", got)
+	}
+}
+
+func TestHeatExtractedRoundTrip(t *testing.T) {
+	f := func(h, dT float64) bool {
+		h = 1e3 + math.Mod(math.Abs(h), 1e6) // 1 kW .. 1 GW-ish
+		dT = 1 + math.Mod(math.Abs(dT), 20)  // 1..21 °C
+		q := FlowForHeat(h, dT, 30)
+		return almostEqual(HeatExtracted(q, dT, 30), h, 1e-6*h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowForHeatZeroDT(t *testing.T) {
+	if got := FlowForHeat(1e6, 0, 30); got != 0 {
+		t.Errorf("FlowForHeat with zero dT = %v, want 0", got)
+	}
+}
+
+func TestHeatExtractedMagnitude(t *testing.T) {
+	// A CDU carrying ~750 kW with a 10 °C rise needs roughly 18 L/s (~285 gpm).
+	q := FlowForHeat(750e3, 10, 32)
+	gpm := q * M3sToGPM
+	if gpm < 250 || gpm > 330 {
+		t.Errorf("CDU flow = %v gpm, want 250-330", gpm)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-5, 0, 10, 0}, {15, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := Clamp(tc.v, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tc.v, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(10, 20, 0.5); got != 15 {
+		t.Errorf("Lerp mid = %v", got)
+	}
+	if got := Lerp(10, 20, 2); got != 30 {
+		t.Errorf("Lerp extrapolates: %v", got)
+	}
+	if got := LerpClamped(10, 20, 2); got != 20 {
+		t.Errorf("LerpClamped clamps: %v", got)
+	}
+	if got := LerpClamped(10, 20, -1); got != 10 {
+		t.Errorf("LerpClamped clamps low: %v", got)
+	}
+}
+
+func TestWToMW(t *testing.T) {
+	if WToMW(28.2e6) != 28.2 {
+		t.Errorf("WToMW failed")
+	}
+	if MWToW(28.2) != 28.2e6 {
+		t.Errorf("MWToW failed")
+	}
+}

@@ -1,0 +1,157 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Status is the JSON document served at /api/status.
+type Status struct {
+	TimeSec     float64 `json:"time_sec"`
+	PowerMW     float64 `json:"power_mw"`
+	LossMW      float64 `json:"loss_mw"`
+	Utilization float64 `json:"utilization"`
+	PUE         float64 `json:"pue"`
+	JobsRunning int     `json:"jobs_running"`
+	JobsPending int     `json:"jobs_pending"`
+}
+
+// SeriesPoint is one sample of the /api/series document.
+type SeriesPoint struct {
+	TimeSec float64 `json:"time_sec"`
+	PowerMW float64 `json:"power_mw"`
+	PUE     float64 `json:"pue"`
+	Util    float64 `json:"utilization"`
+}
+
+// Source supplies live data to the HTTP API. The core twin implements it.
+type Source interface {
+	// Status returns the current system status.
+	Status() Status
+	// Series returns the recorded history.
+	Series() []SeriesPoint
+	// CoolingOutputs returns the named 317-channel cooling snapshot, or
+	// nil when the cooling model is not coupled.
+	CoolingOutputs() map[string]float64
+}
+
+// ExperimentRunner launches a named what-if scenario with parameters and
+// returns a JSON-serializable result. It stands in for the paper's
+// Kubernetes-pod-per-experiment deployment (§III-B6).
+type ExperimentRunner func(params map[string]string) (any, error)
+
+// Server is the REST API backend (the dashboard's data source).
+type Server struct {
+	src    Source
+	runner ExperimentRunner
+
+	mu      sync.Mutex
+	results map[int]any
+	nextID  int
+}
+
+// NewServer builds a Server over the source. runner may be nil to
+// disable /api/run.
+func NewServer(src Source, runner ExperimentRunner) *Server {
+	return &Server{src: src, runner: runner, results: make(map[int]any), nextID: 1}
+}
+
+// Handler returns the HTTP handler exposing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/status", s.handleStatus)
+	mux.HandleFunc("GET /api/series", s.handleSeries)
+	mux.HandleFunc("GET /api/cooling", s.handleCooling)
+	mux.HandleFunc("POST /api/run", s.handleRun)
+	mux.HandleFunc("GET /api/experiments", s.handleExperiments)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.src.Status())
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.src.Series())
+}
+
+func (s *Server) handleCooling(w http.ResponseWriter, r *http.Request) {
+	out := s.src.CoolingOutputs()
+	if out == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "cooling model not coupled"})
+		return
+	}
+	// Stable key order for reproducible payloads.
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]map[string]float64, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, map[string]float64{k: out[k]})
+	}
+	writeJSON(w, http.StatusOK, ordered)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.runner == nil {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "no experiment runner configured"})
+		return
+	}
+	params := map[string]string{}
+	if err := r.ParseForm(); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	for k, vs := range r.Form {
+		if len(vs) > 0 {
+			params[k] = vs[0]
+		}
+	}
+	result, err := s.runner(params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.results[id] = result
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "result": result})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.results))
+	for id := range s.results {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, map[string]any{"id": id, "result": s.results[id]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Result fetches a stored experiment result by id.
+func (s *Server) Result(id int) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.results[id]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("viz: no experiment %d", id)
+}
