@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench-smoke bench-json ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Quick perf smoke: the headline day-replay benchmarks (with the
+# dense-vs-event speedup metric) plus the multi-day fan-out.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays' -benchtime 1x .
+
+# Emit the benchmark series as JSON (BENCH_PR1.json) so the perf
+# trajectory is tracked PR over PR.
+bench-json:
+	./scripts/bench_json.sh BENCH_PR1.json
+
+ci: build vet test bench-smoke

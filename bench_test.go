@@ -6,7 +6,10 @@ package exadigit
 // full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"exadigit/internal/exp"
 	"exadigit/internal/power"
@@ -124,23 +127,77 @@ func BenchmarkDC380(b *testing.B) {
 	}
 }
 
+// runTwinDay executes one full synthetic day on the requested engine.
+func runTwinDay(b *testing.B, engine string) *Result {
+	b.Helper()
+	tw, err := NewFrontierTwin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := tw.Run(Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15,
+		Engine: engine, NoExport: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkTwinDayUncooled measures the headline simulation rate the
 // paper quotes ("each 24-hour replay takes about nine minutes ... or just
 // three minutes without [cooling]"): one full simulated day per
-// iteration.
+// iteration on the event-driven engine. Outside the timed loop it also
+// replays the same day on the dense reference engine and reports the
+// measured speedup and the end-of-run energy divergence (the ISSUE 1
+// acceptance gates: ≥3× and <0.01 %).
 func BenchmarkTwinDayUncooled(b *testing.B) {
+	start := time.Now()
+	var res *Result
 	for i := 0; i < b.N; i++ {
-		tw, err := NewFrontierTwin()
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := tw.Run(Scenario{
+		res = runTwinDay(b, "event")
+	}
+	eventNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	b.StopTimer()
+	denseStart := time.Now()
+	dense := runTwinDay(b, "dense")
+	denseNs := float64(time.Since(denseStart).Nanoseconds())
+	b.ReportMetric(res.Report.AvgPowerMW, "avgMW")
+	b.ReportMetric(denseNs/eventNs, "speedup_vs_dense")
+	div := 100 * math.Abs(res.Report.EnergyMWh-dense.Report.EnergyMWh) / dense.Report.EnergyMWh
+	b.ReportMetric(div, "energyDiv%")
+	b.StartTimer()
+}
+
+// BenchmarkTwinDayDense pins the dense reference engine's rate so the
+// speedup trend stays visible in the recorded benchmark series.
+func BenchmarkTwinDayDense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runTwinDay(b, "dense")
+	}
+}
+
+// BenchmarkRunBatchDays measures the parallel what-if fan-out: one
+// synthetic day per logical CPU, spread across the worker pool.
+func BenchmarkRunBatchDays(b *testing.B) {
+	n := runtime.NumCPU()
+	scenarios := make([]Scenario, n)
+	for i := range scenarios {
+		gen := DefaultGeneratorConfig()
+		gen.Seed = int64(100 + i)
+		scenarios[i] = Scenario{
 			Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15,
-		})
+			Generator: gen, NoExport: true,
+		}
+	}
+	spec := FrontierSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunBatch(spec, scenarios, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.Report.AvgPowerMW, "avgMW")
+		b.ReportMetric(float64(len(res)), "days")
 	}
 }
 

@@ -24,12 +24,13 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run        = flag.String("run", "all", "comma-separated experiment ids (tableI..tableIV, fig4, fig7, fig8, fig9, smartrect, dc380, expansion, weather, ablation) or 'all'")
+		run        = flag.String("run", "all", "comma-separated experiment ids (tableI..tableIV, fig4, fig7, fig8, fig9, smartrect, dc380, expansion, weather, ablation, engine) or 'all'")
 		days       = flag.Int("days", 183, "days for the Table IV / what-if studies")
 		seed       = flag.Int64("seed", 42, "study random seed")
 		fig7Hours  = flag.Float64("fig7-hours", 24, "Fig. 7 validation window")
 		fig9Hours  = flag.Float64("fig9-hours", 24, "Fig. 9 replay window")
 		whatIfDays = flag.Int("whatif-days", 14, "days for the what-if studies")
+		workers    = flag.Int("workers", 0, "parallel day simulations (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 		return nil
 	})
 	runOne("tableiv", func() error {
-		t, _, err := exp.TableIV(exp.DailyConfig{Days: *days, Seed: *seed})
+		t, _, err := exp.TableIV(exp.DailyConfig{Days: *days, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -134,6 +135,14 @@ func main() {
 	})
 	runOne("weather", func() error {
 		t, _, err := exp.WeatherCorrelation(3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	runOne("engine", func() error {
+		t, _, err := exp.EngineComparison(*seed)
 		if err != nil {
 			return err
 		}

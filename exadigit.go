@@ -125,6 +125,14 @@ const (
 // Table I configuration.
 func NewFrontierTwin() (*Twin, error) { return core.NewFrontier() }
 
+// RunBatch executes a battery of scenarios against one machine
+// specification across a worker pool (runtime.NumCPU() when workers ≤ 0)
+// — the fan-out behind multi-day replays and what-if sweeps. Results are
+// indexed like the input scenarios.
+func RunBatch(spec SystemSpec, scenarios []Scenario, workers int) ([]*Result, error) {
+	return core.RunBatch(spec, scenarios, workers)
+}
+
 // NewTwin builds a twin from a machine specification.
 func NewTwin(spec SystemSpec) (*Twin, error) { return core.NewFromSpec(spec) }
 

@@ -1,0 +1,3 @@
+module exadigit
+
+go 1.24

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"exadigit/internal/config"
+)
+
+// RunBatch executes a battery of scenarios against the same machine
+// specification across a pool of workers, saturating the host the way
+// the paper runs "the different days in parallel" for its 183-day
+// replay study. Each scenario gets its own Twin (simulations share no
+// mutable state), results come back indexed like the input, and the
+// first scenario error aborts the batch. workers ≤ 0 uses
+// runtime.NumCPU().
+//
+// This is the generalized fan-out behind exp.RunDays and the what-if
+// sweeps: any mix of workloads, power modes, schedulers, and seeds can
+// ride the same pool.
+func RunBatch(spec config.SystemSpec, scenarios []Scenario, workers int) ([]*Result, error) {
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	results := make([]*Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				tw, err := NewFromSpec(spec)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = tw.Run(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			name := scenarios[i].Name
+			if name == "" {
+				name = string(scenarios[i].Workload)
+			}
+			return nil, fmt.Errorf("core: batch scenario %d (%s): %w", i, name, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"exadigit/internal/config"
+	"exadigit/internal/job"
+)
+
+func batchScenarios(n int, horizon float64) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		gen := job.DefaultGeneratorConfig()
+		gen.Seed = int64(1000 + i)
+		gen.MaxNodes = 9472
+		out[i] = Scenario{
+			Name:       "seed-" + string(rune('a'+i)),
+			Workload:   WorkloadSynthetic,
+			HorizonSec: horizon,
+			TickSec:    15,
+			Generator:  gen,
+			NoExport:   true,
+		}
+	}
+	return out
+}
+
+// TestRunBatchMatchesSerial: the parallel batch must produce exactly the
+// reports a serial loop over Twin.Run produces — worker scheduling must
+// not leak into results.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	spec := config.Frontier()
+	scenarios := batchScenarios(4, 1800)
+
+	batch, err := RunBatch(spec, scenarios, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(scenarios) {
+		t.Fatalf("batch returned %d results for %d scenarios", len(batch), len(scenarios))
+	}
+	for i, sc := range scenarios {
+		tw, err := NewFromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := tw.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := batch[i]
+		if b == nil || b.Report == nil {
+			t.Fatalf("scenario %d: missing result", i)
+		}
+		if b.Report.JobsCompleted != serial.Report.JobsCompleted {
+			t.Errorf("scenario %d jobs: batch %d vs serial %d",
+				i, b.Report.JobsCompleted, serial.Report.JobsCompleted)
+		}
+		if math.Abs(b.Report.EnergyMWh-serial.Report.EnergyMWh) > 1e-12 {
+			t.Errorf("scenario %d energy: batch %v vs serial %v",
+				i, b.Report.EnergyMWh, serial.Report.EnergyMWh)
+		}
+		if b.Dataset != nil {
+			t.Errorf("scenario %d: NoExport should suppress the dataset", i)
+		}
+	}
+}
+
+func TestRunBatchSingleWorker(t *testing.T) {
+	res, err := RunBatch(config.Frontier(), batchScenarios(3, 900), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r == nil || r.Report.EnergyMWh <= 0 {
+			t.Fatalf("scenario %d: bad result %+v", i, r)
+		}
+	}
+}
+
+func TestRunBatchErrorsPropagate(t *testing.T) {
+	bad := batchScenarios(2, 900)
+	bad[1].HorizonSec = -5
+	if _, err := RunBatch(config.Frontier(), bad, 0); err == nil {
+		t.Error("negative horizon should fail the batch")
+	}
+	bad[1].HorizonSec = 900
+	bad[0].Engine = "warp-drive"
+	if _, err := RunBatch(config.Frontier(), bad, 0); err == nil {
+		t.Error("unknown engine should fail the batch")
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	res, err := RunBatch(config.Frontier(), nil, 4)
+	if err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestScenarioEngineSelection: "dense" runs the reference engine and
+// matches the default event engine.
+func TestScenarioEngineSelection(t *testing.T) {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = 31
+	base := Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 1800, TickSec: 15,
+		Generator: gen, NoExport: true,
+	}
+	dense := base
+	dense.Engine = "dense"
+	event := base
+	event.Engine = "event"
+	res, err := RunBatch(config.Frontier(), []Scenario{dense, event}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, e := res[0].Report, res[1].Report
+	if d.JobsCompleted != e.JobsCompleted {
+		t.Errorf("jobs: dense %d vs event %d", d.JobsCompleted, e.JobsCompleted)
+	}
+	if rel := math.Abs(d.EnergyMWh-e.EnergyMWh) / d.EnergyMWh; rel > 1e-9 {
+		t.Errorf("energy diverges %v rel", rel)
+	}
+}
+
+func BenchmarkRunBatch(b *testing.B) {
+	spec := config.Frontier()
+	scenarios := batchScenarios(runtime.NumCPU(), 3600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(spec, scenarios, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

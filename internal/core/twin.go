@@ -64,6 +64,13 @@ type Scenario struct {
 	WetBulbC     float64
 	WeatherStart time.Time
 	WeatherSeed  int64
+	// Engine selects the power-evaluation strategy: "" or "event" for
+	// the event-driven incremental engine (the default), "dense" for the
+	// reference per-tick sweep kept for verification and baselining.
+	Engine string
+	// NoExport skips the telemetry-dataset export in the Result — the
+	// lean mode batch sweeps use when only the report matters.
+	NoExport bool
 }
 
 // Result carries everything a scenario produced.
@@ -160,6 +167,14 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	if sc.Policy != "" {
 		rcfg.Policy = sc.Policy
 	}
+	switch sc.Engine {
+	case "", "event":
+		rcfg.Engine = raps.EngineEvent
+	case "dense":
+		rcfg.Engine = raps.EngineDense
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q (want \"event\" or \"dense\")", sc.Engine)
+	}
 	rcfg.EnableCooling = sc.Cooling
 	rcfg.WetBulbC = tw.wetBulbFunc(&sc)
 
@@ -173,16 +188,19 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	name := sc.Name
-	if name == "" {
-		name = string(sc.Workload)
-	}
-	return &Result{
+	res := &Result{
 		Scenario: sc,
 		Report:   rep,
 		History:  sim.History(),
-		Dataset:  sim.ExportTelemetry(name),
-	}, nil
+	}
+	if !sc.NoExport {
+		name := sc.Name
+		if name == "" {
+			name = string(sc.Workload)
+		}
+		res.Dataset = sim.ExportTelemetry(name)
+	}
+	return res, nil
 }
 
 func (tw *Twin) wetBulbFunc(sc *Scenario) func(float64) float64 {

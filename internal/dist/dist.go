@@ -1,0 +1,69 @@
+// Package dist provides the random-variate distributions the synthetic
+// workload generator draws from (§III-B3): exponentially distributed
+// inter-arrival gaps (Eq. 5's Poisson process), log-normally distributed
+// node counts (heavy-tailed job sizes), and truncated-normal runtimes and
+// utilizations. Every draw goes through a caller-supplied *rand.Rand so
+// multi-day studies stay reproducible and parallelizable.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Exponential draws an exponentially distributed value with the given
+// mean — the Eq. 5 inter-arrival gap. Non-positive means return 0.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// LogNormal draws a log-normally distributed value parameterized by the
+// distribution's own mean and standard deviation (the form Table IV
+// quotes its statistics in), not the underlying normal's μ/σ. A
+// non-positive std degenerates to the mean; a non-positive mean to 0.
+func LogNormal(rng *rand.Rand, mean, std float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if std <= 0 {
+		return mean
+	}
+	// mean = exp(μ + σ²/2), var = (exp(σ²) − 1)·exp(2μ + σ²)
+	// ⇒ σ² = ln(1 + (std/mean)²), μ = ln(mean) − σ²/2.
+	s2 := math.Log(1 + (std/mean)*(std/mean))
+	mu := math.Log(mean) - s2/2
+	return math.Exp(mu + math.Sqrt(s2)*rng.NormFloat64())
+}
+
+// TruncNormal draws a normal value with the given mean and std,
+// resampling until it lands inside [lo, hi]. Swapped bounds are
+// reordered; a non-positive std — or bounds so far in the tail that
+// rejection keeps missing — clamps the mean into the interval instead.
+func TruncNormal(rng *rand.Rand, mean, std, lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if std <= 0 {
+		return clamp(mean, lo, hi)
+	}
+	for i := 0; i < 64; i++ {
+		v := mean + std*rng.NormFloat64()
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return clamp(mean, lo, hi)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

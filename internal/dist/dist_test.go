@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const samples = 200000
+
+func moments(draw func(*rand.Rand) float64) (mean, std float64) {
+	rng := rand.New(rand.NewSource(7))
+	var sum, sum2 float64
+	for i := 0; i < samples; i++ {
+		v := draw(rng)
+		sum += v
+		sum2 += v * v
+	}
+	mean = sum / samples
+	std = math.Sqrt(sum2/samples - mean*mean)
+	return mean, std
+}
+
+func TestExponentialMoments(t *testing.T) {
+	mean, std := moments(func(r *rand.Rand) float64 { return Exponential(r, 138) })
+	if math.Abs(mean-138)/138 > 0.02 {
+		t.Errorf("mean = %v, want ≈138", mean)
+	}
+	// Exponential: std == mean.
+	if math.Abs(std-138)/138 > 0.03 {
+		t.Errorf("std = %v, want ≈138", std)
+	}
+	if Exponential(rand.New(rand.NewSource(1)), 0) != 0 {
+		t.Error("non-positive mean should draw 0")
+	}
+}
+
+func TestExponentialNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if v := Exponential(rng, 50); v < 0 {
+			t.Fatalf("negative draw %v", v)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	// Parameterized directly by the distribution's mean/std (Table IV
+	// form): the sample moments must reproduce them.
+	mean, std := moments(func(r *rand.Rand) float64 { return LogNormal(r, 268, 400) })
+	if math.Abs(mean-268)/268 > 0.03 {
+		t.Errorf("mean = %v, want ≈268", mean)
+	}
+	if math.Abs(std-400)/400 > 0.06 {
+		t.Errorf("std = %v, want ≈400", std)
+	}
+}
+
+func TestLogNormalPositiveAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		if v := LogNormal(rng, 100, 300); v <= 0 {
+			t.Fatalf("non-positive draw %v", v)
+		}
+	}
+	if v := LogNormal(rng, 42, 0); v != 42 {
+		t.Errorf("zero std should return the mean, got %v", v)
+	}
+	if v := LogNormal(rng, 0, 10); v != 0 {
+		t.Errorf("zero mean should return 0, got %v", v)
+	}
+}
+
+func TestTruncNormalBoundsAndMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		v := TruncNormal(rng, 39, 14, 17, 101)
+		if v < 17 || v > 101 {
+			t.Fatalf("draw %v outside [17,101]", v)
+		}
+	}
+	// Mild truncation barely shifts the mean.
+	mean, _ := moments(func(r *rand.Rand) float64 { return TruncNormal(r, 39, 14, 17, 101) })
+	if math.Abs(mean-39) > 2 {
+		t.Errorf("mean = %v, want ≈39", mean)
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if v := TruncNormal(rng, 5, 0, 0, 1); v != 1 {
+		t.Errorf("zero std clamps the mean into bounds, got %v", v)
+	}
+	// Swapped bounds are reordered rather than rejected forever.
+	if v := TruncNormal(rng, 0.5, 0.1, 1, 0); v < 0 || v > 1 {
+		t.Errorf("swapped bounds draw %v outside [0,1]", v)
+	}
+	// Bounds unreachable by rejection fall back to a clamp.
+	if v := TruncNormal(rng, 0, 0.001, 100, 200); v != 100 {
+		t.Errorf("far-tail fallback = %v, want 100", v)
+	}
+}

@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"exadigit/internal/config"
+	"exadigit/internal/core"
 	"exadigit/internal/dist"
 	"exadigit/internal/job"
 	"exadigit/internal/power"
@@ -73,7 +73,10 @@ func dayWorkload(rng *rand.Rand, nodesTotal int) job.GeneratorConfig {
 }
 
 // RunDays simulates the requested number of synthetic telemetry days in
-// parallel, each through a full RAPS replay (Table IV's functional test).
+// parallel, each through a full RAPS replay (Table IV's functional
+// test). The fan-out rides core.RunBatch — one scenario per day, drawn
+// up front from the master seed so results are independent of worker
+// scheduling.
 func RunDays(cfg DailyConfig) (*DailySummary, error) {
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("exp: Days must be positive")
@@ -81,62 +84,31 @@ func RunDays(cfg DailyConfig) (*DailySummary, error) {
 	if cfg.TickSec <= 0 {
 		cfg.TickSec = 15
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > cfg.Days {
-		workers = cfg.Days
-	}
 
-	// Draw every day's workload up front so results are independent of
-	// worker scheduling.
 	master := rand.New(rand.NewSource(cfg.Seed))
-	gens := make([]job.GeneratorConfig, cfg.Days)
 	topo := power.FrontierTopology()
-	for d := range gens {
-		gens[d] = dayWorkload(master, topo.NodesTotal)
-	}
-
-	results := make([]DayResult, cfg.Days)
-	errs := make([]error, cfg.Days)
-	var wg sync.WaitGroup
-	dayCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range dayCh {
-				rep, err := runOneDay(gens[d], cfg)
-				results[d] = DayResult{Day: d, Report: rep}
-				errs[d] = err
-			}
-		}()
-	}
-	for d := 0; d < cfg.Days; d++ {
-		dayCh <- d
-	}
-	close(dayCh)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	scenarios := make([]core.Scenario, cfg.Days)
+	for d := range scenarios {
+		scenarios[d] = core.Scenario{
+			Name:       fmt.Sprintf("day-%d", d),
+			Workload:   core.WorkloadSynthetic,
+			HorizonSec: 86400,
+			TickSec:    cfg.TickSec,
+			PowerMode:  cfg.Mode.String(),
+			Generator:  dayWorkload(master, topo.NodesTotal),
+			NoExport:   true,
 		}
 	}
-	return summarizeDays(results)
-}
 
-func runOneDay(gen job.GeneratorConfig, cfg DailyConfig) (*raps.Report, error) {
-	model := power.NewFrontierModel()
-	model.Chain.Mode = cfg.Mode
-	jobs := job.NewGenerator(gen).GenerateHorizon(86400)
-	rcfg := raps.DefaultConfig()
-	rcfg.TickSec = cfg.TickSec
-	sim, err := raps.New(rcfg, model, jobs)
+	batch, err := core.RunBatch(config.Frontier(), scenarios, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(86400)
+	results := make([]DayResult, cfg.Days)
+	for d, res := range batch {
+		results[d] = DayResult{Day: d, Report: res.Report}
+	}
+	return summarizeDays(results)
 }
 
 func summarizeDays(days []DayResult) (*DailySummary, error) {

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineComparison pins the ISSUE 1 acceptance gates at the
+// experiment level: the event engine beats the dense reference by ≥3×
+// on a full synthetic day while diverging <0.01 % in energy.
+func TestEngineComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-day replays")
+	}
+	tbl, res, err := EngineComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 3 {
+		t.Errorf("event engine speedup = %.2f×, want ≥3×", res.Speedup)
+	}
+	if res.EnergyDivPct > 0.01 {
+		t.Errorf("energy divergence = %v %%, want <0.01", res.EnergyDivPct)
+	}
+	if res.JobsDense != res.JobsEvent {
+		t.Errorf("jobs completed: dense %d vs event %d", res.JobsDense, res.JobsEvent)
+	}
+	if !strings.Contains(tbl.String(), "speedup") {
+		t.Error("table missing speedup note")
+	}
+}

@@ -101,6 +101,15 @@ func sampleTrace(tr []float64, idx int) float64 {
 	return tr[idx]
 }
 
+// TraceFrozenAt reports whether the job's utilization can no longer
+// change once the trace index has reached idx: both traces are at (or
+// past) their final sample, which UtilAt holds constant thereafter. The
+// event-driven simulation loop uses this to stop scheduling trace-quantum
+// events for jobs whose utilization is frozen.
+func (j *Job) TraceFrozenAt(idx int) bool {
+	return idx >= len(j.CPUTrace)-1 && idx >= len(j.GPUTrace)-1
+}
+
 // TraceLen returns the number of trace quanta covering the wall time.
 func TraceLen(wallSec float64) int {
 	n := int(wallSec/TraceQuantaSec) + 1

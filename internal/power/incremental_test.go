@@ -1,0 +1,220 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relDiff returns |a-b| / max(|a|,|b|,1).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return d / m
+}
+
+func assertSystemPowerClose(t *testing.T, step int, want, got *SystemPower, tol float64) {
+	t.Helper()
+	check := func(name string, a, b float64) {
+		t.Helper()
+		if relDiff(a, b) > tol {
+			t.Fatalf("step %d: %s: dense %v vs incremental %v (rel %v)", step, name, a, b, relDiff(a, b))
+		}
+	}
+	check("TotalW", want.TotalW, got.TotalW)
+	check("NodeOutW", want.NodeOutW, got.NodeOutW)
+	check("RectLossW", want.RectLossW, got.RectLossW)
+	check("SivocLossW", want.SivocLossW, got.SivocLossW)
+	check("SwitchW", want.SwitchW, got.SwitchW)
+	check("CDUPumpW", want.CDUPumpW, got.CDUPumpW)
+	check("Breakdown.CPU", want.Breakdown.CPU, got.Breakdown.CPU)
+	check("Breakdown.GPU", want.Breakdown.GPU, got.Breakdown.GPU)
+	check("Breakdown.RAM", want.Breakdown.RAM, got.Breakdown.RAM)
+	check("Breakdown.NVMe", want.Breakdown.NVMe, got.Breakdown.NVMe)
+	check("Breakdown.NIC", want.Breakdown.NIC, got.Breakdown.NIC)
+	check("Breakdown.Total", want.Breakdown.Total(), got.Breakdown.Total())
+	if len(want.PerRackInputW) != len(got.PerRackInputW) {
+		t.Fatalf("step %d: rack count %d vs %d", step, len(want.PerRackInputW), len(got.PerRackInputW))
+	}
+	for i := range want.PerRackInputW {
+		check("PerRackInputW", want.PerRackInputW[i], got.PerRackInputW[i])
+	}
+	for i := range want.PerCDUInputW {
+		check("PerCDUInputW", want.PerCDUInputW[i], got.PerCDUInputW[i])
+	}
+}
+
+// TestIncrementalMatchesCompute drives a random sequence of job-shaped
+// utilization updates through both the dense reference Compute and the
+// incremental ComputeDelta, asserting every aggregate agrees to 1e-9
+// relative at every step (§ISSUE acceptance; in practice agreement is
+// ≲1e-12, and bit-exact for the non-breakdown fields).
+func TestIncrementalMatchesCompute(t *testing.T) {
+	for _, mode := range []Mode{ACBaseline, SmartRectifier, DC380} {
+		m := NewFrontierModel()
+		m.Chain.Mode = mode
+		inc := m.NewIncremental()
+		rng := rand.New(rand.NewSource(42))
+		n := m.Topo.NodesTotal
+
+		cpu := make([]float64, n)
+		gpu := make([]float64, n)
+		var ref SystemPower
+
+		type alloc struct {
+			nodes []int
+		}
+		var live []alloc
+		for step := 0; step < 60; step++ {
+			if len(live) > 0 && rng.Float64() < 0.3 {
+				// Release a random allocation.
+				k := rng.Intn(len(live))
+				a := live[k]
+				live = append(live[:k], live[k+1:]...)
+				inc.SetNodesIdle(a.nodes)
+				for _, nd := range a.nodes {
+					cpu[nd], gpu[nd] = 0, 0
+				}
+			} else {
+				// Start a job on a random contiguous-ish node set with a
+				// single utilization pair (how RAPS drives the model).
+				count := 1 + rng.Intn(800)
+				start := rng.Intn(n)
+				cu, gu := rng.Float64(), rng.Float64()
+				nodes := make([]int, 0, count)
+				for i := 0; i < count; i++ {
+					nodes = append(nodes, (start+i)%n)
+				}
+				inc.SetNodes(nodes, cu, gu)
+				for _, nd := range nodes {
+					cpu[nd], gpu[nd] = cu, gu
+				}
+				live = append(live, alloc{nodes: nodes})
+			}
+			got := inc.ComputeDelta()
+			m.Compute(cpu, gpu, &ref)
+			assertSystemPowerClose(t, step, &ref, got, 1e-9)
+
+			// Heat vectors agree too (per-CDU channel of the issue).
+			wantHeat := m.CDUHeatW(&ref)
+			gotHeat := m.CDUHeatInto(got, nil)
+			for i := range wantHeat {
+				if relDiff(wantHeat[i], gotHeat[i]) > 1e-9 {
+					t.Fatalf("mode %v step %d: CDU %d heat %v vs %v", mode, step, i, wantHeat[i], gotHeat[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalNoOpDelta pins the O(1) fast path: with no pending
+// changes ComputeDelta returns the cached state unchanged.
+func TestIncrementalNoOpDelta(t *testing.T) {
+	m := NewFrontierModel()
+	inc := m.NewIncremental()
+	nodes := []int{0, 1, 2, 100, 5000}
+	inc.SetNodes(nodes, 0.5, 0.8)
+	first := *inc.ComputeDelta()
+	if inc.Dirty() {
+		t.Fatal("engine still dirty after ComputeDelta")
+	}
+	// Re-applying identical utilization must not dirty anything.
+	inc.SetNodes(nodes, 0.5, 0.8)
+	if inc.Dirty() {
+		t.Fatal("identical utilization re-application dirtied the engine")
+	}
+	second := inc.ComputeDelta()
+	if first.TotalW != second.TotalW || first.NodeOutW != second.NodeOutW {
+		t.Fatalf("no-op delta changed totals: %v vs %v", first.TotalW, second.TotalW)
+	}
+}
+
+// TestIncrementalUnalignedTopology covers node counts that do not fill
+// the final chassis (the Setonix-style partitions), where the dense loop
+// pads with idle filler slots.
+func TestIncrementalUnalignedTopology(t *testing.T) {
+	m := NewFrontierModel()
+	m.Topo = Topology{
+		NodesTotal:      1592, // 12.4 racks — last chassis partial
+		NodesPerRack:    128,
+		NodesPerChassis: 16,
+		ChassisPerRack:  8,
+		SwitchesPerRack: 32,
+		RacksPerCDU:     3,
+		NumCDUs:         5,
+	}
+	if err := m.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inc := m.NewIncremental()
+	n := m.Topo.NodesTotal
+	cpu := make([]float64, n)
+	gpu := make([]float64, n)
+	rng := rand.New(rand.NewSource(9))
+	var ref SystemPower
+	for step := 0; step < 20; step++ {
+		count := 1 + rng.Intn(300)
+		start := rng.Intn(n)
+		cu, gu := rng.Float64(), rng.Float64()
+		nodes := make([]int, 0, count)
+		for i := 0; i < count; i++ {
+			nodes = append(nodes, (start+i)%n)
+		}
+		inc.SetNodes(nodes, cu, gu)
+		for _, nd := range nodes {
+			cpu[nd], gpu[nd] = cu, gu
+		}
+		got := inc.ComputeDelta()
+		m.Compute(cpu, gpu, &ref)
+		assertSystemPowerClose(t, step, &ref, got, 1e-9)
+	}
+}
+
+// TestSetNodesOutOfRange: indices outside the machine are ignored, not
+// panicked on (defensive parity with Compute's bounds handling).
+func TestSetNodesOutOfRange(t *testing.T) {
+	m := NewFrontierModel()
+	inc := m.NewIncremental()
+	before := inc.Power().TotalW
+	inc.SetNodes([]int{-1, m.Topo.NodesTotal, m.Topo.NodesTotal + 5}, 1, 1)
+	if inc.Dirty() {
+		t.Fatal("out-of-range nodes dirtied the engine")
+	}
+	if got := inc.ComputeDelta().TotalW; got != before {
+		t.Fatalf("total changed: %v vs %v", got, before)
+	}
+}
+
+func BenchmarkDenseCompute(b *testing.B) {
+	m := NewFrontierModel()
+	n := m.Topo.NodesTotal
+	cpu := make([]float64, n)
+	gpu := make([]float64, n)
+	for i := range cpu {
+		cpu[i], gpu[i] = 0.5, 0.7
+	}
+	var out SystemPower
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Compute(cpu, gpu, &out)
+	}
+}
+
+// BenchmarkIncrementalDelta measures a representative event tick: one
+// 268-node job (the Table IV average) crosses a trace quantum.
+func BenchmarkIncrementalDelta(b *testing.B) {
+	m := NewFrontierModel()
+	inc := m.NewIncremental()
+	nodes := make([]int, 268)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := 0.3 + 0.4*float64(i%2)
+		inc.SetNodes(nodes, u, u)
+		inc.ComputeDelta()
+	}
+}

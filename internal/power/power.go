@@ -420,11 +420,20 @@ func (m *Model) ComputeUniform(cpuUtil, gpuUtil float64, activeNodes int, out *S
 // CDUHeatW converts the per-CDU electrical input into the heat load fed to
 // the cooling model (input power × cooling efficiency, §III-B2).
 func (m *Model) CDUHeatW(p *SystemPower) []float64 {
-	heat := make([]float64, len(p.PerCDUInputW))
-	for i, w := range p.PerCDUInputW {
-		heat[i] = w * m.CoolingEff
+	return m.CDUHeatInto(p, nil)
+}
+
+// CDUHeatInto is the allocation-free variant of CDUHeatW for the 1 Hz
+// simulation loop: dst is reused when it has capacity.
+func (m *Model) CDUHeatInto(p *SystemPower, dst []float64) []float64 {
+	if cap(dst) < len(p.PerCDUInputW) {
+		dst = make([]float64, len(p.PerCDUInputW))
 	}
-	return heat
+	dst = dst[:len(p.PerCDUInputW)]
+	for i, w := range p.PerCDUInputW {
+		dst[i] = w * m.CoolingEff
+	}
+	return dst
 }
 
 func clamp01(v float64) float64 {

@@ -22,14 +22,21 @@ type JobEnergy struct {
 }
 
 // trackJobEnergy accumulates per-job node-level energy each tick; called
-// from Tick with the current utilizations already applied.
+// from Tick with the current utilizations already applied. Under the
+// event engine the per-node power is already cached per job for the
+// current trace quantum, so the Eq. 3 re-evaluation is skipped.
 func (s *Simulation) trackJobEnergy(dt float64) {
 	if s.jobEnergyJ == nil {
 		s.jobEnergyJ = make(map[int]float64)
 	}
 	for _, r := range s.sch.Running() {
-		cu, gu := r.UtilAt(s.now - r.StartTime)
-		p := s.model.Spec.NodePower(cu, gu) * float64(r.NodeCount)
+		var p float64
+		if rs, ok := s.runStates[r.ID]; ok {
+			p = rs.nodeP * float64(r.NodeCount)
+		} else {
+			cu, gu := r.UtilAt(s.now - r.StartTime)
+			p = s.model.Spec.NodePower(cu, gu) * float64(r.NodeCount)
+		}
 		s.jobEnergyJ[r.ID] += p * dt
 	}
 }

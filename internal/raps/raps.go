@@ -7,11 +7,20 @@
 // the FMU interface. At the end of a run the §III-B5 report is produced:
 // jobs completed, throughput, average power, energy, losses, CO₂
 // emissions (Eq. 6), and electricity cost.
+//
+// Utilization is piecewise-constant — it changes only when a job starts,
+// ends, or crosses a 15 s trace quantum — so the default EngineEvent
+// evaluates power incrementally (power.Incremental dirty-chassis deltas)
+// and Run integrates the accumulators analytically across event-free tick
+// gaps instead of sweeping all nodes every tick. EngineDense keeps the
+// original dense sweep as the reference implementation; equivalence is
+// pinned by TestEventEngineMatchesDense.
 package raps
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"exadigit/internal/cooling"
 	"exadigit/internal/fmu"
@@ -20,6 +29,21 @@ import (
 	"exadigit/internal/sched"
 	"exadigit/internal/telemetry"
 	"exadigit/internal/units"
+)
+
+// Engine selects the power-evaluation strategy.
+type Engine int
+
+const (
+	// EngineEvent (the default) tracks dirty chassis through
+	// power.Incremental and skips event-free tick gaps analytically.
+	// Results match EngineDense bit-for-bit on the report accumulators
+	// for chassis-aligned topologies (and to ≲1e-12 otherwise).
+	EngineEvent Engine = iota
+	// EngineDense re-evaluates every node every tick through
+	// Model.Compute — the reference implementation, kept for
+	// verification and as the baseline in perf comparisons.
+	EngineDense
 )
 
 // Config parameterizes a simulation run.
@@ -34,6 +58,9 @@ type Config struct {
 	CoolingDtSec float64
 	// EnableCooling couples the cooling FMU (≈3× slower, §IV-3).
 	EnableCooling bool
+	// Engine selects the power-evaluation strategy; the zero value is
+	// the event-driven incremental engine.
+	Engine Engine
 	// WetBulbC supplies the outdoor wet-bulb temperature over simulation
 	// time; nil means a constant 20 °C.
 	WetBulbC func(tSec float64) float64
@@ -46,7 +73,9 @@ type Config struct {
 	// EmissionIntensityFn optionally supplies a time-varying EI
 	// (lb CO₂/MWh) — the paper notes the grid's intensity "can vary
 	// regionally and even hourly". When set it overrides
-	// EmissionIntensity and enables carbon-aware what-if studies.
+	// EmissionIntensity and enables carbon-aware what-if studies. It is
+	// still sampled at every tick inside skipped gaps, so event skipping
+	// does not coarsen the carbon integral.
 	EmissionIntensityFn func(tSec float64) float64
 	// HistoryDtSec is the sampling period of the recorded series (15 s).
 	HistoryDtSec float64
@@ -110,6 +139,18 @@ type Report struct {
 	AvgRuntimeMin  float64
 }
 
+// runState caches the event-engine view of one running job: its current
+// trace quantum, the per-node power at that quantum, and the node
+// allocation (retained past Reap, which nils the job's own slice).
+type runState struct {
+	j      *job.Job
+	nodes  []int
+	idx    int // current trace-quantum index
+	cu, gu float64
+	nodeP  float64 // Eq. 3 per-node power at (cu, gu)
+	frozen bool    // trace exhausted: utilization can no longer change
+}
+
 // Simulation is one RAPS run in progress.
 type Simulation struct {
 	cfg    Config
@@ -121,16 +162,32 @@ type Simulation struct {
 	heatRefs []fmu.ValueRef
 	wbRef    fmu.ValueRef
 	itRef    fmu.ValueRef
+	// Preallocated cooling-coupling scratch (refs are constant).
+	coolRefs []fmu.ValueRef
+	coolVals []float64
+	fmuOut   []float64
 
 	pending []*job.Job // future arrivals, sorted by submit time
 	nextArr int
 
+	// Dense-engine state: per-node utilization arrays rebuilt each tick.
 	nodeCPU []float64
 	nodeGPU []float64
 
+	// Event-engine state.
+	inc       *power.Incremental
+	runStates map[int]*runState
+
 	now     float64
-	sp      power.SystemPower
+	sp      *power.SystemPower
 	history []Sample
+
+	// Cached per-CDU heat derived from sp; invalidated whenever power
+	// changes so history sampling and cooling coupling never recompute
+	// (or reallocate) it redundantly.
+	heatBuf   []float64
+	heatSum   float64
+	heatValid bool
 
 	// accumulators
 	energyJ      float64
@@ -153,10 +210,14 @@ type Simulation struct {
 }
 
 // New builds a simulation over the given power model. jobs may arrive in
-// any order; they are sorted by submit time internally.
+// any order; they are sorted by submit time internally. The model must
+// not be mutated after New — the event engine caches its parameters.
 func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 	if cfg.TickSec <= 0 {
 		return nil, fmt.Errorf("raps: TickSec must be positive")
+	}
+	if cfg.Engine != EngineEvent && cfg.Engine != EngineDense {
+		return nil, fmt.Errorf("raps: unknown engine %d", cfg.Engine)
 	}
 	if cfg.CoolingDtSec <= 0 {
 		cfg.CoolingDtSec = 15
@@ -181,9 +242,16 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 		cfg:       cfg,
 		model:     model,
 		sch:       sched.NewScheduler(model.Topo.NodesTotal, policy),
-		nodeCPU:   make([]float64, model.Topo.NodesTotal),
-		nodeGPU:   make([]float64, model.Topo.NodesTotal),
 		minPowerW: math.Inf(1),
+	}
+	if cfg.Engine == EngineDense {
+		s.nodeCPU = make([]float64, model.Topo.NodesTotal)
+		s.nodeGPU = make([]float64, model.Topo.NodesTotal)
+		s.sp = &power.SystemPower{}
+	} else {
+		s.inc = model.NewIncremental()
+		s.sp = s.inc.Power()
+		s.runStates = make(map[int]*runState)
 	}
 	s.pending = append(s.pending, jobs...)
 	sortJobsBySubmit(s.pending)
@@ -226,18 +294,19 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 			}
 			s.fmuGet = append(s.fmuGet, r)
 		}
+		s.coolRefs = append(append([]fmu.ValueRef{}, s.heatRefs...), s.wbRef, s.itRef)
+		s.coolVals = make([]float64, len(s.coolRefs))
+		s.fmuOut = make([]float64, len(s.fmuGet))
 		s.cool = inst
 	}
 	return s, nil
 }
 
 func sortJobsBySubmit(jobs []*job.Job) {
-	// insertion-stable sort by (submit, id)
-	for i := 1; i < len(jobs); i++ {
-		for k := i; k > 0 && less(jobs[k], jobs[k-1]); k-- {
-			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
-		}
-	}
+	// Stable sort by (submit, id); synthetic multi-day workloads reach
+	// thousands of jobs, so the old insertion sort's O(n²) worst case
+	// mattered.
+	sort.SliceStable(jobs, func(i, k int) bool { return less(jobs[i], jobs[k]) })
 }
 
 func less(a, b *job.Job) bool {
@@ -267,13 +336,22 @@ func (s *Simulation) CoolingPlant() *cooling.Plant {
 }
 
 // Run advances the simulation for the given horizon (Algorithm 1's
-// RUNSIMULATION) and returns the end-of-run report.
+// RUNSIMULATION) and returns the end-of-run report. Under EngineEvent,
+// tick gaps containing no event — no arrival, completion, trace-quantum
+// crossing, pinned replay start, or cooling boundary — are integrated
+// analytically in one pass instead of being simulated tick by tick.
 func (s *Simulation) Run(horizonSec float64) (*Report, error) {
 	steps := int(math.Round(horizonSec / s.cfg.TickSec))
-	for i := 0; i < steps; i++ {
+	for i := 0; i < steps; {
+		if k := s.skippableTicks(steps - i); k > 0 {
+			s.advanceQuiet(k)
+			i += k
+			continue
+		}
 		if err := s.Tick(); err != nil {
 			return nil, err
 		}
+		i++
 	}
 	return s.ReportNow(), nil
 }
@@ -284,8 +362,9 @@ func (s *Simulation) Tick() error {
 	s.now += dt
 
 	// Release completed jobs (lines 15-20); their nodes read as idle when
-	// utilizations are rebuilt below.
-	s.completed = append(s.completed, s.sch.Reap(s.now)...)
+	// utilizations are refreshed below.
+	done := s.sch.Reap(s.now)
+	s.completed = append(s.completed, done...)
 
 	// Admit newly arrived jobs (line 8).
 	for s.nextArr < len(s.pending) && s.pending[s.nextArr].SubmitTime <= s.now {
@@ -293,23 +372,16 @@ func (s *Simulation) Tick() error {
 		s.nextArr++
 	}
 	// Schedule (line 9).
-	s.sch.Schedule(s.now)
-
-	// Refresh per-node utilization from the running jobs' traces.
-	for i := range s.nodeCPU {
-		s.nodeCPU[i] = 0
-		s.nodeGPU[i] = 0
-	}
-	for _, r := range s.sch.Running() {
-		cu, gu := r.UtilAt(s.now - r.StartTime)
-		for _, n := range r.Nodes {
-			s.nodeCPU[n] = cu
-			s.nodeGPU[n] = gu
-		}
-	}
+	started := s.sch.Schedule(s.now)
 
 	// Recalculate power and apply losses (lines 21-22).
-	s.model.Compute(s.nodeCPU, s.nodeGPU, &s.sp)
+	if s.inc != nil {
+		s.applyDeltas(done, started)
+	} else {
+		s.denseRefresh()
+		s.model.Compute(s.nodeCPU, s.nodeGPU, s.sp)
+		s.heatValid = false
+	}
 	s.accumulate(dt)
 	s.trackJobEnergy(dt)
 
@@ -327,33 +399,214 @@ func (s *Simulation) Tick() error {
 	return nil
 }
 
+// denseRefresh rebuilds the per-node utilization arrays from the running
+// jobs' traces — the reference path's full sweep.
+func (s *Simulation) denseRefresh() {
+	for i := range s.nodeCPU {
+		s.nodeCPU[i] = 0
+		s.nodeGPU[i] = 0
+	}
+	for _, r := range s.sch.Running() {
+		cu, gu := r.UtilAt(s.now - r.StartTime)
+		for _, n := range r.Nodes {
+			s.nodeCPU[n] = cu
+			s.nodeGPU[n] = gu
+		}
+	}
+}
+
+// applyDeltas feeds this tick's utilization changes — completions,
+// starts, and trace-quantum crossings — into the incremental engine.
+func (s *Simulation) applyDeltas(done, started []*job.Job) {
+	for _, j := range done {
+		if rs, ok := s.runStates[j.ID]; ok {
+			s.inc.SetNodesIdle(rs.nodes)
+			delete(s.runStates, j.ID)
+		}
+	}
+	for _, j := range started {
+		t := s.now - j.StartTime
+		idx := int(t / job.TraceQuantaSec)
+		cu, gu := j.UtilAt(t)
+		rs := &runState{
+			j: j, nodes: j.Nodes, idx: idx, cu: cu, gu: gu,
+			nodeP:  s.model.Spec.NodePower(cu, gu),
+			frozen: j.TraceFrozenAt(idx),
+		}
+		s.inc.SetNodes(rs.nodes, cu, gu)
+		s.runStates[j.ID] = rs
+	}
+	for _, j := range s.sch.Running() {
+		rs, ok := s.runStates[j.ID]
+		if !ok || rs.frozen {
+			continue
+		}
+		t := s.now - j.StartTime
+		idx := int(t / job.TraceQuantaSec)
+		if idx == rs.idx {
+			continue
+		}
+		rs.idx = idx
+		rs.frozen = j.TraceFrozenAt(idx)
+		cu, gu := j.UtilAt(t)
+		if cu != rs.cu || gu != rs.gu {
+			rs.cu, rs.gu = cu, gu
+			rs.nodeP = s.model.Spec.NodePower(cu, gu)
+			s.inc.SetNodes(rs.nodes, cu, gu)
+		}
+	}
+	if s.inc.Dirty() {
+		s.heatValid = false
+	}
+	s.inc.ComputeDelta()
+}
+
+// skippableTicks returns how many upcoming ticks are guaranteed
+// event-free — no arrival, completion, trace-quantum crossing, pinned
+// replay start, or cooling boundary falls on them — and may therefore be
+// integrated analytically. Returns 0 under EngineDense (the reference
+// path simulates every tick) and 0 when the next tick may carry an
+// event. Scheduler state cannot change between events: queued jobs only
+// start when a completion or arrival frees resources, and EASY-backfill
+// eligibility (now + walltime ≤ shadow) only shrinks as time advances.
+func (s *Simulation) skippableTicks(maxTicks int) int {
+	if s.inc == nil || maxTicks <= 0 {
+		return 0
+	}
+	dt := s.cfg.TickSec
+	next := math.Inf(1)
+	consider := func(t float64) {
+		if t < next {
+			next = t
+		}
+	}
+	if s.nextArr < len(s.pending) {
+		consider(s.pending[s.nextArr].SubmitTime)
+	}
+	for _, rs := range s.runStates {
+		consider(rs.j.StartTime + rs.j.WallTimeSec)
+		if !rs.frozen {
+			consider(rs.j.StartTime + float64(rs.idx+1)*job.TraceQuantaSec)
+		}
+	}
+	if t := s.sch.NextPinnedStart(s.now); t >= 0 {
+		consider(t)
+	}
+	if s.cool != nil {
+		period := s.cfg.CoolingDtSec
+		consider((math.Floor((s.now+1e-6)/period) + 1) * period)
+	}
+	if math.IsInf(next, 1) {
+		return maxTicks
+	}
+	// The event triggers on the first tick whose time reaches `next`;
+	// everything strictly before it is skippable. The epsilon keeps
+	// exact-multiple gaps robust against float noise (conservative: at
+	// worst one extra full Tick runs).
+	k := int(math.Ceil((next-s.now)/dt-1e-9)) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k > maxTicks {
+		k = maxTicks
+	}
+	return k
+}
+
+// advanceQuiet integrates k event-free ticks. Power, utilization, and
+// job state are constant across the gap, so the per-tick model sweep and
+// scheduler pass are elided; the accumulator arithmetic is kept
+// per-tick-identical to Tick so results match the dense path. History
+// samples falling inside the gap are still recorded at their exact times
+// (from the cached power state), and a time-varying emission intensity
+// is still sampled every tick.
+func (s *Simulation) advanceQuiet(k int) {
+	dt := s.cfg.TickSec
+	p := s.sp.TotalW
+	loss := s.sp.LossW()
+	nodeOut := s.sp.NodeOutW
+	util := float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total())
+	ei := s.cfg.EmissionIntensity
+	fn := s.cfg.EmissionIntensityFn
+	pue := 0.0
+	if s.cool != nil {
+		pue = s.cool.Plant().PUE()
+	}
+	for i := 0; i < k; i++ {
+		s.now += dt
+		e := p * dt
+		s.energyJ += e
+		if fn != nil {
+			ei = fn(s.now)
+		}
+		s.weightedEIJ += e * ei
+		s.lossJ += loss * dt
+		s.nodeOutJ += nodeOut * dt
+		s.convInJ += (nodeOut + loss) * dt
+		s.utilSum += util * dt
+		if s.cool != nil && pue > 0 {
+			s.pueSum += pue
+			s.pueCount++
+		}
+		if s.now-s.lastHistoryT >= s.cfg.HistoryDtSec-1e-9 {
+			s.recordSample()
+			s.lastHistoryT = s.now
+		}
+		s.ticks++
+	}
+	if p > s.maxPowerW {
+		s.maxPowerW = p
+	}
+	if p < s.minPowerW {
+		s.minPowerW = p
+	}
+	if loss > s.maxLossW {
+		s.maxLossW = loss
+	}
+	if len(s.runStates) > 0 {
+		if s.jobEnergyJ == nil {
+			s.jobEnergyJ = make(map[int]float64)
+		}
+		gap := dt * float64(k)
+		for id, rs := range s.runStates {
+			s.jobEnergyJ[id] += rs.nodeP * float64(rs.j.NodeCount) * gap
+		}
+	}
+}
+
 // onBoundary reports whether the current time is a multiple of period.
 func (s *Simulation) onBoundary(period float64) bool {
 	m := math.Mod(s.now+1e-9, period)
 	return m < s.cfg.TickSec-1e-9 || period-m < 1e-6
 }
 
-func (s *Simulation) stepCooling() error {
-	heat := s.model.CDUHeatW(&s.sp)
-	vals := make([]float64, 0, len(heat)+2)
-	refs := make([]fmu.ValueRef, 0, len(heat)+2)
-	for i, h := range heat {
-		refs = append(refs, s.heatRefs[i])
-		vals = append(vals, h)
+// cduHeat returns the cached per-CDU heat vector for the current power
+// state, recomputing it only after the power changed.
+func (s *Simulation) cduHeat() []float64 {
+	if !s.heatValid {
+		s.heatBuf = s.model.CDUHeatInto(s.sp, s.heatBuf)
+		s.heatSum = 0
+		for _, h := range s.heatBuf {
+			s.heatSum += h
+		}
+		s.heatValid = true
 	}
+	return s.heatBuf
+}
+
+func (s *Simulation) stepCooling() error {
+	heat := s.cduHeat()
+	n := copy(s.coolVals, heat)
 	wb := 20.0
 	if s.cfg.WetBulbC != nil {
 		wb = s.cfg.WetBulbC(s.now)
 	}
-	refs = append(refs, s.wbRef, s.itRef)
-	vals = append(vals, wb, s.sp.TotalW)
-	if err := s.cool.SetReal(refs, vals); err != nil {
+	s.coolVals[n] = wb
+	s.coolVals[n+1] = s.sp.TotalW
+	if err := s.cool.SetReal(s.coolRefs, s.coolVals); err != nil {
 		return err
 	}
-	if err := s.cool.DoStep(s.cfg.CoolingDtSec); err != nil {
-		return err
-	}
-	return nil
+	return s.cool.DoStep(s.cfg.CoolingDtSec)
 }
 
 func (s *Simulation) accumulate(dt float64) {
@@ -364,9 +617,10 @@ func (s *Simulation) accumulate(dt float64) {
 		ei = s.cfg.EmissionIntensityFn(s.now)
 	}
 	s.weightedEIJ += p * dt * ei
-	s.lossJ += s.sp.LossW() * dt
+	loss := s.sp.LossW()
+	s.lossJ += loss * dt
 	s.nodeOutJ += s.sp.NodeOutW * dt
-	s.convInJ += (s.sp.NodeOutW + s.sp.LossW()) * dt
+	s.convInJ += (s.sp.NodeOutW + loss) * dt
 	util := float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total())
 	s.utilSum += util * dt
 	if p > s.maxPowerW {
@@ -375,8 +629,8 @@ func (s *Simulation) accumulate(dt float64) {
 	if p < s.minPowerW {
 		s.minPowerW = p
 	}
-	if l := s.sp.LossW(); l > s.maxLossW {
-		s.maxLossW = l
+	if loss > s.maxLossW {
+		s.maxLossW = loss
 	}
 	if s.cool != nil {
 		if pue := s.cool.Plant().PUE(); pue > 0 {
@@ -397,19 +651,15 @@ func (s *Simulation) recordSample() {
 		JobsPending: s.sch.Pending(),
 	}
 	if s.sp.TotalW > 0 {
-		heat := 0.0
-		for _, h := range s.model.CDUHeatW(&s.sp) {
-			heat += h
-		}
-		smp.EtaCooling = heat / s.sp.TotalW
+		s.cduHeat()
+		smp.EtaCooling = s.heatSum / s.sp.TotalW
 	}
 	if s.cool != nil {
 		smp.PUE = s.cool.Plant().PUE()
-		out := make([]float64, len(s.fmuGet))
-		if err := s.cool.GetReal(s.fmuGet, out); err == nil {
-			smp.HTWReturnC = out[0]
-			smp.HTWSupplyC = out[1]
-			for _, v := range out[2:] {
+		if err := s.cool.GetReal(s.fmuGet, s.fmuOut); err == nil {
+			smp.HTWReturnC = s.fmuOut[0]
+			smp.HTWSupplyC = s.fmuOut[1]
+			for _, v := range s.fmuOut[2:] {
 				if v > smp.SecSupplyMaxC {
 					smp.SecSupplyMaxC = v
 				}
@@ -417,7 +667,7 @@ func (s *Simulation) recordSample() {
 		}
 	}
 	if s.cfg.RecordCDUHeat {
-		smp.CDUHeatW = s.model.CDUHeatW(&s.sp)
+		smp.CDUHeatW = append([]float64(nil), s.cduHeat()...)
 	}
 	s.history = append(s.history, smp)
 }

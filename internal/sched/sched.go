@@ -247,6 +247,25 @@ func (s *Scheduler) Schedule(now float64) []*job.Job {
 	return started
 }
 
+// NextPinnedStart returns the earliest ReplayStart strictly after now
+// among queued replay-pinned jobs, or -1 when there is none. The
+// event-driven simulation loop uses it as an event horizon: between two
+// consecutive events nothing in the scheduler's state can change, so
+// future pinned starts must be surfaced as events of their own. Pinned
+// jobs whose start time has already passed are excluded — they are
+// waiting on nodes, and the completion that frees nodes is an event
+// already, so reporting the past time would only pin the horizon to the
+// present and disable gap skipping.
+func (s *Scheduler) NextPinnedStart(now float64) float64 {
+	next := -1.0
+	for _, j := range s.pending {
+		if j.ReplayStart > now && (next < 0 || j.ReplayStart < next) {
+			next = j.ReplayStart
+		}
+	}
+	return next
+}
+
 // shadowTime computes the earliest time the blocked head could start,
 // assuming running jobs end at StartTime+WallTimeSec.
 func (s *Scheduler) shadowTime(now float64, head *job.Job) float64 {

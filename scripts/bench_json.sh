@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Run the headline benchmarks and emit them as a JSON array so the perf
+# trajectory can be tracked PR over PR (BENCH_PR1.json onward).
+#
+# Usage: scripts/bench_json.sh [output.json]
+set -e
+out=${1:-BENCH_PR1.json}
+
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays' -benchtime 1x . |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = $3
+		extra = ""
+		# $4 is the "ns/op" unit; the extra ReportMetric fields follow as
+		# "<value> <unit>" pairs.
+		for (i = 5; i + 1 <= NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/"/, "", unit)
+			gsub(/\\/, "", unit)
+			extra = extra sprintf(", \"%s\": %s", unit, $i)
+		}
+		if (n++) printf(",\n")
+		printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, $2, ns, extra)
+	}
+	BEGIN { printf("[\n") }
+	END { printf("\n]\n") }
+	' >"$out"
+
+echo "wrote $out" >&2
