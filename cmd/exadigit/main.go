@@ -5,10 +5,17 @@
 // over HTTP, so what-if experiments can be launched and recalled exactly
 // as through the paper's Kubernetes-hosted dashboard.
 //
+// The serve subcommand starts the twin-as-a-service backend instead: the
+// concurrent scenario-sweep API (submit/status/cancel, content-addressed
+// result cache, NDJSON result streaming) mounted alongside the dashboard
+// endpoints.
+//
 // Usage:
 //
 //	exadigit [-addr :8080] [-workload synthetic] [-horizon 2h]
 //	         [-cooling] [-once]
+//	exadigit serve [-addr :8080] [-workers N] [-cache 1024]
+//	               [-spec spec.json] [-warm 15m]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"exadigit"
@@ -24,6 +32,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("exadigit: ")
+
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
 
 	var (
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
@@ -62,6 +75,65 @@ func main() {
 	log.Printf("  POST /api/run          — launch a what-if (workload=, mode=, horizon_sec=, cooling=)")
 	log.Printf("  GET  /api/experiments  — recall stored what-if results")
 	if err := http.ListenAndServe(*addr, exadigit.DashboardHandler(tw)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the twin-as-a-service mode: the sweep API plus the
+// dashboard endpoints on one listener.
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "HTTP listen address")
+		workers  = fs.Int("workers", 0, "concurrent simulations across all sweeps (0 = all CPUs)")
+		cacheCap = fs.Int("cache", 1024, "result-cache capacity (scenario results)")
+		specPath = fs.String("spec", "", "system spec JSON for the dashboard twin (default: built-in Frontier)")
+		warm     = fs.Duration("warm", 15*time.Minute, "warm-up scenario horizon for the dashboard twin (0 skips)")
+	)
+	_ = fs.Parse(args)
+
+	spec := exadigit.FrontierSpec()
+	if *specPath != "" {
+		loaded, err := exadigit.LoadSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = *loaded
+	}
+	tw, err := exadigit.NewTwin(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *warm > 0 {
+		log.Printf("warming dashboard twin with a %v synthetic scenario...", *warm)
+		if _, err := tw.Run(exadigit.Scenario{
+			Workload:   exadigit.WorkloadSynthetic,
+			HorizonSec: warm.Seconds(),
+			TickSec:    15,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{
+		Workers: *workers, CacheCap: *cacheCap,
+	})
+	mux := http.NewServeMux()
+	sweepAPI := svc.Handler()
+	mux.Handle("/api/sweeps", sweepAPI)
+	mux.Handle("/api/sweeps/", sweepAPI)
+	mux.Handle("/", exadigit.DashboardHandler(tw))
+
+	log.Printf("serving twin-as-a-service on %s (%d workers, cache %d)",
+		*addr, svc.Workers(), *cacheCap)
+	log.Printf("  POST /api/sweeps               — submit a scenario sweep")
+	log.Printf("  GET  /api/sweeps               — list sweeps + cache stats")
+	log.Printf("  GET  /api/sweeps/{id}          — sweep status")
+	log.Printf("  GET  /api/sweeps/{id}/results  — completed results")
+	log.Printf("  GET  /api/sweeps/{id}/stream   — NDJSON results as they complete")
+	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued work")
+	log.Printf("  (dashboard endpoints /api/status, /api/series, /api/cooling, /api/run remain mounted)")
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"exadigit/internal/job"
 	"exadigit/internal/optimize"
 	"exadigit/internal/raps"
+	"exadigit/internal/service"
 	"exadigit/internal/surrogate"
 	"exadigit/internal/telemetry"
 	"exadigit/internal/uq"
@@ -135,6 +136,39 @@ func RunBatch(spec SystemSpec, scenarios []Scenario, workers int) ([]*Result, er
 
 // NewTwin builds a twin from a machine specification.
 func NewTwin(spec SystemSpec) (*Twin, error) { return core.NewFromSpec(spec) }
+
+// Twin-as-a-service types (§III-B6): the long-running scenario-sweep
+// backend with a shared worker pool, per-spec compiled state, and a
+// content-addressed result cache.
+type (
+	// SweepService is the concurrent scenario-sweep server.
+	SweepService = service.Service
+	// SweepServiceOptions sizes the worker pool and result cache.
+	SweepServiceOptions = service.Options
+	// Sweep is one submitted battery of scenarios.
+	Sweep = service.Sweep
+	// SweepOptions parameterizes one submission.
+	SweepOptions = service.SweepOptions
+	// SweepStatus is a point-in-time sweep snapshot.
+	SweepStatus = service.SweepStatus
+	// CompiledSpec shares per-spec power models and the cooling FMU
+	// design read-only across scenario runs.
+	CompiledSpec = core.CompiledSpec
+)
+
+// NewSweepService builds the scenario-sweep server. Mount its Handler()
+// under /api/sweeps (see cmd/exadigit serve) or drive it directly with
+// Submit.
+func NewSweepService(opts SweepServiceOptions) *SweepService { return service.New(opts) }
+
+// CompileSpec validates a spec and precompiles its shared artifacts —
+// power models and cooling FMU design — for reuse across every scenario
+// run against it (CompiledSpec.RunBatch, CompiledSpec.Twin).
+func CompileSpec(spec SystemSpec) (*CompiledSpec, error) { return core.Compile(spec) }
+
+// HashScenario returns a scenario's canonical content hash — the
+// scenario half of the sweep service's (spec, scenario) cache key.
+func HashScenario(sc Scenario) (string, error) { return service.HashScenario(sc) }
 
 // FrontierSpec returns the built-in Frontier system specification.
 func FrontierSpec() SystemSpec { return config.Frontier() }

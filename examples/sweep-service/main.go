@@ -1,0 +1,129 @@
+// Sweep service: drive the twin-as-a-service API the way the paper's
+// REST backend runs what-if experiments (§III-B6). Submit a 12-scenario
+// what-if sweep over HTTP, tail the NDJSON stream as results complete,
+// re-submit the identical sweep to watch the content-addressed result
+// cache serve it instantly, and stream one scenario's full telemetry
+// as NDJSON.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"exadigit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The long-running service: worker pool + compiled specs + cache.
+	// `exadigit serve` mounts exactly this handler on a real listener.
+	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{Workers: 4})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	fmt.Printf("sweep API serving at %s\n\n", srv.URL)
+
+	// A 12-scenario what-if sweep: four seeded synthetic days under each
+	// of the three conversion architectures.
+	submit := map[string]any{
+		"name":      "conversion-whatif",
+		"spec_name": "frontier",
+		"scenarios": []map[string]any{},
+	}
+	var scenarios []map[string]any
+	for _, mode := range []string{"ac-baseline", "smart-rectifier", "dc380"} {
+		for seed := 1; seed <= 4; seed++ {
+			scenarios = append(scenarios, map[string]any{
+				"name":        fmt.Sprintf("%s-day%d", mode, seed),
+				"workload":    "synthetic",
+				"horizon_sec": 6 * 3600,
+				"tick_sec":    15,
+				"power_mode":  mode,
+				"generator":   map[string]any{"arrival_mean_sec": 138, "nodes_mean": 268, "nodes_std": 626, "max_nodes": 9472, "wall_mean_sec": 2340, "wall_std_sec": 840, "wall_min_sec": 60, "wall_max_sec": 21600, "cpu_util_mean": 0.45, "cpu_util_std": 0.25, "gpu_util_mean": 0.7, "gpu_util_std": 0.25, "util_jitter": 0.05, "single_node_fraction": 0.32, "seed": seed},
+			})
+		}
+	}
+	submit["scenarios"] = scenarios
+
+	body, _ := json.Marshal(submit)
+	post := func() (id string) {
+		resp, err := http.Post(srv.URL+"/api/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ack struct {
+			ID       string `json:"id"`
+			SpecHash string `json:"spec_hash"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("POST /api/sweeps → id %s (spec %s…)\n", ack.ID, ack.SpecHash[:12])
+		return ack.ID
+	}
+
+	// Cold submission: every scenario simulates through the pool. Tail
+	// the stream endpoint — one NDJSON line per result as it lands.
+	start := time.Now()
+	id := post()
+	resp, err := http.Get(srv.URL + "/api/sweeps/" + id + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var e struct {
+			Name    string `json:"name"`
+			State   string `json:"state"`
+			WallSec float64 `json:"wall_sec"`
+			Report  struct {
+				AvgPowerMW float64 `json:"AvgPowerMW"`
+				EnergyMWh  float64 `json:"EnergyMWh"`
+			} `json:"report"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stream: %-24s %-6s %6.2f MW  %7.1f MWh  (%.2fs)\n",
+			e.Name, e.State, e.Report.AvgPowerMW, e.Report.EnergyMWh, e.WallSec)
+	}
+	resp.Body.Close()
+	fmt.Printf("cold sweep: %d scenarios in %v\n\n", len(scenarios), time.Since(start).Round(time.Millisecond))
+
+	// Warm re-submission: identical content hashes → served from cache.
+	start = time.Now()
+	id2 := post()
+	sw, _ := svc.Sweep(id2)
+	if err := sw.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	st := sw.Status()
+	fmt.Printf("warm sweep: %d cached of %d in %v\n\n", st.Cached, st.Total, time.Since(start).Round(time.Millisecond))
+
+	// Streaming telemetry: run one scenario with an NDJSON sink attached;
+	// samples leave incrementally during the run instead of materializing
+	// the dense export.
+	tw, err := exadigit.NewFrontierTwin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if _, err := tw.Run(exadigit.Scenario{
+		Workload: exadigit.WorkloadSynthetic, HorizonSec: 2 * 3600, TickSec: 15,
+		WetBulbC: 20, NoExport: true, TelemetryTo: &stream,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	lines := bytes.Count(stream.Bytes(), []byte("\n"))
+	fmt.Printf("streamed telemetry: %d NDJSON lines, %d bytes (first line: %s)\n",
+		lines, stream.Len(), bytes.SplitN(stream.Bytes(), []byte("\n"), 2)[0])
+}

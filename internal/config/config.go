@@ -8,9 +8,12 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"exadigit/internal/power"
 )
@@ -249,8 +252,20 @@ func (p *PartitionSpec) Topology() (power.Topology, error) {
 	return t, t.Validate()
 }
 
-// BuildModel assembles the power model for one partition.
+// modelBuilds counts BuildModel calls process-wide. It exists so sweep
+// tests can assert the per-spec power model is built once and shared
+// across scenarios, not rebuilt per worker.
+var modelBuilds atomic.Uint64
+
+// ModelBuilds returns how many partition power models have been
+// assembled since process start (build-sharing instrumentation).
+func ModelBuilds() uint64 { return modelBuilds.Load() }
+
+// BuildModel assembles the power model for one partition. The returned
+// model is never mutated by simulations, so callers may share it
+// read-only across concurrent runs.
 func (p *PartitionSpec) BuildModel() (*power.Model, error) {
+	modelBuilds.Add(1)
 	topo, err := p.Topology()
 	if err != nil {
 		return nil, err
@@ -307,6 +322,19 @@ func modeByName(name string) (power.Mode, error) {
 	default:
 		return 0, fmt.Errorf("config: unknown power mode %q", name)
 	}
+}
+
+// Hash returns the canonical content hash of the spec: the hex SHA-256
+// of its JSON encoding. Two specs hash equal iff every field matches, so
+// the hash keys shared compiled state and content-addressed result
+// caches across sweep submissions.
+func (s *SystemSpec) Hash() (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("config: hash: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Parse decodes and validates a SystemSpec from JSON.

@@ -94,13 +94,33 @@ type Outputs struct {
 	PUE float64
 }
 
-// Snapshot decodes the plant's current condition into an Outputs record.
+// Snapshot decodes the plant's current condition into a fresh Outputs
+// record. The simulation hot loop uses SnapshotInto instead to reuse one
+// record across steps.
 func (p *Plant) Snapshot() *Outputs {
+	out := &Outputs{}
+	p.SnapshotInto(out)
+	return out
+}
+
+// SnapshotInto decodes the plant's current condition into out, reusing
+// its slices when they have capacity — the allocation-free variant of
+// Snapshot for the 15 s FMU coupling loop.
+func (p *Plant) SnapshotInto(out *Outputs) {
 	cfg := p.cfg
-	out := &Outputs{
-		CDUs:      make([]CDUOutputs, len(p.cdus)),
-		FanPowerW: make([]float64, cfg.NumFanChannels),
+	if cap(out.CDUs) < len(p.cdus) {
+		out.CDUs = make([]CDUOutputs, len(p.cdus))
 	}
+	out.CDUs = out.CDUs[:len(p.cdus)]
+	if cap(out.FanPowerW) < cfg.NumFanChannels {
+		out.FanPowerW = make([]float64, cfg.NumFanChannels)
+	}
+	out.FanPowerW = out.FanPowerW[:cfg.NumFanChannels]
+	for i := range out.FanPowerW {
+		out.FanPowerW[i] = 0
+	}
+	out.HTWPPowerW, out.HTWPSpeed = [4]float64{}, [4]float64{}
+	out.CTWPPowerW, out.CTWPSpeed = [4]float64{}, [4]float64{}
 	for i := range p.cdus {
 		c := &p.cdus[i]
 		secHead := cfg.SecLoopK * c.qSec * c.qSec
@@ -154,14 +174,22 @@ func (p *Plant) Snapshot() *Outputs {
 	out.FacilitySupplyPa = cfg.StaticPressPa + p.htwHeadPa
 	out.FacilityReturnPa = cfg.StaticPressPa + 0.1*p.htwHeadPa
 	out.PUE = p.PUE()
-	return out
 }
 
 // Vector flattens the outputs into the FMU-ordered 317-element slice.
 // Layout: per CDU ×11, then primary loop ×10, CT loop ×25, facility ×6,
 // PUE.
 func (o *Outputs) Vector() []float64 {
-	v := make([]float64, 0, NumOutputs)
+	return o.VectorInto(nil)
+}
+
+// VectorInto flattens the outputs into v (reused when it has capacity)
+// and returns it — the allocation-free variant of Vector.
+func (o *Outputs) VectorInto(v []float64) []float64 {
+	if cap(v) < NumOutputs {
+		v = make([]float64, 0, NumOutputs)
+	}
+	v = v[:0]
 	for i := range o.CDUs {
 		c := &o.CDUs[i]
 		v = append(v,

@@ -95,6 +95,14 @@ type Plant struct {
 
 	// scratch state vector for the ODE integrator
 	state []float64
+	// stepper and thermalIn persist across Step calls so the RK4 stage
+	// buffers are allocated once per plant, not once per control period
+	// (the bulk of the old ~156 allocs per cooled tick).
+	stepper   *ode.FixedStepper
+	thermalIn Inputs
+	// hydraulic scratch reused across solveHydraulics calls
+	branchKs  []float64
+	primFlows []float64
 }
 
 // New builds a plant in a warm-started condition near its typical
@@ -151,6 +159,9 @@ func New(cfg Config) (*Plant, error) {
 		p.secFouling[i] = 1
 	}
 	p.state = make([]float64, p.Dim())
+	p.stepper = ode.NewFixedStepper(thermalSystem{p: p}, ode.RK4)
+	p.branchKs = make([]float64, cfg.NumCDUs)
+	p.primFlows = make([]float64, cfg.NumCDUs)
 	return p, nil
 }
 
@@ -249,11 +260,11 @@ func (p *Plant) solveHydraulics() {
 	// Primary loop: staged HTWPs against fixed piping plus the parallel
 	// CDU branch network (valve + HEX primary side per branch).
 	hexK := 20e3 / (cfg.PrimBranchQ * cfg.PrimBranchQ)
-	branchKs := make([]float64, len(p.cdus))
+	branchKs := p.branchKs
 	for i := range p.cdus {
 		branchKs[i] = p.cdus[i].valve.Resistance().K + hexK
 	}
-	eqBranch := hydro.Parallel(resistances(branchKs)...)
+	eqBranch := hydro.ParallelK(branchKs)
 	htwBank := hydro.PumpBank{Curve: cfg.HTWPump, N: p.htwpStager.Count(), Speed: p.htwpSpeed}
 	qHTW, htwHead, err := hydro.SolveLoop(htwBank, func(q float64) float64 {
 		return cfg.HTWLoopK*q*q + eqBranch.Drop(q)
@@ -262,10 +273,10 @@ func (p *Plant) solveHydraulics() {
 		qHTW, htwHead = 0, 0
 	}
 	p.qHTW, p.htwHeadPa = qHTW, htwHead
-	flows, headerDP := hydro.SplitParallel(qHTW, branchKs)
+	headerDP := hydro.SplitParallelInto(qHTW, branchKs, p.primFlows)
 	p.headerDPPa = headerDP
 	for i := range p.cdus {
-		p.cdus[i].qPrim = flows[i]
+		p.cdus[i].qPrim = p.primFlows[i]
 	}
 	p.htwpPowerW = htwBank.Power(htwHead)
 
@@ -285,10 +296,11 @@ func (p *Plant) solveHydraulics() {
 }
 
 // thermalSystem adapts the plant's energy balance to ode.System with the
-// hydraulic solution held fixed over the step.
+// hydraulic solution held fixed over the step. The step inputs are read
+// from p.thermalIn so one stepper (and its RK4 stage buffers) serves
+// every integrateThermal call.
 type thermalSystem struct {
-	p  *Plant
-	in Inputs
+	p *Plant
 }
 
 // Dim implements ode.System.
@@ -298,6 +310,7 @@ func (s thermalSystem) Dim() int { return s.p.Dim() }
 // [secHot0, secCold0, ..., htwSupply, htwReturn, ctwSupply, ctwReturn].
 func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 	p := s.p
+	in := &p.thermalIn
 	cfg := p.cfg
 	n := len(p.cdus)
 
@@ -321,7 +334,7 @@ func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 
 		// Rack pass: the secondary stream picks up the CDU heat load.
 		hot := thermal.Volume{Mass: cfg.SecVolumeKg, T: secHotT}
-		dydt[2*i] = hot.DTdt(mdotSec, secColdT, s.in.CDUHeatW[i])
+		dydt[2*i] = hot.DTdt(mdotSec, secColdT, in.CDUHeatW[i])
 
 		// HEX-1600: secondary (hot) → primary (cold).
 		q, secOutT, primOutT := cfg.CDUHex.Transfer(secHotT, mdotSec, htwSupplyT, mdotPrim)
@@ -347,7 +360,7 @@ func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 	// Cooling-tower cells reject to the wet bulb.
 	cells := p.cellStager.Count()
 	perCell := mdotCTW / float64(cells)
-	cellOutT := cfg.Tower.Outlet(ctwReturnT, s.in.WetBulbC, p.fanSpeed, perCell)
+	cellOutT := cfg.Tower.Outlet(ctwReturnT, in.WetBulbC, p.fanSpeed, perCell)
 	p.towerRejW = mdotCTW * units.WaterSpecificHeat(ctwReturnT) * (ctwReturnT - cellOutT)
 
 	hs := thermal.Volume{Mass: cfg.HTWVolumeKg, T: htwSupplyT}
@@ -372,8 +385,8 @@ func (p *Plant) integrateThermal(dt float64, in Inputs) {
 	y[2*n+2] = p.ctwSupply.T
 	y[2*n+3] = p.ctwReturn.T
 
-	stepper := ode.NewFixedStepper(thermalSystem{p: p, in: in}, ode.RK4)
-	stepper.Integrate(0, dt, y, dt)
+	p.thermalIn = in
+	p.stepper.Integrate(0, dt, y, dt)
 
 	for i := range p.cdus {
 		p.cdus[i].secHot.T = y[2*i]
@@ -436,14 +449,6 @@ func (p *Plant) SettleToSteadyState(in Inputs, maxSeconds float64) error {
 		prevR, prevCS, prevCR = p.htwReturn.T, p.ctwSupply.T, p.ctwReturn.T
 	}
 	return nil
-}
-
-func resistances(ks []float64) []hydro.Resistance {
-	out := make([]hydro.Resistance, len(ks))
-	for i, k := range ks {
-		out[i] = hydro.Resistance{K: k}
-	}
-	return out
 }
 
 func clampInt(v, lo, hi int) int {

@@ -23,8 +23,20 @@ func RunBatch(spec config.SystemSpec, scenarios []Scenario, workers int) ([]*Res
 	if len(scenarios) == 0 {
 		return nil, nil
 	}
-	if err := spec.Validate(); err != nil {
+	cs, err := Compile(spec)
+	if err != nil {
 		return nil, err
+	}
+	return cs.RunBatch(scenarios, workers)
+}
+
+// RunBatch executes the scenarios against the compiled spec, sharing its
+// power models and cooling design across every worker — the per-scenario
+// setup cost is paid once per spec, not once per run. See RunBatch (the
+// package function) for semantics.
+func (cs *CompiledSpec) RunBatch(scenarios []Scenario, workers int) ([]*Result, error) {
+	if len(scenarios) == 0 {
+		return nil, nil
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -41,12 +53,8 @@ func RunBatch(spec config.SystemSpec, scenarios []Scenario, workers int) ([]*Res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tw := cs.Twin()
 			for i := range idxCh {
-				tw, err := NewFromSpec(spec)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
 				results[i], errs[i] = tw.Run(scenarios[i])
 			}
 		}()

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"exadigit/internal/config"
+	"exadigit/internal/cooling"
+	"exadigit/internal/fmu"
+	"exadigit/internal/power"
+)
+
+// CompiledSpec is a validated SystemSpec with its expensive derived
+// artifacts — the per-mode power models and the cooling FMU design —
+// built once and shared read-only by every scenario run against it. A
+// RunBatch worker or service sweep that rebuilds these per scenario pays
+// the full 9472-node model assembly and 300+-variable FMU description
+// walk each time; compiling once amortizes that across the whole sweep.
+//
+// All methods are safe for concurrent use; the cached artifacts are
+// immutable once built (simulations read them but never write).
+type CompiledSpec struct {
+	spec config.SystemSpec
+	hash string
+
+	mu     sync.Mutex
+	models map[string]*power.Model
+
+	coolOnce   sync.Once
+	coolDesign *fmu.Design
+	coolErr    error
+}
+
+// Compile validates the spec and wraps it for shared use. Power models
+// and the cooling design are built lazily, on first demand per power
+// mode, and cached for the lifetime of the CompiledSpec.
+func Compile(spec config.SystemSpec) (*CompiledSpec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledSpec{
+		spec:   spec,
+		hash:   hash,
+		models: make(map[string]*power.Model),
+	}, nil
+}
+
+// Spec returns a copy of the underlying system specification.
+func (cs *CompiledSpec) Spec() config.SystemSpec { return cs.spec }
+
+// Hash returns the spec's canonical content hash — the spec half of the
+// (spec, scenario) result-cache key.
+func (cs *CompiledSpec) Hash() string { return cs.hash }
+
+// Model returns the partition-0 power model with the given power mode
+// applied ("" keeps the spec's own mode), building it on first use and
+// serving the shared instance afterwards.
+func (cs *CompiledSpec) Model(mode string) (*power.Model, error) {
+	key := mode
+	if key == "" {
+		key = cs.spec.Partitions[0].Power.Mode
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if m, ok := cs.models[key]; ok {
+		return m, nil
+	}
+	part := cs.spec.Partitions[0]
+	if mode != "" {
+		part.Power.Mode = mode
+	}
+	m, err := part.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	cs.models[key] = m
+	return m, nil
+}
+
+// CoolingDesign returns the shared FMU design for the spec's cooling
+// plant, compiling it on first use. The plant itself is Frontier-shaped
+// today (matching the pre-existing raps coupling and the hand-calibrated
+// cooling.Frontier configuration); generalizing it to AutoCSM-synthesized
+// plants is a ROADMAP follow-on.
+func (cs *CompiledSpec) CoolingDesign() (*fmu.Design, error) {
+	cs.coolOnce.Do(func() {
+		cs.coolDesign, cs.coolErr = fmu.NewDesign(cooling.Frontier())
+	})
+	if cs.coolErr != nil {
+		return nil, fmt.Errorf("core: cooling design: %w", cs.coolErr)
+	}
+	return cs.coolDesign, nil
+}
+
+// Twin returns a fresh Twin bound to the compiled spec. Twins are cheap
+// (all heavy state is shared through the CompiledSpec) but not safe for
+// concurrent use themselves — create one per worker.
+func (cs *CompiledSpec) Twin() *Twin {
+	return &Twin{Spec: cs.spec, compiled: cs}
+}

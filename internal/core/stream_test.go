@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"exadigit/internal/config"
+	"exadigit/internal/job"
+	"exadigit/internal/telemetry"
+)
+
+// TestStreamedTelemetryMatchesExport: the NDJSON stream written
+// incrementally during a run must reassemble into exactly the dataset
+// the in-memory ExportTelemetry materializes after it — bit-for-bit
+// (JSON float64 encoding round-trips exactly).
+func TestStreamedTelemetryMatchesExport(t *testing.T) {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = 9
+	var buf bytes.Buffer
+	sc := Scenario{
+		Name:       "stream-equiv",
+		Workload:   WorkloadSynthetic,
+		HorizonSec: 2 * 3600,
+		TickSec:    15,
+		Generator:  gen,
+		// WetBulbC deliberately unset: the synthetic weather generator is
+		// stateful (noise advances per query), the hardest case for
+		// stream/export agreement — the export must reuse the streamed
+		// points rather than re-sampling.
+		WeatherSeed: 3,
+		TelemetryTo: &buf,
+	}
+	tw, err := NewFromSpec(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tw.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset == nil {
+		t.Fatal("export missing (NoExport unset)")
+	}
+	if len(res.Dataset.Series) == 0 || len(res.Dataset.Jobs) == 0 {
+		t.Fatal("export is empty; test needs real content")
+	}
+
+	streamed, err := telemetry.ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Epoch != res.Dataset.Epoch || streamed.SeriesDtSec != res.Dataset.SeriesDtSec {
+		t.Errorf("meta diverges: %q/%v vs %q/%v",
+			streamed.Epoch, streamed.SeriesDtSec, res.Dataset.Epoch, res.Dataset.SeriesDtSec)
+	}
+	if len(streamed.Jobs) != len(res.Dataset.Jobs) {
+		t.Fatalf("streamed %d jobs, export has %d", len(streamed.Jobs), len(res.Dataset.Jobs))
+	}
+	for i := range streamed.Jobs {
+		if !reflect.DeepEqual(streamed.Jobs[i], res.Dataset.Jobs[i]) {
+			t.Fatalf("job record %d diverges:\nstream: %+v\nexport: %+v",
+				i, streamed.Jobs[i], res.Dataset.Jobs[i])
+		}
+	}
+	if len(streamed.Series) != len(res.Dataset.Series) {
+		t.Fatalf("streamed %d series points, export has %d",
+			len(streamed.Series), len(res.Dataset.Series))
+	}
+	for i := range streamed.Series {
+		if streamed.Series[i] != res.Dataset.Series[i] {
+			t.Fatalf("series point %d diverges: stream %+v vs export %+v",
+				i, streamed.Series[i], res.Dataset.Series[i])
+		}
+	}
+}
+
+// TestTelemetrySinkDoesNotPerturbResults: attaching a streaming sink
+// must be invisible to the simulation — in particular the sink must not
+// advance the run's stateful wet-bulb source, which the cooling
+// coupling samples (a shared closure would change PUE and the report).
+func TestTelemetrySinkDoesNotPerturbResults(t *testing.T) {
+	run := func(streamed bool) *Result {
+		gen := job.DefaultGeneratorConfig()
+		gen.Seed = 12
+		sc := Scenario{
+			Workload: WorkloadSynthetic, HorizonSec: 1800, TickSec: 15,
+			Generator: gen, Cooling: true, WeatherSeed: 5,
+			NoExport: true,
+		}
+		if streamed {
+			sc.TelemetryTo = &bytes.Buffer{}
+		}
+		tw, err := NewFromSpec(config.Frontier())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tw.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, streamed := run(false), run(true)
+	if plain.Report.EnergyMWh != streamed.Report.EnergyMWh {
+		t.Errorf("energy changed by attaching a sink: %v vs %v",
+			plain.Report.EnergyMWh, streamed.Report.EnergyMWh)
+	}
+	if plain.Report.AvgPUE != streamed.Report.AvgPUE {
+		t.Errorf("PUE changed by attaching a sink: %v vs %v",
+			plain.Report.AvgPUE, streamed.Report.AvgPUE)
+	}
+}
+
+// TestSyntheticJobBoundRejectsRunaway: a near-zero arrival mean (HTTP
+// reachable through the sweep service) must be rejected, not generate
+// horizon/mean jobs.
+func TestSyntheticJobBoundRejectsRunaway(t *testing.T) {
+	tw, err := NewFromSpec(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := job.DefaultGeneratorConfig()
+	gen.ArrivalMeanSec = 1e-9
+	if _, err := tw.Run(Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15, Generator: gen,
+	}); err == nil {
+		t.Fatal("near-zero arrival mean must be rejected")
+	}
+	gen.ArrivalMeanSec = -1
+	if _, err := tw.Run(Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 3600, TickSec: 15, Generator: gen,
+	}); err == nil {
+		t.Fatal("negative arrival mean must be rejected")
+	}
+}
+
+// TestNoHistoryLeanMode: NoHistory drops the in-memory series from the
+// result while the report and any streaming sink stay intact.
+func TestNoHistoryLeanMode(t *testing.T) {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = 4
+	var buf bytes.Buffer
+	tw, err := NewFromSpec(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tw.Run(Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 1800, TickSec: 15,
+		Generator: gen, WetBulbC: 20,
+		NoExport: true, NoHistory: true, TelemetryTo: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 0 {
+		t.Errorf("NoHistory run retained %d samples", len(res.History))
+	}
+	if res.Report == nil || res.Report.EnergyMWh <= 0 {
+		t.Error("report missing under NoHistory")
+	}
+	streamed, err := telemetry.ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(1800 / 15); len(streamed.Series) != want {
+		t.Errorf("stream carried %d series points under NoHistory, want %d",
+			len(streamed.Series), want)
+	}
+}
+
+// TestCompiledSpecSharesModelsAcrossModes: one compiled spec serves each
+// power mode from cache and shares the instance across twins.
+func TestCompiledSpecSharesModelsAcrossModes(t *testing.T) {
+	cs, err := Compile(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1, err := cs.Model("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := cs.Model("ac-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base1 != base2 {
+		t.Error("default mode and explicit ac-baseline should share one model")
+	}
+	dc, err := cs.Model("dc380")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == base1 {
+		t.Error("dc380 must be a distinct model")
+	}
+	if dc2, _ := cs.Model("dc380"); dc2 != dc {
+		t.Error("dc380 model not cached")
+	}
+	if _, err := cs.Model("warp-drive"); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	d1, err := cs.CoolingDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2, _ := cs.CoolingDesign(); d2 != d1 {
+		t.Error("cooling design not cached")
+	}
+	if len(cs.Hash()) != 64 {
+		t.Errorf("bad spec hash %q", cs.Hash())
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"exadigit/internal/config"
@@ -71,6 +72,18 @@ type Scenario struct {
 	// NoExport skips the telemetry-dataset export in the Result — the
 	// lean mode batch sweeps use when only the report matters.
 	NoExport bool
+	// NoHistory additionally skips storing the recorded series, so the
+	// Result carries only the report — huge sweeps stop pinning ~0.6 MB
+	// of samples per simulated day in result caches. Combine with
+	// NoExport (an export after a NoHistory run has no series);
+	// TelemetryTo still streams every sample.
+	NoHistory bool
+	// TelemetryTo, when non-nil, streams the run's telemetry as NDJSON
+	// to the writer incrementally — series samples as they are recorded
+	// during the run, job records at the end — instead of (or alongside)
+	// materializing the Result.Dataset export. Combine with NoExport for
+	// long replays that should never hold the dense export in memory.
+	TelemetryTo io.Writer
 }
 
 // Result carries everything a scenario produced.
@@ -80,12 +93,16 @@ type Result struct {
 	History  []raps.Sample
 	// Dataset is the exported telemetry of the run.
 	Dataset *telemetry.Dataset
+	// WallSec is the wall-clock cost of the run in seconds — the
+	// per-scenario timing batch sweeps and ablations report.
+	WallSec float64
 }
 
 // Twin is a live digital twin of one system.
 type Twin struct {
 	Spec config.SystemSpec
 
+	compiled  *CompiledSpec
 	sim       *raps.Simulation
 	lastModel *power.Model
 }
@@ -93,22 +110,31 @@ type Twin struct {
 // NewFrontier builds a twin of Frontier.
 func NewFrontier() (*Twin, error) { return NewFromSpec(config.Frontier()) }
 
-// NewFromSpec builds a twin from a machine specification.
+// NewFromSpec builds a twin from a machine specification. The twin owns
+// a private CompiledSpec, so repeated Run calls (including across power
+// modes) reuse the same power models and cooling design; batch sweeps
+// share one CompiledSpec across every worker instead.
 func NewFromSpec(spec config.SystemSpec) (*Twin, error) {
-	if err := spec.Validate(); err != nil {
+	cs, err := Compile(spec)
+	if err != nil {
 		return nil, err
 	}
-	return &Twin{Spec: spec}, nil
+	return cs.Twin(), nil
 }
 
-// buildModel constructs the partition-0 power model with the scenario's
-// power mode applied.
+// buildModel returns the partition-0 power model with the scenario's
+// power mode applied, served from the compiled spec's shared cache.
 func (tw *Twin) buildModel(mode string) (*power.Model, error) {
-	part := tw.Spec.Partitions[0]
-	if mode != "" {
-		part.Power.Mode = mode
+	if tw.compiled == nil {
+		// Twin built as a literal rather than through NewFromSpec /
+		// CompiledSpec.Twin: compile its spec on first use.
+		cs, err := Compile(tw.Spec)
+		if err != nil {
+			return nil, err
+		}
+		tw.compiled = cs
 	}
-	return part.BuildModel()
+	return tw.compiled.Model(mode)
 }
 
 // buildJobs realizes the scenario workload.
@@ -132,9 +158,23 @@ func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) 
 		return []*job.Job{job.NewOpenMxP(1, 0, wall)}, nil
 	case WorkloadSynthetic:
 		cfg := sc.Generator
+		if cfg.ArrivalMeanSec < 0 {
+			// A non-positive mean would stall the Poisson clock; reject
+			// rather than looping (this path is reachable from the sweep
+			// service's HTTP submissions).
+			return nil, fmt.Errorf("core: generator arrival_mean_sec must be positive")
+		}
 		if cfg.ArrivalMeanSec == 0 {
 			cfg = job.DefaultGeneratorConfig()
 			cfg.MaxNodes = model.Topo.NodesTotal
+		}
+		// Runaway bound, also HTTP-reachable: a near-zero mean would
+		// generate horizon/mean jobs and exhaust memory in one request.
+		const maxSyntheticJobs = 1_000_000
+		if expected := sc.HorizonSec / cfg.ArrivalMeanSec; expected > maxSyntheticJobs {
+			return nil, fmt.Errorf(
+				"core: horizon %.0fs at arrival mean %.3gs implies ~%.2g jobs (cap %d); raise arrival_mean_sec",
+				sc.HorizonSec, cfg.ArrivalMeanSec, expected, maxSyntheticJobs)
 		}
 		return job.NewGenerator(cfg).GenerateHorizon(sc.HorizonSec), nil
 	case WorkloadReplay:
@@ -152,6 +192,7 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	if sc.HorizonSec <= 0 {
 		return nil, fmt.Errorf("core: scenario horizon must be positive")
 	}
+	start := time.Now()
 	model, err := tw.buildModel(sc.PowerMode)
 	if err != nil {
 		return nil, err
@@ -175,8 +216,43 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown engine %q (want \"event\" or \"dense\")", sc.Engine)
 	}
+	rcfg.NoHistory = sc.NoHistory
 	rcfg.EnableCooling = sc.Cooling
+	if sc.Cooling {
+		if rcfg.CoolingDesign, err = tw.compiled.CoolingDesign(); err != nil {
+			return nil, err
+		}
+	}
 	rcfg.WetBulbC = tw.wetBulbFunc(&sc)
+
+	name := sc.Name
+	if name == "" {
+		name = string(sc.Workload)
+	}
+	// Streaming sink: series samples leave through the writer as the run
+	// records them; job records follow once the run is over. The sink
+	// samples its own wet-bulb closure — never the simulation's, whose
+	// state the cooling coupling depends on (the synthetic weather
+	// generator advances noise per query, so sharing it would make
+	// attaching a sink change the run's results). The points are also
+	// captured for the in-memory export (when requested), so stream and
+	// export stay bit-for-bit identical.
+	var stream *telemetry.StreamWriter
+	var captured []telemetry.SeriesPoint
+	if sc.TelemetryTo != nil {
+		stream = telemetry.NewStreamWriter(sc.TelemetryTo, name, rcfg.HistoryDtSec)
+		capture := !sc.NoExport
+		streamWB := tw.wetBulbFunc(&sc)
+		rcfg.OnSample = func(smp raps.Sample) {
+			p := telemetry.SeriesPoint{
+				TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: streamWB(smp.TimeSec),
+			}
+			stream.Series(p)
+			if capture {
+				captured = append(captured, p)
+			}
+		}
+	}
 
 	sim, err := raps.New(rcfg, model, jobs)
 	if err != nil {
@@ -188,18 +264,31 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if stream != nil {
+		sim.ForEachJobRecord(func(r telemetry.JobRecord) { stream.Job(r) })
+		if err := stream.Flush(); err != nil {
+			return nil, fmt.Errorf("core: telemetry stream: %w", err)
+		}
+	}
 	res := &Result{
 		Scenario: sc,
 		Report:   rep,
 		History:  sim.History(),
 	}
 	if !sc.NoExport {
-		name := sc.Name
-		if name == "" {
-			name = string(sc.Workload)
+		if stream != nil {
+			// Reuse the streamed points rather than re-querying the
+			// wet-bulb source (see the capture comment above).
+			d := &telemetry.Dataset{
+				Epoch: name, SeriesDtSec: rcfg.HistoryDtSec, Series: captured,
+			}
+			sim.ForEachJobRecord(func(r telemetry.JobRecord) { d.Jobs = append(d.Jobs, r) })
+			res.Dataset = d
+		} else {
+			res.Dataset = sim.ExportTelemetry(name)
 		}
-		res.Dataset = sim.ExportTelemetry(name)
 	}
+	res.WallSec = time.Since(start).Seconds()
 	return res, nil
 }
 

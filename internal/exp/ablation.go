@@ -5,9 +5,10 @@ import (
 	"math"
 	"time"
 
+	"exadigit/internal/config"
 	"exadigit/internal/cooling"
+	"exadigit/internal/core"
 	"exadigit/internal/job"
-	"exadigit/internal/power"
 	"exadigit/internal/raps"
 )
 
@@ -16,6 +17,8 @@ import (
 // swept and each variant's steady state and wall-clock cost are compared
 // against the 1 s reference. Larger periods run proportionally faster;
 // the experiment quantifies how much steady-state accuracy they give up.
+// (This sweep stays below the twin layer — it drives the bare plant, not
+// scenarios — so it is the one ablation that cannot ride RunBatch.)
 func AblationControlDt(periods []float64) (*Table, error) {
 	if len(periods) == 0 {
 		periods = []float64{1, 3, 5, 15}
@@ -61,37 +64,51 @@ func AblationControlDt(periods []float64) (*Table, error) {
 	return t, nil
 }
 
+// ablationGen returns the seeded default workload the RAPS-level
+// ablations share.
+func ablationGen(seed int64) job.GeneratorConfig {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = seed
+	return gen
+}
+
+// runAblationBatch executes the scenarios through core.RunBatch with a
+// single worker, so the per-scenario WallSec timings stay comparable
+// (no co-scheduled runs competing for cores) while still sharing one
+// compiled spec.
+func runAblationBatch(scenarios []core.Scenario) ([]*core.Result, error) {
+	return core.RunBatch(config.Frontier(), scenarios, 1)
+}
+
+func wallString(res *core.Result) string {
+	return time.Duration(res.WallSec * float64(time.Second)).Round(time.Millisecond).String()
+}
+
 // AblationTick compares RAPS at the paper's 1 s tick against the 15 s
 // fast path on the same workload: because utilization traces advance at
 // 15 s quanta, the energy accounting should agree to a fraction of a
-// percent while running ≈15× faster.
+// percent while running ≈15× faster. Both variants ride core.RunBatch as
+// scenarios of one spec.
 func AblationTick(horizonSec float64, seed int64) (*Table, float64, error) {
 	if horizonSec <= 0 {
 		horizonSec = 2 * 3600
 	}
-	gen := job.DefaultGeneratorConfig()
-	gen.Seed = seed
-	runAt := func(tick float64) (*raps.Report, time.Duration, error) {
-		jobs := job.NewGenerator(gen).GenerateHorizon(horizonSec)
-		cfg := raps.DefaultConfig()
-		cfg.TickSec = tick
-		sim, err := raps.New(cfg, power.NewFrontierModel(), jobs)
-		if err != nil {
-			return nil, 0, err
-		}
-		start := time.Now()
-		rep, err := sim.Run(horizonSec)
-		return rep, time.Since(start), err
+	base := core.Scenario{
+		Workload:   core.WorkloadSynthetic,
+		HorizonSec: horizonSec,
+		Generator:  ablationGen(seed),
+		NoExport:   true,
 	}
-	fine, fineWall, err := runAt(1)
+	fine := base
+	fine.Name, fine.TickSec = "tick-1s", 1
+	coarse := base
+	coarse.Name, coarse.TickSec = "tick-15s", 15
+	batch, err := runAblationBatch([]core.Scenario{fine, coarse})
 	if err != nil {
 		return nil, 0, err
 	}
-	coarse, coarseWall, err := runAt(15)
-	if err != nil {
-		return nil, 0, err
-	}
-	divergence := 100 * math.Abs(coarse.EnergyMWh-fine.EnergyMWh) / fine.EnergyMWh
+	fr, cr := batch[0].Report, batch[1].Report
+	divergence := 100 * math.Abs(cr.EnergyMWh-fr.EnergyMWh) / fr.EnergyMWh
 	t := &Table{
 		Title:   "Ablation — simulation tick (1 s Algorithm 1 vs 15 s fast path)",
 		Columns: []string{"Tick", "Energy (MWh)", "Jobs", "Wall time"},
@@ -99,61 +116,53 @@ func AblationTick(horizonSec float64, seed int64) (*Table, float64, error) {
 			fmt.Sprintf("energy divergence %.3f %% — traces advance at 15 s quanta, so the fast path is faithful", divergence),
 		},
 	}
-	t.AddRow("1 s", f3(fine.EnergyMWh), fmt.Sprint(fine.JobsCompleted), fineWall.Round(time.Millisecond).String())
-	t.AddRow("15 s", f3(coarse.EnergyMWh), fmt.Sprint(coarse.JobsCompleted), coarseWall.Round(time.Millisecond).String())
+	t.AddRow("1 s", f3(fr.EnergyMWh), fmt.Sprint(fr.JobsCompleted), wallString(batch[0]))
+	t.AddRow("15 s", f3(cr.EnergyMWh), fmt.Sprint(cr.JobsCompleted), wallString(batch[1]))
 	return t, divergence, nil
 }
 
 // AblationCoolingCost measures the simulation-cost ratio of coupling the
 // cooling model (the paper: "about nine minutes to run with cooling, or
-// just three minutes without" — a ≈3× ratio).
+// just three minutes without" — a ≈3× ratio), as a two-scenario batch.
 func AblationCoolingCost(horizonSec float64, seed int64) (*Table, float64, error) {
 	if horizonSec <= 0 {
 		horizonSec = 4 * 3600
 	}
-	gen := job.DefaultGeneratorConfig()
-	gen.Seed = seed
-	runWith := func(coupled bool) (time.Duration, error) {
-		jobs := job.NewGenerator(gen).GenerateHorizon(horizonSec)
-		cfg := raps.DefaultConfig()
-		cfg.TickSec = 15
-		cfg.EnableCooling = coupled
-		sim, err := raps.New(cfg, power.NewFrontierModel(), jobs)
-		if err != nil {
-			return 0, err
-		}
-		start := time.Now()
-		_, err = sim.Run(horizonSec)
-		return time.Since(start), err
+	base := core.Scenario{
+		Workload:   core.WorkloadSynthetic,
+		HorizonSec: horizonSec,
+		TickSec:    15,
+		Generator:  ablationGen(seed),
+		WetBulbC:   20,
+		NoExport:   true,
 	}
-	without, err := runWith(false)
+	without := base
+	without.Name = "raps-only"
+	with := base
+	with.Name, with.Cooling = "raps+cooling", true
+	batch, err := runAblationBatch([]core.Scenario{without, with})
 	if err != nil {
 		return nil, 0, err
 	}
-	with, err := runWith(true)
-	if err != nil {
-		return nil, 0, err
-	}
-	ratio := float64(with) / float64(without)
+	ratio := batch[1].WallSec / batch[0].WallSec
 	t := &Table{
 		Title:   "Ablation — cooling-model coupling cost (§IV-3's 9 min vs 3 min)",
 		Columns: []string{"Configuration", "Wall time", "Ratio"},
 	}
-	t.AddRow("RAPS only", without.Round(time.Millisecond).String(), "1.0")
-	t.AddRow("RAPS + cooling FMU", with.Round(time.Millisecond).String(), f1(ratio))
+	t.AddRow("RAPS only", wallString(batch[0]), "1.0")
+	t.AddRow("RAPS + cooling FMU", wallString(batch[1]), f1(ratio))
 	return t, ratio, nil
 }
 
 // AblationSchedulers compares the three policies on an oversubscribed
 // workload: EASY backfill should complete at least as many jobs as FCFS
 // on the same trace (the paper's planned "more sophisticated algorithms"
-// evaluation).
+// evaluation). One scenario per policy, fanned out through RunBatch.
 func AblationSchedulers(horizonSec float64, seed int64) (*Table, map[string]*raps.Report, error) {
 	if horizonSec <= 0 {
 		horizonSec = 4 * 3600
 	}
-	gen := job.DefaultGeneratorConfig()
-	gen.Seed = seed
+	gen := ablationGen(seed)
 	// Oversubscribe hard so head-of-line blocking matters: frequent
 	// arrivals of large, long jobs.
 	gen.ArrivalMeanSec = 25
@@ -161,24 +170,30 @@ func AblationSchedulers(horizonSec float64, seed int64) (*Table, map[string]*rap
 	gen.NodesStd = 1800
 	gen.WallMeanSec = 80 * 60
 	gen.WallStdSec = 25 * 60
+	policies := []string{"fcfs", "sjf", "easy"}
+	scenarios := make([]core.Scenario, len(policies))
+	for i, policy := range policies {
+		scenarios[i] = core.Scenario{
+			Name:       "sched-" + policy,
+			Workload:   core.WorkloadSynthetic,
+			HorizonSec: horizonSec,
+			TickSec:    15,
+			Policy:     policy,
+			Generator:  gen,
+			NoExport:   true,
+		}
+	}
+	batch, err := core.RunBatch(config.Frontier(), scenarios, 0)
+	if err != nil {
+		return nil, nil, err
+	}
 	reports := map[string]*raps.Report{}
 	t := &Table{
 		Title:   "Ablation — scheduling policy on an oversubscribed day",
 		Columns: []string{"Policy", "Jobs completed", "Avg utilization", "Avg power (MW)"},
 	}
-	for _, policy := range []string{"fcfs", "sjf", "easy"} {
-		jobs := job.NewGenerator(gen).GenerateHorizon(horizonSec)
-		cfg := raps.DefaultConfig()
-		cfg.TickSec = 15
-		cfg.Policy = policy
-		sim, err := raps.New(cfg, power.NewFrontierModel(), jobs)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep, err := sim.Run(horizonSec)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, policy := range policies {
+		rep := batch[i].Report
 		reports[policy] = rep
 		t.AddRow(policy, fmt.Sprint(rep.JobsCompleted), f3(rep.AvgUtilization), f2(rep.AvgPowerMW))
 	}

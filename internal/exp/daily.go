@@ -72,43 +72,60 @@ func dayWorkload(rng *rand.Rand, nodesTotal int) job.GeneratorConfig {
 	return cfg
 }
 
-// RunDays simulates the requested number of synthetic telemetry days in
-// parallel, each through a full RAPS replay (Table IV's functional
-// test). The fan-out rides core.RunBatch — one scenario per day, drawn
-// up front from the master seed so results are independent of worker
-// scheduling.
-func RunDays(cfg DailyConfig) (*DailySummary, error) {
+// dayScenarios draws the study's per-day workloads from the master seed
+// and returns one scenario per day — the shared construction behind
+// RunDays and the what-if studies, so a baseline and a variant replay
+// exactly the same days.
+func dayScenarios(cfg DailyConfig) ([]core.Scenario, error) {
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("exp: Days must be positive")
 	}
 	if cfg.TickSec <= 0 {
 		cfg.TickSec = 15
 	}
-
 	master := rand.New(rand.NewSource(cfg.Seed))
 	topo := power.FrontierTopology()
 	scenarios := make([]core.Scenario, cfg.Days)
 	for d := range scenarios {
 		scenarios[d] = core.Scenario{
-			Name:       fmt.Sprintf("day-%d", d),
+			Name:       fmt.Sprintf("day-%d-%s", d, cfg.Mode),
 			Workload:   core.WorkloadSynthetic,
 			HorizonSec: 86400,
 			TickSec:    cfg.TickSec,
 			PowerMode:  cfg.Mode.String(),
 			Generator:  dayWorkload(master, topo.NodesTotal),
 			NoExport:   true,
+			NoHistory:  true, // summaries read only the report
 		}
 	}
+	return scenarios, nil
+}
 
-	batch, err := core.RunBatch(config.Frontier(), scenarios, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]DayResult, cfg.Days)
+// summarizeBatch folds batch results (one per day, in day order) into
+// the Table IV summary.
+func summarizeBatch(batch []*core.Result) (*DailySummary, error) {
+	results := make([]DayResult, len(batch))
 	for d, res := range batch {
 		results[d] = DayResult{Day: d, Report: res.Report}
 	}
 	return summarizeDays(results)
+}
+
+// RunDays simulates the requested number of synthetic telemetry days in
+// parallel, each through a full RAPS replay (Table IV's functional
+// test). The fan-out rides core.RunBatch — one scenario per day, drawn
+// up front from the master seed so results are independent of worker
+// scheduling.
+func RunDays(cfg DailyConfig) (*DailySummary, error) {
+	scenarios, err := dayScenarios(cfg)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := core.RunBatch(config.Frontier(), scenarios, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return summarizeBatch(batch)
 }
 
 func summarizeDays(days []DayResult) (*DailySummary, error) {

@@ -3,11 +3,8 @@ package exp
 import (
 	"fmt"
 	"math"
-	"time"
 
-	"exadigit/internal/job"
-	"exadigit/internal/power"
-	"exadigit/internal/raps"
+	"exadigit/internal/core"
 )
 
 // EngineResult compares the event-driven incremental engine against the
@@ -28,32 +25,27 @@ type EngineResult struct {
 // on both engines and reports wall time, speedup, and result divergence
 // — the functional test behind the paper's "nine minutes ... or three
 // minutes without cooling" throughput claim and this repo's event-driven
-// rework of it.
+// rework of it. Like the ablations, both variants ride a single-worker
+// core.RunBatch so Scenario.Engine selects the engine and Result.WallSec
+// carries comparable timings.
 func EngineComparison(seed int64) (*Table, *EngineResult, error) {
-	gen := job.DefaultGeneratorConfig()
-	gen.Seed = seed
-	run := func(engine raps.Engine) (*raps.Report, float64, error) {
-		jobs := job.NewGenerator(gen).GenerateHorizon(86400)
-		cfg := raps.DefaultConfig()
-		cfg.TickSec = 15
-		cfg.Engine = engine
-		sim, err := raps.New(cfg, power.NewFrontierModel(), jobs)
-		if err != nil {
-			return nil, 0, err
-		}
-		start := time.Now()
-		rep, err := sim.Run(86400)
-		return rep, time.Since(start).Seconds(), err
+	base := core.Scenario{
+		Workload:   core.WorkloadSynthetic,
+		HorizonSec: 86400,
+		TickSec:    15,
+		Generator:  ablationGen(seed),
+		NoExport:   true,
 	}
-
-	denseRep, denseSec, err := run(raps.EngineDense)
+	dense := base
+	dense.Name, dense.Engine = "engine-dense", "dense"
+	event := base
+	event.Name, event.Engine = "engine-event", "event"
+	batch, err := runAblationBatch([]core.Scenario{dense, event})
 	if err != nil {
 		return nil, nil, err
 	}
-	eventRep, eventSec, err := run(raps.EngineEvent)
-	if err != nil {
-		return nil, nil, err
-	}
+	denseRep, eventRep := batch[0].Report, batch[1].Report
+	denseSec, eventSec := batch[0].WallSec, batch[1].WallSec
 
 	res := &EngineResult{
 		DenseSec:     denseSec,

@@ -7,12 +7,18 @@
 // model exactly the way the paper's Python RAPS is — through an FMI-shaped
 // boundary — so an actual Modelica FMU could be swapped in behind the
 // same interface.
+//
+// The description of a model (its modelDescription.xml equivalent) is
+// compiled once per cooling.Config into a Design and shared read-only by
+// every Instance stamped from it, so scenario sweeps pay the 300+-variable
+// enumeration once per spec instead of once per scenario.
 package fmu
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"exadigit/internal/cooling"
 )
@@ -80,6 +86,102 @@ func (d *ModelDescription) OutputRefs() []ValueRef {
 	return refs
 }
 
+// descriptionBuilds counts Design constructions process-wide. It exists
+// so sweep tests can assert the description is compiled once per spec
+// and shared, not rebuilt per scenario.
+var descriptionBuilds atomic.Uint64
+
+// DescriptionBuilds returns how many model descriptions have been
+// compiled since process start (build-sharing instrumentation).
+func DescriptionBuilds() uint64 { return descriptionBuilds.Load() }
+
+// Design is the compiled, immutable description of the cooling-model FMU
+// for one cooling.Config: the variable list plus the value-reference
+// layout (per-CDU heat inputs, wet bulb, IT power, and the 317 outputs in
+// declaration order). A Design is safe for concurrent use; Instantiate
+// stamps out Instances that share it read-only while owning their own
+// mutable plant state.
+type Design struct {
+	cfg  cooling.Config
+	desc *ModelDescription
+
+	heatRefs   []ValueRef
+	wetBulbRef ValueRef
+	itPowerRef ValueRef
+
+	outRefs  []ValueRef
+	outIndex map[ValueRef]int
+}
+
+// NewDesign compiles the model description for cfg.
+func NewDesign(cfg cooling.Config) (*Design, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dn := &Design{cfg: cfg}
+	d := &ModelDescription{ModelName: "ExaDigiT.CoolingPlant", byName: make(map[string]ValueRef)}
+	ref := ValueRef(1)
+	add := func(name string, c Causality, unit string) ValueRef {
+		d.Variables = append(d.Variables, ScalarVariable{Name: name, Ref: ref, Causality: c, Unit: unit})
+		d.byName[name] = ref
+		ref++
+		return ref - 1
+	}
+	for i := 1; i <= cfg.NumCDUs; i++ {
+		dn.heatRefs = append(dn.heatRefs, add(fmt.Sprintf("cdu[%d].heat_w", i), Input, "W"))
+	}
+	dn.wetBulbRef = add("wetbulb_temp_c", Input, "degC")
+	dn.itPowerRef = add("it_power_w", Input, "W")
+
+	dn.outIndex = make(map[ValueRef]int)
+	for i, name := range cooling.OutputNames(cfg) {
+		unit := ""
+		switch {
+		case hasSuffix(name, "_w"):
+			unit = "W"
+		case hasSuffix(name, "_m3s"):
+			unit = "m3/s"
+		case hasSuffix(name, "_c"):
+			unit = "degC"
+		case hasSuffix(name, "_pa"):
+			unit = "Pa"
+		}
+		r := add(name, Output, unit)
+		dn.outRefs = append(dn.outRefs, r)
+		dn.outIndex[r] = i
+	}
+	dn.desc = d
+	descriptionBuilds.Add(1)
+	return dn, nil
+}
+
+// Description returns the compiled model description.
+func (dn *Design) Description() *ModelDescription { return dn.desc }
+
+// Config returns the plant configuration the design was compiled from.
+func (dn *Design) Config() cooling.Config { return dn.cfg }
+
+// Instantiate builds a fresh Instance over a new cooling plant, sharing
+// this design's description.
+func (dn *Design) Instantiate() (*Instance, error) {
+	plant, err := cooling.New(dn.cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		design: dn,
+		plant:  plant,
+		state:  Instantiated,
+		inputs: make(map[ValueRef]float64),
+	}
+	inst.stepIn.CDUHeatW = make([]float64, len(dn.heatRefs))
+	return inst, nil
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
 // State tracks the FMI co-simulation lifecycle.
 type State int
 
@@ -94,84 +196,43 @@ const (
 // ErrLifecycle is returned for calls in the wrong lifecycle state.
 var ErrLifecycle = errors.New("fmu: invalid lifecycle state")
 
-// Instance is an instantiated cooling-model FMU.
+// Instance is an instantiated cooling-model FMU. The design (variable
+// layout) is shared; plant state, input buffer, and outputs are owned.
 type Instance struct {
-	desc  *ModelDescription
-	plant *cooling.Plant
-	cfg   cooling.Config
-	state State
-	time  float64
+	design *Design
+	plant  *cooling.Plant
+	state  State
+	time   float64
 
 	// input buffer, by value reference
-	heatRefs   []ValueRef
-	wetBulbRef ValueRef
-	itPowerRef ValueRef
-	inputs     map[ValueRef]float64
+	inputs map[ValueRef]float64
 
-	// last computed outputs, dense by output index
-	outRefs  []ValueRef
-	outIndex map[ValueRef]int
-	lastOut  []float64
-	haveOut  bool
+	// stepIn is the reusable cooling.Inputs scratch for DoStep.
+	stepIn cooling.Inputs
+
+	// last computed outputs, dense by output index; snap is the reusable
+	// decode scratch behind it.
+	snap    cooling.Outputs
+	lastOut []float64
+	haveOut bool
 }
 
-// Instantiate builds an FMU instance over a fresh cooling plant.
+// Instantiate builds an FMU instance over a fresh cooling plant,
+// compiling a private Design. Sweeps that share a spec should compile one
+// Design and call its Instantiate instead.
 func Instantiate(cfg cooling.Config) (*Instance, error) {
-	plant, err := cooling.New(cfg)
+	dn, err := NewDesign(cfg)
 	if err != nil {
 		return nil, err
 	}
-	inst := &Instance{
-		plant:  plant,
-		cfg:    cfg,
-		state:  Instantiated,
-		inputs: make(map[ValueRef]float64),
-	}
-	inst.buildDescription()
-	return inst, nil
+	return dn.Instantiate()
 }
 
-func (m *Instance) buildDescription() {
-	d := &ModelDescription{ModelName: "ExaDigiT.CoolingPlant", byName: make(map[string]ValueRef)}
-	ref := ValueRef(1)
-	add := func(name string, c Causality, unit string) ValueRef {
-		d.Variables = append(d.Variables, ScalarVariable{Name: name, Ref: ref, Causality: c, Unit: unit})
-		d.byName[name] = ref
-		ref++
-		return ref - 1
-	}
-	for i := 1; i <= m.cfg.NumCDUs; i++ {
-		m.heatRefs = append(m.heatRefs, add(fmt.Sprintf("cdu[%d].heat_w", i), Input, "W"))
-	}
-	m.wetBulbRef = add("wetbulb_temp_c", Input, "degC")
-	m.itPowerRef = add("it_power_w", Input, "W")
-
-	m.outIndex = make(map[ValueRef]int)
-	for i, name := range cooling.OutputNames(m.cfg) {
-		unit := ""
-		switch {
-		case hasSuffix(name, "_w"):
-			unit = "W"
-		case hasSuffix(name, "_m3s"):
-			unit = "m3/s"
-		case hasSuffix(name, "_c"):
-			unit = "degC"
-		case hasSuffix(name, "_pa"):
-			unit = "Pa"
-		}
-		r := add(name, Output, unit)
-		m.outRefs = append(m.outRefs, r)
-		m.outIndex[r] = i
-	}
-	m.desc = d
-}
-
-func hasSuffix(s, suf string) bool {
-	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
-}
+// Design returns the shared design the instance was stamped from.
+func (m *Instance) Design() *Design { return m.design }
 
 // Description returns the model description.
-func (m *Instance) Description() *ModelDescription { return m.desc }
+func (m *Instance) Description() *ModelDescription { return m.design.desc }
 
 // State returns the lifecycle state.
 func (m *Instance) State() State { return m.state }
@@ -218,7 +279,7 @@ func (m *Instance) GetReal(refs []ValueRef, values []float64) error {
 		return fmt.Errorf("fmu: GetReal got %d refs, %d values", len(refs), len(values))
 	}
 	for i, r := range refs {
-		if idx, ok := m.outIndex[r]; ok {
+		if idx, ok := m.design.outIndex[r]; ok {
 			if !m.haveOut {
 				return fmt.Errorf("fmu: GetReal before first DoStep")
 			}
@@ -235,7 +296,9 @@ func (m *Instance) GetReal(refs []ValueRef, values []float64) error {
 }
 
 // DoStep advances the model from the current communication point by
-// stepSize seconds (the paper uses 15 s).
+// stepSize seconds (the paper uses 15 s). The input and output scratch is
+// reused across calls, so the cooled simulation hot loop does not
+// allocate here.
 func (m *Instance) DoStep(stepSize float64) error {
 	switch m.state {
 	case Initialized, Stepping:
@@ -245,18 +308,16 @@ func (m *Instance) DoStep(stepSize float64) error {
 	if stepSize <= 0 {
 		return fmt.Errorf("fmu: non-positive step %v", stepSize)
 	}
-	in := cooling.Inputs{
-		CDUHeatW: make([]float64, len(m.heatRefs)),
-		WetBulbC: m.inputs[m.wetBulbRef],
-		ITPowerW: m.inputs[m.itPowerRef],
+	m.stepIn.WetBulbC = m.inputs[m.design.wetBulbRef]
+	m.stepIn.ITPowerW = m.inputs[m.design.itPowerRef]
+	for i, r := range m.design.heatRefs {
+		m.stepIn.CDUHeatW[i] = m.inputs[r]
 	}
-	for i, r := range m.heatRefs {
-		in.CDUHeatW[i] = m.inputs[r]
-	}
-	if err := m.plant.Step(stepSize, in); err != nil {
+	if err := m.plant.Step(stepSize, m.stepIn); err != nil {
 		return err
 	}
-	m.lastOut = m.plant.Snapshot().Vector()
+	m.plant.SnapshotInto(&m.snap)
+	m.lastOut = m.snap.VectorInto(m.lastOut)
 	m.haveOut = true
 	m.time += stepSize
 	m.state = Stepping
@@ -270,7 +331,7 @@ func (m *Instance) Terminate() {
 
 // Reset re-instantiates the underlying plant, returning to Instantiated.
 func (m *Instance) Reset() error {
-	plant, err := cooling.New(m.cfg)
+	plant, err := cooling.New(m.design.cfg)
 	if err != nil {
 		return err
 	}
@@ -289,11 +350,12 @@ func (m *Instance) Reset() error {
 func (m *Instance) Plant() *cooling.Plant { return m.plant }
 
 func (m *Instance) varByRef(r ValueRef) *ScalarVariable {
-	idx := sort.Search(len(m.desc.Variables), func(i int) bool {
-		return m.desc.Variables[i].Ref >= r
+	vars := m.design.desc.Variables
+	idx := sort.Search(len(vars), func(i int) bool {
+		return vars[i].Ref >= r
 	})
-	if idx < len(m.desc.Variables) && m.desc.Variables[idx].Ref == r {
-		return &m.desc.Variables[idx]
+	if idx < len(vars) && vars[idx].Ref == r {
+		return &vars[idx]
 	}
 	return nil
 }

@@ -234,3 +234,30 @@ func TestCausalityString(t *testing.T) {
 		t.Error("unknown causality should have a name")
 	}
 }
+
+// TestDoStepDoesNotAllocate pins the hot-loop allocation fix: the ODE
+// stage buffers, hydraulic scratch, snapshot record, and output vector
+// are all reused across DoStep calls (a cooled tick used to cost ~156
+// allocations, all inside DoStep).
+func TestDoStepDoesNotAllocate(t *testing.T) {
+	inst := newInstance(t)
+	if err := inst.SetupExperiment(0); err != nil {
+		t.Fatal(err)
+	}
+	setTypicalInputs(t, inst)
+	// Warm up: first steps size the reusable buffers.
+	for i := 0; i < 4; i++ {
+		if err := inst.DoStep(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := inst.DoStep(15); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Staging transients may allocate the odd time; steady state is 0.
+	if allocs > 2 {
+		t.Errorf("DoStep allocates %.0f objects/step; want ~0", allocs)
+	}
+}

@@ -120,6 +120,22 @@ func Parallel(rs ...Resistance) Resistance {
 	return Resistance{K: 1 / (s * s)}
 }
 
+// ParallelK combines quadratic resistances given as raw K coefficients in
+// parallel — the allocation-free form of Parallel for hot loops that
+// already carry a K slice.
+func ParallelK(ks []float64) Resistance {
+	var s float64
+	for _, k := range ks {
+		if k > 0 {
+			s += 1 / math.Sqrt(k)
+		}
+	}
+	if s == 0 {
+		return Resistance{K: math.Inf(1)}
+	}
+	return Resistance{K: 1 / (s * s)}
+}
+
 // Valve is an equal-percentage control valve. Position 1 is fully open
 // with resistance KOpen; closing multiplies the resistance by
 // Rangeability^(2·(1−pos)), with a leakage floor at KMax.
@@ -251,8 +267,19 @@ func SolveLoop(bank PumpBank, systemDrop func(q float64) float64) (q, head float
 // in which case the flow is split evenly.
 func SplitParallel(qTot float64, ks []float64) (flows []float64, dp float64) {
 	flows = make([]float64, len(ks))
+	dp = SplitParallelInto(qTot, ks, flows)
+	return flows, dp
+}
+
+// SplitParallelInto is the allocation-free variant of SplitParallel:
+// per-branch flows are written into flows (len(flows) must equal
+// len(ks)) and the common pressure drop is returned.
+func SplitParallelInto(qTot float64, ks, flows []float64) (dp float64) {
+	for i := range flows {
+		flows[i] = 0
+	}
 	if qTot <= 0 || len(ks) == 0 {
-		return flows, 0
+		return 0
 	}
 	var s float64
 	for _, k := range ks {
@@ -264,7 +291,7 @@ func SplitParallel(qTot float64, ks []float64) (flows []float64, dp float64) {
 		for i := range flows {
 			flows[i] = qTot / float64(len(ks))
 		}
-		return flows, 0
+		return 0
 	}
 	// Common dp from equivalent parallel resistance.
 	kEq := 1 / (s * s)
@@ -274,5 +301,5 @@ func SplitParallel(qTot float64, ks []float64) (flows []float64, dp float64) {
 			flows[i] = math.Sqrt(dp / k)
 		}
 	}
-	return flows, dp
+	return dp
 }

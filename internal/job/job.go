@@ -110,6 +110,34 @@ func (j *Job) TraceFrozenAt(idx int) bool {
 	return idx >= len(j.CPUTrace)-1 && idx >= len(j.GPUTrace)-1
 }
 
+// TraceConstSuffix returns the first trace index of the constant suffix:
+// the smallest c such that every sample of both traces at index ≥ c
+// equals the sample at c (with UtilAt's hold-last semantics). A
+// FlatTrace job returns 0; a replay trace that plateaus returns the
+// plateau's start. Once a running job's index reaches this point its
+// utilization is pinned, so the event engine freezes it early and
+// tick-gap skipping stays enabled across the remainder of the job.
+func (j *Job) TraceConstSuffix() int {
+	c := constSuffix(j.CPUTrace)
+	if g := constSuffix(j.GPUTrace); g > c {
+		c = g
+	}
+	return c
+}
+
+// constSuffix returns the first index from which every later sample
+// equals tr[i]; 0 for empty or all-equal traces.
+func constSuffix(tr []float64) int {
+	i := len(tr) - 1
+	if i < 0 {
+		return 0
+	}
+	for i > 0 && tr[i-1] == tr[i] {
+		i--
+	}
+	return i
+}
+
 // TraceLen returns the number of trace quanta covering the wall time.
 func TraceLen(wallSec float64) int {
 	n := int(wallSec/TraceQuantaSec) + 1
@@ -202,26 +230,30 @@ func fillPhases(cpu, gpu []float64, phases []phase) {
 }
 
 // GeneratorConfig parameterizes the synthetic workload generator with the
-// telemetry-derived statistics of §III-B3 (defaults from Table IV).
+// telemetry-derived statistics of §III-B3 (defaults from Table IV). The
+// JSON tags define the sweep-service wire format for submitting
+// synthetic scenarios over HTTP.
 type GeneratorConfig struct {
-	ArrivalMeanSec float64 // mean inter-arrival time t_avg (Table IV avg: 138 s)
-	NodesMean      float64 // mean nodes per job (268)
-	NodesStd       float64 // std of nodes per job (626)
-	MaxNodes       int     // system size cap
-	WallMeanSec    float64 // mean runtime (39 min)
-	WallStdSec     float64 // std of runtime (14 min)
-	WallMinSec     float64
-	WallMaxSec     float64
+	ArrivalMeanSec float64 `json:"arrival_mean_sec"` // mean inter-arrival time t_avg (Table IV avg: 138 s)
+	NodesMean      float64 `json:"nodes_mean"`       // mean nodes per job (268)
+	NodesStd       float64 `json:"nodes_std"`        // std of nodes per job (626)
+	MaxNodes       int     `json:"max_nodes"`        // system size cap
+	WallMeanSec    float64 `json:"wall_mean_sec"`    // mean runtime (39 min)
+	WallStdSec     float64 `json:"wall_std_sec"`     // std of runtime (14 min)
+	WallMinSec     float64 `json:"wall_min_sec"`
+	WallMaxSec     float64 `json:"wall_max_sec"`
 	// Utilization means/stds for the randomly distributed per-job
 	// average utilizations (§III-B3).
-	CPUUtilMean, CPUUtilStd float64
-	GPUUtilMean, GPUUtilStd float64
+	CPUUtilMean float64 `json:"cpu_util_mean"`
+	CPUUtilStd  float64 `json:"cpu_util_std"`
+	GPUUtilMean float64 `json:"gpu_util_mean"`
+	GPUUtilStd  float64 `json:"gpu_util_std"`
 	// UtilJitter adds small per-quanta variation around the job mean.
-	UtilJitter float64
+	UtilJitter float64 `json:"util_jitter"`
 	// SingleNodeFraction forces this share of jobs to one node (Fig. 9:
 	// 400 of 1238 jobs in the replayed day were single-node).
-	SingleNodeFraction float64
-	Seed               int64
+	SingleNodeFraction float64 `json:"single_node_fraction"`
+	Seed               int64   `json:"seed"`
 }
 
 // DefaultGeneratorConfig returns Table IV-calibrated parameters for a
@@ -261,8 +293,13 @@ func (g *Generator) Next() *Job {
 	return j
 }
 
-// GenerateHorizon returns every job arriving in [0, horizonSec).
+// GenerateHorizon returns every job arriving in [0, horizonSec). A
+// non-positive arrival mean yields no jobs (the exponential gap would
+// never advance the clock).
 func (g *Generator) GenerateHorizon(horizonSec float64) []*Job {
+	if g.cfg.ArrivalMeanSec <= 0 {
+		return nil
+	}
 	var jobs []*Job
 	for {
 		gap := dist.Exponential(g.rng, g.cfg.ArrivalMeanSec)

@@ -226,3 +226,40 @@ func TestReplayStartDefault(t *testing.T) {
 		t.Error("fresh jobs must not be pinned to a replay start")
 	}
 }
+
+func TestTraceConstSuffix(t *testing.T) {
+	j := New(1, "t", 4, 120, 0)
+	// Empty traces: trivially constant.
+	if got := j.TraceConstSuffix(); got != 0 {
+		t.Errorf("empty traces: suffix %d, want 0", got)
+	}
+	// Flat traces: constant from the start.
+	j.CPUTrace = FlatTrace(0.5, 120)
+	j.GPUTrace = FlatTrace(0.8, 120)
+	if got := j.TraceConstSuffix(); got != 0 {
+		t.Errorf("flat traces: suffix %d, want 0", got)
+	}
+	// Plateau: varies for 3 quanta, then constant.
+	j.CPUTrace = []float64{0.1, 0.2, 0.3, 0.7, 0.7, 0.7, 0.7}
+	j.GPUTrace = FlatTrace(0.9, 120)[:7]
+	if got := j.TraceConstSuffix(); got != 3 {
+		t.Errorf("plateau: suffix %d, want 3", got)
+	}
+	// The later-varying trace dominates.
+	j.GPUTrace = []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.4, 0.4}
+	if got := j.TraceConstSuffix(); got != 5 {
+		t.Errorf("mixed: suffix %d, want 5", got)
+	}
+	// Fully varying: suffix is the final sample.
+	j.CPUTrace = []float64{0.1, 0.2, 0.3}
+	j.GPUTrace = []float64{0.4, 0.5, 0.6}
+	if got := j.TraceConstSuffix(); got != 2 {
+		t.Errorf("varying: suffix %d, want 2", got)
+	}
+	// Consistency with TraceFrozenAt: frozen implies inside the suffix.
+	for idx := 0; idx < 5; idx++ {
+		if j.TraceFrozenAt(idx) && idx < j.TraceConstSuffix() {
+			t.Errorf("idx %d frozen but before const suffix %d", idx, j.TraceConstSuffix())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package raps
+
+import (
+	"math"
+	"testing"
+
+	"exadigit/internal/job"
+)
+
+// flatJob builds a constant-utilization job — the workload shape whose
+// per-quantum trace advances used to disable tick-gap skipping.
+func flatJob(id, nodes int, wall, submit float64) *job.Job {
+	j := job.New(id, "flat", nodes, wall, submit)
+	j.CPUTrace = job.FlatTrace(0.5, wall)
+	j.GPUTrace = job.FlatTrace(0.8, wall)
+	return j
+}
+
+// TestConstantTraceFreezeEnablesSkipping: a running FlatTrace job must
+// not force an event every 15 s trace quantum — the constant-suffix
+// detection freezes it at start, so nearly the whole horizon is
+// integrated analytically even at a 1 s tick.
+func TestConstantTraceFreezeEnablesSkipping(t *testing.T) {
+	horizon := 4 * 3600.0
+	jobs := []*job.Job{flatJob(1, 512, horizon+100, 0)}
+	cfg := DefaultConfig() // 1 s tick
+	sim, err := New(cfg, frontierModel(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	steps := int(horizon / cfg.TickSec)
+	if q := sim.QuietTicks(); q < steps*9/10 {
+		t.Errorf("only %d of %d ticks skipped; constant trace should freeze the job", q, steps)
+	}
+}
+
+// TestFreezeMatchesDense: freezing must be invisible in the results —
+// the event engine with frozen flat jobs reproduces the dense reference
+// sweep bit-for-bit on the energy accumulators.
+func TestFreezeMatchesDense(t *testing.T) {
+	horizon := 2 * 3600.0
+	build := func() []*job.Job {
+		return []*job.Job{
+			flatJob(1, 512, 5000, 0),
+			flatJob(2, 1024, horizon+50, 600),
+			// A plateau trace: varies, then constant — frozen mid-job.
+			func() *job.Job {
+				j := job.New(3, "plateau", 256, horizon, 30)
+				n := job.TraceLen(horizon)
+				j.CPUTrace = make([]float64, n)
+				j.GPUTrace = make([]float64, n)
+				for i := range j.CPUTrace {
+					if i < 4 {
+						j.CPUTrace[i] = 0.1 * float64(i+1)
+						j.GPUTrace[i] = 0.2 * float64(i+1)
+					} else {
+						j.CPUTrace[i] = 0.45
+						j.GPUTrace[i] = 0.9
+					}
+				}
+				return j
+			}(),
+		}
+	}
+	run := func(engine Engine) *Report {
+		cfg := DefaultConfig()
+		cfg.TickSec = 15
+		cfg.Engine = engine
+		sim, err := New(cfg, frontierModel(), build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ev, de := run(EngineEvent), run(EngineDense)
+	if ev.JobsCompleted != de.JobsCompleted {
+		t.Errorf("jobs: event %d vs dense %d", ev.JobsCompleted, de.JobsCompleted)
+	}
+	if ev.EnergyMWh != de.EnergyMWh {
+		if rel := math.Abs(ev.EnergyMWh-de.EnergyMWh) / de.EnergyMWh; rel > 1e-12 {
+			t.Errorf("energy diverges: event %v vs dense %v (%v rel)", ev.EnergyMWh, de.EnergyMWh, rel)
+		}
+	}
+	if math.Abs(ev.AvgUtilization-de.AvgUtilization) > 1e-12 {
+		t.Errorf("utilization diverges: %v vs %v", ev.AvgUtilization, de.AvgUtilization)
+	}
+}
+
+// TestOnSampleHookSeesEveryHistorySample: the streaming hook must fire
+// once per recorded sample, inside skipped gaps included, with identical
+// content.
+func TestOnSampleHookSeesEveryHistorySample(t *testing.T) {
+	horizon := 2 * 3600.0
+	var hooked []Sample
+	cfg := DefaultConfig()
+	cfg.TickSec = 15
+	cfg.OnSample = func(s Sample) { hooked = append(hooked, s) }
+	sim, err := New(cfg, frontierModel(), []*job.Job{flatJob(1, 256, horizon, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	hist := sim.History()
+	if len(hooked) != len(hist) {
+		t.Fatalf("hook saw %d samples, history has %d", len(hooked), len(hist))
+	}
+	for i := range hist {
+		if hooked[i].TimeSec != hist[i].TimeSec || hooked[i].PowerW != hist[i].PowerW {
+			t.Fatalf("sample %d diverges: hook %+v vs history %+v", i, hooked[i], hist[i])
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Config struct {
 	CoolingDtSec float64
 	// EnableCooling couples the cooling FMU (≈3× slower, §IV-3).
 	EnableCooling bool
+	// CoolingDesign, when set, supplies the precompiled FMU design to
+	// instantiate the cooling model from — sweeps compile it once per
+	// spec and share it across scenarios. nil compiles a private
+	// Frontier-plant design (the pre-existing behavior).
+	CoolingDesign *fmu.Design
 	// Engine selects the power-evaluation strategy; the zero value is
 	// the event-driven incremental engine.
 	Engine Engine
@@ -79,9 +84,22 @@ type Config struct {
 	EmissionIntensityFn func(tSec float64) float64
 	// HistoryDtSec is the sampling period of the recorded series (15 s).
 	HistoryDtSec float64
+	// NoHistory skips storing the recorded series in memory — the lean
+	// mode for huge sweeps and streamed long replays where only the
+	// report (and any OnSample sink) matters. OnSample still fires per
+	// sample; History() stays empty and ExportTelemetry carries no
+	// series.
+	NoHistory bool
 	// RecordCDUHeat stores the per-CDU heat vector in each history
 	// sample (needed by the Fig. 7 cooling-validation experiment).
 	RecordCDUHeat bool
+	// OnSample, when set, is invoked synchronously for every recorded
+	// history sample as it is taken — the hook streaming telemetry sinks
+	// attach to so samples leave the process incrementally instead of
+	// being materialized by ExportTelemetry after the run. The Sample is
+	// passed by value; its CDUHeatW slice (if recorded) must not be
+	// retained.
+	OnSample func(Sample)
 }
 
 // DefaultConfig returns the paper's settings.
@@ -148,7 +166,20 @@ type runState struct {
 	idx    int // current trace-quantum index
 	cu, gu float64
 	nodeP  float64 // Eq. 3 per-node power at (cu, gu)
-	frozen bool    // trace exhausted: utilization can no longer change
+	frozen bool    // utilization can no longer change
+	// constFrom is the first index of the traces' constant suffix
+	// (computed once at job start): once idx reaches it the remaining
+	// samples are all equal, so the job is frozen early — FlatTrace jobs
+	// and replay plateaus stop forcing per-quantum events and tick-gap
+	// skipping stays enabled for much larger gaps.
+	constFrom int
+}
+
+// freezeAt reports whether the job's utilization is pinned from trace
+// index idx onward — either the trace is exhausted or idx has entered
+// the constant suffix.
+func (rs *runState) freezeAt(idx int) bool {
+	return idx >= rs.constFrom || rs.j.TraceFrozenAt(idx)
 }
 
 // Simulation is one RAPS run in progress.
@@ -198,6 +229,7 @@ type Simulation struct {
 	pueSum       float64
 	pueCount     int
 	ticks        int
+	quietTicks   int
 	maxPowerW    float64
 	minPowerW    float64
 	maxLossW     float64
@@ -257,7 +289,14 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 	sortJobsBySubmit(s.pending)
 
 	if cfg.EnableCooling {
-		inst, err := fmu.Instantiate(cooling.Frontier())
+		design := cfg.CoolingDesign
+		if design == nil {
+			design, err = fmu.NewDesign(cooling.Frontier())
+			if err != nil {
+				return nil, err
+			}
+		}
+		inst, err := design.Instantiate()
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +357,12 @@ func less(a, b *job.Job) bool {
 
 // Now returns the current simulation time in seconds.
 func (s *Simulation) Now() float64 { return s.now }
+
+// QuietTicks returns how many ticks were integrated analytically inside
+// event-free gaps rather than simulated — the event engine's skipping
+// effectiveness (observability for the constant-trace freeze and gap
+// analysis; 0 under EngineDense).
+func (s *Simulation) QuietTicks() int { return s.quietTicks }
 
 // History returns the recorded series.
 func (s *Simulation) History() []Sample { return s.history }
@@ -430,9 +475,10 @@ func (s *Simulation) applyDeltas(done, started []*job.Job) {
 		cu, gu := j.UtilAt(t)
 		rs := &runState{
 			j: j, nodes: j.Nodes, idx: idx, cu: cu, gu: gu,
-			nodeP:  s.model.Spec.NodePower(cu, gu),
-			frozen: j.TraceFrozenAt(idx),
+			nodeP:     s.model.Spec.NodePower(cu, gu),
+			constFrom: j.TraceConstSuffix(),
 		}
+		rs.frozen = rs.freezeAt(idx)
 		s.inc.SetNodes(rs.nodes, cu, gu)
 		s.runStates[j.ID] = rs
 	}
@@ -447,7 +493,7 @@ func (s *Simulation) applyDeltas(done, started []*job.Job) {
 			continue
 		}
 		rs.idx = idx
-		rs.frozen = j.TraceFrozenAt(idx)
+		rs.frozen = rs.freezeAt(idx)
 		cu, gu := j.UtilAt(t)
 		if cu != rs.cu || gu != rs.gu {
 			rs.cu, rs.gu = cu, gu
@@ -553,6 +599,7 @@ func (s *Simulation) advanceQuiet(k int) {
 			s.lastHistoryT = s.now
 		}
 		s.ticks++
+		s.quietTicks++
 	}
 	if p > s.maxPowerW {
 		s.maxPowerW = p
@@ -641,6 +688,9 @@ func (s *Simulation) accumulate(dt float64) {
 }
 
 func (s *Simulation) recordSample() {
+	if s.cfg.NoHistory && s.cfg.OnSample == nil {
+		return // no consumer: skip building the sample entirely
+	}
 	smp := Sample{
 		TimeSec:     s.now,
 		PowerW:      s.sp.TotalW,
@@ -669,7 +719,12 @@ func (s *Simulation) recordSample() {
 	if s.cfg.RecordCDUHeat {
 		smp.CDUHeatW = append([]float64(nil), s.cduHeat()...)
 	}
-	s.history = append(s.history, smp)
+	if !s.cfg.NoHistory {
+		s.history = append(s.history, smp)
+	}
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(smp)
+	}
 }
 
 // ReportNow summarizes the run so far (§III-B5's output statistics).
@@ -728,27 +783,42 @@ func (s *Simulation) ReportNow() *Report {
 	return r
 }
 
+// ForEachJobRecord visits every job that has started (completed first,
+// then still running) as a Table II telemetry record — the shared
+// iteration behind ExportTelemetry and the streaming NDJSON sink, so
+// both emit identical records in identical order.
+func (s *Simulation) ForEachJobRecord(fn func(telemetry.JobRecord)) {
+	spec := s.model.Spec
+	for _, j := range s.completed {
+		fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	}
+	for _, j := range s.sch.Running() {
+		fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	}
+}
+
+// SeriesPointAt converts one recorded sample into the system-level
+// telemetry series schema, evaluating the run's wet-bulb source at the
+// sample time.
+func (s *Simulation) SeriesPointAt(smp Sample) telemetry.SeriesPoint {
+	wb := 20.0
+	if s.cfg.WetBulbC != nil {
+		wb = s.cfg.WetBulbC(smp.TimeSec)
+	}
+	return telemetry.SeriesPoint{
+		TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: wb,
+	}
+}
+
 // ExportTelemetry converts the run so far into a Table II-style dataset:
 // every job that has started (completed or still running) with its power
 // traces, plus the predicted power series as the "measured" channel (our
 // substitute for production telemetry).
 func (s *Simulation) ExportTelemetry(epoch string) *telemetry.Dataset {
 	d := &telemetry.Dataset{Epoch: epoch, SeriesDtSec: s.cfg.HistoryDtSec}
-	spec := s.model.Spec
-	for _, j := range s.completed {
-		d.Jobs = append(d.Jobs, telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
-	}
-	for _, j := range s.sch.Running() {
-		d.Jobs = append(d.Jobs, telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
-	}
+	s.ForEachJobRecord(func(r telemetry.JobRecord) { d.Jobs = append(d.Jobs, r) })
 	for _, smp := range s.history {
-		wb := 20.0
-		if s.cfg.WetBulbC != nil {
-			wb = s.cfg.WetBulbC(smp.TimeSec)
-		}
-		d.Series = append(d.Series, telemetry.SeriesPoint{
-			TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: wb,
-		})
+		d.Series = append(d.Series, s.SeriesPointAt(smp))
 	}
 	return d
 }

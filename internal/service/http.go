@@ -1,0 +1,269 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+	"exadigit/internal/job"
+	"exadigit/internal/raps"
+)
+
+// This file is the HTTP face of the sweep service — the REST backend of
+// the paper's §III-B6 deployment, where what-if experiments are
+// launched against a long-running twin and recalled later:
+//
+//	POST   /api/sweeps              submit a sweep (SubmitRequest JSON)
+//	GET    /api/sweeps              list sweeps (summaries)
+//	GET    /api/sweeps/{id}         one sweep's full status
+//	GET    /api/sweeps/{id}/results completed results (reports)
+//	GET    /api/sweeps/{id}/stream  NDJSON: results streamed as they complete
+//	POST   /api/sweeps/{id}/cancel  cancel queued work
+//
+// Replay-dataset scenarios are not accepted over the wire (datasets are
+// submitted programmatically via Service.Submit).
+
+// ScenarioRequest is the wire form of one scenario.
+type ScenarioRequest struct {
+	Name       string  `json:"name,omitempty"`
+	Workload   string  `json:"workload"`
+	HorizonSec float64 `json:"horizon_sec"`
+	TickSec    float64 `json:"tick_sec,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
+	Cooling    bool    `json:"cooling,omitempty"`
+	PowerMode  string  `json:"power_mode,omitempty"`
+	// Generator tunes synthetic workloads; omitted → defaults.
+	Generator        *job.GeneratorConfig `json:"generator,omitempty"`
+	BenchmarkWallSec float64              `json:"benchmark_wall_sec,omitempty"`
+	WetBulbC         float64              `json:"wetbulb_c,omitempty"`
+	WeatherStart     time.Time            `json:"weather_start,omitempty"`
+	WeatherSeed      int64                `json:"weather_seed,omitempty"`
+	Engine           string               `json:"engine,omitempty"`
+	// NoExport and NoHistory default to true over HTTP: sweep results
+	// carry reports, not dense telemetry exports or sample series. Set
+	// either to false explicitly to retain the data in the server-side
+	// result (recallable via Service.Sweep(id).Results()).
+	NoExport  *bool `json:"no_export,omitempty"`
+	NoHistory *bool `json:"no_history,omitempty"`
+}
+
+// Scenario converts the wire form to a core scenario.
+func (r *ScenarioRequest) Scenario() core.Scenario {
+	sc := core.Scenario{
+		Name:             r.Name,
+		Workload:         core.WorkloadKind(r.Workload),
+		HorizonSec:       r.HorizonSec,
+		TickSec:          r.TickSec,
+		Policy:           r.Policy,
+		Cooling:          r.Cooling,
+		PowerMode:        r.PowerMode,
+		BenchmarkWallSec: r.BenchmarkWallSec,
+		WetBulbC:         r.WetBulbC,
+		WeatherStart:     r.WeatherStart,
+		WeatherSeed:      r.WeatherSeed,
+		Engine:           r.Engine,
+		NoExport:         true,
+		NoHistory:        true,
+	}
+	if r.Generator != nil {
+		sc.Generator = *r.Generator
+	}
+	if r.NoExport != nil {
+		sc.NoExport = *r.NoExport
+	}
+	if r.NoHistory != nil {
+		sc.NoHistory = *r.NoHistory
+	}
+	return sc
+}
+
+// SubmitRequest is the POST /api/sweeps body.
+type SubmitRequest struct {
+	Name string `json:"name,omitempty"`
+	// SpecName selects a built-in spec ("frontier" default,
+	// "setonix-like"); Spec overrides it with a full inline system spec.
+	SpecName      string             `json:"spec_name,omitempty"`
+	Spec          *config.SystemSpec `json:"spec,omitempty"`
+	MaxConcurrent int                `json:"max_concurrent,omitempty"`
+	Scenarios     []ScenarioRequest  `json:"scenarios"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID             string   `json:"id"`
+	SpecHash       string   `json:"spec_hash"`
+	ScenarioHashes []string `json:"scenario_hashes"`
+}
+
+// ResultEntry is one completed scenario on the results/stream endpoints.
+type ResultEntry struct {
+	Index    int           `json:"index"`
+	Name     string        `json:"name"`
+	State    ScenarioState `json:"state"`
+	CacheHit bool          `json:"cache_hit,omitempty"`
+	WallSec  float64       `json:"wall_sec,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Report   *raps.Report  `json:"report,omitempty"`
+}
+
+// Handler returns the HTTP handler exposing the sweep API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/sweeps/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /api/sweeps/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var spec config.SystemSpec
+	switch {
+	case req.Spec != nil:
+		spec = *req.Spec
+	case req.SpecName == "" || req.SpecName == "frontier":
+		spec = config.Frontier()
+	case req.SpecName == "setonix-like":
+		spec = config.SetonixLike()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown spec_name %q", req.SpecName))
+		return
+	}
+	scenarios := make([]core.Scenario, len(req.Scenarios))
+	for i := range req.Scenarios {
+		scenarios[i] = req.Scenarios[i].Scenario()
+	}
+	sw, err := s.Submit(spec, scenarios, SweepOptions{Name: req.Name, MaxConcurrent: req.MaxConcurrent})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: sw.ID(), SpecHash: sw.SpecHash(), ScenarioHashes: sw.ScenarioHashes(),
+	})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := s.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweeps": s.List(),
+		"cache":  map[string]any{"hits": hits, "misses": misses, "entries": entries},
+	})
+}
+
+func (s *Service) sweepFor(w http.ResponseWriter, r *http.Request) (*Sweep, bool) {
+	id := r.PathValue("id")
+	sw, ok := s.Sweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+		return nil, false
+	}
+	return sw, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sw, ok := s.sweepFor(w, r); ok {
+		writeJSON(w, http.StatusOK, sw.Status())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if sw, ok := s.sweepFor(w, r); ok {
+		sw.Cancel()
+		writeJSON(w, http.StatusOK, sw.Status())
+	}
+}
+
+func resultEntry(st ScenarioStatus, res *core.Result) ResultEntry {
+	e := ResultEntry{
+		Index:    st.Index,
+		Name:     st.Name,
+		State:    st.State,
+		CacheHit: st.CacheHit,
+		WallSec:  st.WallSec,
+		Error:    st.Error,
+	}
+	if res != nil {
+		e.Report = res.Report
+	}
+	return e
+}
+
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFor(w, r)
+	if !ok {
+		return
+	}
+	st := sw.Status()
+	results := sw.Results()
+	out := make([]ResultEntry, 0, len(st.Scenarios))
+	for i, sc := range st.Scenarios {
+		if sc.Terminal() {
+			out = append(out, resultEntry(sc, results[i]))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStream writes one NDJSON ResultEntry per scenario as each
+// reaches a terminal state, flushing after every line, and returns once
+// the sweep finishes or the client disconnects — the live feed a
+// dashboard or CLI tails while a sweep works through the pool.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sent := make([]bool, len(sw.scenarios))
+	for {
+		changed := sw.changed()
+		st := sw.Status()
+		results := sw.Results()
+		for i, sc := range st.Scenarios {
+			if sent[i] || !sc.Terminal() {
+				continue
+			}
+			if err := enc.Encode(resultEntry(sc, results[i])); err != nil {
+				return
+			}
+			sent[i] = true
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.Finished {
+			return
+		}
+		select {
+		case <-changed:
+		case <-sw.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,632 @@
+// Package service turns the digital twin into a long-running
+// scenario-sweep service — the paper's twin-as-a-service deployment
+// (§III-B6), where the REST backend runs each what-if experiment as its
+// own worker. A Service owns a bounded simulation worker pool, compiles
+// each submitted SystemSpec once (power models + cooling FMU design,
+// shared read-only by every scenario of every sweep against that spec),
+// deduplicates work through a content-addressed result cache keyed by
+// (spec hash, scenario hash), and exposes submit/status/cancel plus
+// streaming results over HTTP (http.go).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds concurrently running simulations across all sweeps
+	// (0 → runtime.NumCPU()).
+	Workers int
+	// CacheCap bounds the number of cached scenario results; the oldest
+	// completed entries are evicted first (0 → 1024).
+	CacheCap int
+	// MaxSweeps bounds how many finished sweeps are retained for status
+	// and result recall; beyond it the oldest finished sweeps (and the
+	// results they pin) are dropped so a long-running server's memory
+	// stays bounded (0 → 256).
+	MaxSweeps int
+}
+
+// Service is the sweep server. Create with New; it has no background
+// goroutines of its own until sweeps are submitted.
+type Service struct {
+	workers   int
+	maxSweeps int
+	slots     chan struct{} // global simulation-worker pool
+	cache     *resultCache
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+
+	mu        sync.Mutex
+	specs     map[string]*core.CompiledSpec // spec hash → shared compiled spec
+	specOrder []string                      // spec hashes, oldest first
+	sweeps    map[string]*Sweep
+	order     []string // sweep ids in submission order
+	nextID    int
+}
+
+// maxCompiledSpecs bounds the compiled-spec cache: HTTP accepts
+// arbitrary inline specs, so distinct hashes must not pin models
+// forever. Evicted specs keep working for sweeps that hold them; a
+// re-submission simply recompiles.
+const maxCompiledSpecs = 64
+
+// New builds a Service.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.CacheCap <= 0 {
+		opts.CacheCap = 1024
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 256
+	}
+	return &Service{
+		workers:   opts.Workers,
+		maxSweeps: opts.MaxSweeps,
+		slots:     make(chan struct{}, opts.Workers),
+		cache:     newResultCache(opts.CacheCap),
+		specs:     make(map[string]*core.CompiledSpec),
+		sweeps:    make(map[string]*Sweep),
+	}
+}
+
+// Workers returns the pool capacity.
+func (s *Service) Workers() int { return s.workers }
+
+// CacheStats reports result-cache effectiveness: served-from-cache
+// scenario count, simulated count, and live cached entries.
+func (s *Service) CacheStats() (hits, misses uint64, entries int) {
+	return s.hits.Load(), s.misses.Load(), s.cache.len()
+}
+
+// compiledFor returns the shared CompiledSpec for the spec, compiling it
+// on first submission. Sweeps of the same spec — byte-identical after
+// canonical JSON encoding — share one compiled instance.
+func (s *Service) compiledFor(spec config.SystemSpec) (*core.CompiledSpec, error) {
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs, ok := s.specs[hash]; ok {
+		return cs, nil
+	}
+	cs, err := core.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.specs[hash] = cs
+	s.specOrder = append(s.specOrder, hash)
+	for len(s.specOrder) > maxCompiledSpecs {
+		delete(s.specs, s.specOrder[0])
+		s.specOrder = s.specOrder[1:]
+	}
+	return cs, nil
+}
+
+// SweepOptions parameterizes one submission.
+type SweepOptions struct {
+	// Name labels the sweep in listings.
+	Name string
+	// MaxConcurrent caps this sweep's in-flight scenarios on top of the
+	// global pool (0 → no per-sweep cap).
+	MaxConcurrent int
+}
+
+// ScenarioState is the lifecycle of one scenario within a sweep.
+type ScenarioState string
+
+// Scenario states.
+const (
+	StateQueued    ScenarioState = "queued"
+	StateRunning   ScenarioState = "running"
+	StateDone      ScenarioState = "done"
+	StateCached    ScenarioState = "cached"
+	StateFailed    ScenarioState = "failed"
+	StateCancelled ScenarioState = "cancelled"
+)
+
+// ScenarioStatus is the observable state of one scenario of a sweep.
+type ScenarioStatus struct {
+	Index    int           `json:"index"`
+	Name     string        `json:"name"`
+	Hash     string        `json:"scenario_hash"`
+	State    ScenarioState `json:"state"`
+	Error    string        `json:"error,omitempty"`
+	WallSec  float64       `json:"wall_sec,omitempty"`
+	CacheHit bool          `json:"cache_hit,omitempty"`
+}
+
+// Terminal reports whether the scenario has reached a final state.
+func (st ScenarioStatus) Terminal() bool {
+	switch st.State {
+	case StateDone, StateCached, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// SweepStatus is a point-in-time snapshot of a sweep.
+type SweepStatus struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	SpecHash  string    `json:"spec_hash"`
+	CreatedAt time.Time `json:"created_at"`
+	Total     int       `json:"total"`
+	Queued    int       `json:"queued"`
+	Running   int       `json:"running"`
+	Done      int       `json:"done"`
+	Cached    int       `json:"cached"`
+	Failed    int       `json:"failed"`
+	Cancelled int       `json:"cancelled"`
+	Finished  bool      `json:"finished"`
+	Scenarios []ScenarioStatus `json:"scenarios,omitempty"`
+}
+
+// Sweep is one submitted battery of scenarios working through the pool.
+type Sweep struct {
+	id        string
+	name      string
+	specHash  string
+	createdAt time.Time
+	compiled  *core.CompiledSpec
+	scenarios []core.Scenario
+	hashes    []string
+	svc       *Service
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	statuses []ScenarioStatus
+	results  []*core.Result
+	notify   chan struct{} // closed and replaced on every state change
+	done     chan struct{} // closed when every scenario is terminal
+}
+
+// Submit registers a sweep and starts working it asynchronously through
+// the pool. The returned Sweep is immediately observable via Status,
+// Results, and Done.
+func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts SweepOptions) (*Sweep, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("service: sweep needs at least one scenario")
+	}
+	compiled, err := s.compiledFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		if hashes[i], err = HashScenario(sc); err != nil {
+			return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &Sweep{
+		name:      opts.Name,
+		specHash:  compiled.Hash(),
+		createdAt: time.Now(),
+		compiled:  compiled,
+		scenarios: scenarios,
+		hashes:    hashes,
+		svc:       s,
+		ctx:       ctx,
+		cancel:    cancel,
+		statuses:  make([]ScenarioStatus, len(scenarios)),
+		results:   make([]*core.Result, len(scenarios)),
+		notify:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for i := range sw.statuses {
+		name := scenarios[i].Name
+		if name == "" {
+			name = string(scenarios[i].Workload)
+		}
+		sw.statuses[i] = ScenarioStatus{Index: i, Name: name, Hash: hashes[i], State: StateQueued}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	sw.id = fmt.Sprintf("sw-%d", s.nextID)
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	go sw.run(opts.MaxConcurrent)
+	return sw, nil
+}
+
+// pruneLocked drops the oldest finished sweeps beyond the retention cap
+// so the registry (and the results each sweep pins) stays bounded.
+// Callers hold s.mu.
+func (s *Service) pruneLocked() {
+	excess := len(s.order) - s.maxSweeps
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		finished := false
+		if sw != nil {
+			select {
+			case <-sw.done:
+				finished = true
+			default:
+			}
+		}
+		if excess > 0 && (sw == nil || finished) {
+			delete(s.sweeps, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Remove drops a finished sweep from the registry, releasing the
+// results it pins (cached entries stay until the result cache evicts
+// them). It refuses to remove a sweep that is still working.
+func (s *Service) Remove(id string) error {
+	sw, ok := s.Sweep(id)
+	if !ok {
+		return fmt.Errorf("service: no sweep %q", id)
+	}
+	select {
+	case <-sw.done:
+	default:
+		return fmt.Errorf("service: sweep %q still running; cancel it first", id)
+	}
+	s.mu.Lock()
+	delete(s.sweeps, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Sweep resolves a sweep by id.
+func (s *Service) Sweep(id string) (*Sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// List snapshots every sweep in submission order (summary form, without
+// per-scenario detail).
+func (s *Service) List() []SweepStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(ids))
+	for _, id := range ids {
+		if sw, ok := s.Sweep(id); ok {
+			st := sw.Status()
+			st.Scenarios = nil
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Cancel aborts a sweep by id: queued scenarios become cancelled,
+// running simulations finish their current run. Safe to call repeatedly.
+func (s *Service) Cancel(id string) error {
+	sw, ok := s.Sweep(id)
+	if !ok {
+		return fmt.Errorf("service: no sweep %q", id)
+	}
+	sw.Cancel()
+	return nil
+}
+
+// ID returns the sweep's identifier.
+func (sw *Sweep) ID() string { return sw.id }
+
+// SpecHash returns the compiled spec's content hash.
+func (sw *Sweep) SpecHash() string { return sw.specHash }
+
+// ScenarioHashes returns the per-scenario content hashes, indexed like
+// the submitted scenarios.
+func (sw *Sweep) ScenarioHashes() []string { return append([]string(nil), sw.hashes...) }
+
+// Cancel aborts the sweep (see Service.Cancel).
+func (sw *Sweep) Cancel() { sw.cancel() }
+
+// Done returns a channel closed once every scenario is terminal.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// Wait blocks until the sweep finishes or ctx expires.
+func (sw *Sweep) Wait(ctx context.Context) error {
+	select {
+	case <-sw.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status snapshots the sweep including per-scenario states.
+func (sw *Sweep) Status() SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := SweepStatus{
+		ID:        sw.id,
+		Name:      sw.name,
+		SpecHash:  sw.specHash,
+		CreatedAt: sw.createdAt,
+		Total:     len(sw.statuses),
+		Scenarios: append([]ScenarioStatus(nil), sw.statuses...),
+	}
+	for _, s := range sw.statuses {
+		switch s.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateCached:
+			st.Cached++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	st.Finished = st.Queued == 0 && st.Running == 0
+	return st
+}
+
+// Results snapshots the per-scenario results, indexed like the submitted
+// scenarios; unfinished or failed entries are nil. Results may be served
+// from the shared cache — treat them as read-only.
+func (sw *Sweep) Results() []*core.Result {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return append([]*core.Result(nil), sw.results...)
+}
+
+// changed returns a channel closed at the next state change — the
+// broadcast primitive behind the streaming endpoints.
+func (sw *Sweep) changed() <-chan struct{} {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.notify
+}
+
+func (sw *Sweep) update(mutate func()) {
+	sw.mu.Lock()
+	mutate()
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+	sw.mu.Unlock()
+}
+
+// run drives the sweep: spawn one bounded goroutine per scenario, each
+// gated by the per-sweep limit and the service-wide worker pool.
+func (sw *Sweep) run(maxConcurrent int) {
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
+	var wg sync.WaitGroup
+loop:
+	for i := range sw.scenarios {
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			case <-sw.ctx.Done():
+				break loop
+			}
+		} else if sw.ctx.Err() != nil {
+			break loop
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sem != nil {
+				defer func() { <-sem }()
+			}
+			sw.runOne(i)
+		}(i)
+	}
+	wg.Wait()
+	// Anything never dispatched (cancel hit the dispatch loop) is
+	// cancelled in place.
+	sw.update(func() {
+		for i := range sw.statuses {
+			if !sw.statuses[i].Terminal() && sw.statuses[i].State == StateQueued {
+				sw.statuses[i].State = StateCancelled
+			}
+		}
+	})
+	close(sw.done)
+}
+
+// runOne resolves one scenario through the cache or the simulator.
+func (sw *Sweep) runOne(i int) {
+	if sw.scenarios[i].TelemetryTo != nil {
+		// Streaming scenarios bypass the cache entirely: serving a hit
+		// (or waiting on another submitter's run) would silently skip
+		// the writer side effect the caller asked for.
+		sw.runDirect(i)
+		return
+	}
+	key := sw.specHash + ":" + sw.hashes[i]
+	for {
+		entry, leader := sw.svc.cache.acquire(key)
+		if leader {
+			sw.lead(i, key, entry)
+			return
+		}
+		// Someone else — possibly a concurrently submitted duplicate —
+		// is simulating this exact (spec, scenario); wait for it.
+		select {
+		case <-entry.done:
+		case <-sw.ctx.Done():
+			sw.record(i, nil, sw.ctx.Err(), false)
+			return
+		}
+		if errors.Is(entry.err, errAbandoned) {
+			continue // leader cancelled before running; take over
+		}
+		if entry.err != nil {
+			// The leader simulated and failed; failures are not cached
+			// (complete() dropped the entry), so this is not a hit.
+			sw.record(i, nil, entry.err, false)
+			return
+		}
+		sw.svc.hits.Add(1)
+		sw.record(i, entry.res, nil, true)
+		return
+	}
+}
+
+// errAbandoned marks a cache entry whose leader was cancelled before
+// producing a result; waiters retry leadership instead of failing.
+var errAbandoned = errors.New("service: scenario abandoned by cancelled sweep")
+
+// simulate acquires a pool slot and runs scenario i — the single run
+// sequence shared by the cached and direct paths. ran is false when the
+// sweep was cancelled before a slot freed (err then carries ctx.Err()).
+func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
+	select {
+	case sw.svc.slots <- struct{}{}:
+	case <-sw.ctx.Done():
+		return nil, false, sw.ctx.Err()
+	}
+	defer func() { <-sw.svc.slots }()
+	sw.update(func() { sw.statuses[i].State = StateRunning })
+	sw.svc.misses.Add(1)
+	res, err = sw.compiled.Twin().Run(sw.scenarios[i])
+	return res, true, err
+}
+
+// runDirect simulates the scenario without cache participation (used
+// when the scenario carries runtime side effects a cached result could
+// not reproduce).
+func (sw *Sweep) runDirect(i int) {
+	res, _, err := sw.simulate(i)
+	sw.record(i, res, err, false)
+}
+
+// lead simulates the scenario and publishes the result to the cache.
+func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
+	res, ran, err := sw.simulate(i)
+	if !ran {
+		// Never got a slot: release the key so another submitter can
+		// take over, rather than caching the cancellation.
+		sw.svc.cache.complete(key, entry, nil, errAbandoned)
+		sw.record(i, nil, err, false)
+		return
+	}
+	sw.svc.cache.complete(key, entry, res, err)
+	sw.record(i, res, err, false)
+}
+
+// record finalizes one scenario's status.
+func (sw *Sweep) record(i int, res *core.Result, err error, cacheHit bool) {
+	sw.update(func() {
+		st := &sw.statuses[i]
+		st.CacheHit = cacheHit
+		switch {
+		case err != nil && errors.Is(err, context.Canceled):
+			st.State = StateCancelled
+		case err != nil:
+			st.State = StateFailed
+			st.Error = err.Error()
+		case cacheHit:
+			st.State = StateCached
+			sw.results[i] = res
+		default:
+			st.State = StateDone
+			sw.results[i] = res
+		}
+		if res != nil {
+			st.WallSec = res.WallSec
+		}
+	})
+}
+
+// cacheEntry is one in-flight or completed scenario result. done is
+// closed once res/err are final.
+type cacheEntry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// resultCache is the content-addressed result store with single-flight
+// semantics: the first acquirer of a key leads (simulates); concurrent
+// acquirers wait on the same entry, so N identical submissions cost one
+// simulation.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   []string // completed keys, oldest first, for eviction
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// acquire returns the entry for key and whether the caller leads its
+// computation.
+func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// complete publishes the leader's outcome. Failed and abandoned runs are
+// dropped from the cache (a later submission may retry); successes are
+// retained up to the cache cap, evicting oldest-completed first.
+func (c *resultCache) complete(key string, e *cacheEntry, res *core.Result, err error) {
+	e.res, e.err = res, err
+	c.mu.Lock()
+	if err != nil {
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, evict)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}

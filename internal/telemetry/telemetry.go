@@ -45,11 +45,12 @@ type JobRecord struct {
 	GPUPowerW []float64 `json:"gpu_power"`
 }
 
-// SeriesPoint is one sample of the system-level validation series.
+// SeriesPoint is one sample of the system-level validation series. The
+// JSON tags define the NDJSON streaming schema (stream.go).
 type SeriesPoint struct {
-	TimeSec        float64 // seconds from dataset epoch
-	MeasuredPowerW float64 // total system power ("measured power", 1 s in Table II)
-	WetBulbC       float64 // outdoor wet bulb (60 s in Table II)
+	TimeSec        float64 `json:"time_sec"`         // seconds from dataset epoch
+	MeasuredPowerW float64 `json:"measured_power_w"` // total system power ("measured power", 1 s in Table II)
+	WetBulbC       float64 `json:"wetbulb_c"`        // outdoor wet bulb (60 s in Table II)
 }
 
 // Dataset is a replayable telemetry capture.

@@ -4,9 +4,9 @@
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR1.json}
+out=${1:-BENCH_PR2.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1
