@@ -19,11 +19,11 @@ test-short:
 # Quick perf smoke: the headline day-replay benchmarks (with the
 # dense-vs-event speedup metric) plus the multi-day fan-out.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR2.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR3.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR2.json
+	./scripts/bench_json.sh BENCH_PR3.json
 
 ci: build vet test bench-smoke

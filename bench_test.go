@@ -260,6 +260,78 @@ func BenchmarkSweepService(b *testing.B) {
 	}
 }
 
+// BenchmarkCoolingVariantSweep measures spec-driven sweep throughput:
+// one sweep mixing three cooling plants (hand-calibrated preset, AutoCSM
+// synthesis, and a re-sized AutoCSM variant) across three workload
+// seeds, each scenario cooled by its own compiled design.
+func BenchmarkCoolingVariantSweep(b *testing.B) {
+	preset := FrontierSpec().Cooling
+	auto := preset
+	auto.Preset = ""
+	resized := auto
+	resized.NumTowers = 4
+	resized.TowerFlowGPM = 7500
+	resized.PrimaryFlowGPM = 6000
+	variants := []CoolingSpec{preset, auto, resized}
+
+	var scenarios []Scenario
+	for seed := int64(1); seed <= 3; seed++ {
+		for i := range variants {
+			gen := DefaultGeneratorConfig()
+			gen.Seed = seed
+			scenarios = append(scenarios, Scenario{
+				Workload: WorkloadSynthetic, Generator: gen,
+				HorizonSec: 1800, TickSec: 15, WetBulbC: 20,
+				CoolingSpec: &variants[i],
+				NoExport:    true, NoHistory: true,
+			})
+		}
+	}
+	workers := runtime.NumCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := NewSweepService(SweepServiceOptions{Workers: workers})
+		start := time.Now()
+		sw, err := svc.Submit(FrontierSpec(), scenarios, SweepOptions{Name: "cooling-mix"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-sw.Done()
+		if st := sw.Status(); st.Done != len(scenarios) {
+			b.Fatalf("sweep status %+v", st)
+		}
+		b.ReportMetric(float64(len(scenarios))/time.Since(start).Seconds(), "scen/s")
+	}
+}
+
+// BenchmarkMidDayCancel measures the cancel-to-stop latency of an
+// in-flight cooled multi-day simulation — the context-aware abort the
+// sweep service relies on (pre-refactor this was the rest of the run).
+func BenchmarkMidDayCancel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := NewSweepService(SweepServiceOptions{Workers: 1})
+		sw, err := svc.Submit(FrontierSpec(), []Scenario{{
+			Workload: WorkloadSynthetic, HorizonSec: 14 * 86400, TickSec: 1,
+			Cooling: true, WetBulbC: 20, NoExport: true, NoHistory: true,
+		}}, SweepOptions{Name: "long-day"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for sw.Status().Running == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		// Let it get a few simulated hours in before pulling the plug.
+		time.Sleep(50 * time.Millisecond)
+		start := time.Now()
+		sw.Cancel()
+		<-sw.Done()
+		b.ReportMetric(float64(time.Since(start).Microseconds())/1e3, "cancel_ms")
+		if st := sw.Status(); st.Cancelled != 1 {
+			b.Fatalf("sweep status %+v", st)
+		}
+	}
+}
+
 // BenchmarkTwinDayCooled is the same day with the cooling model coupled.
 func BenchmarkTwinDayCooled(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -68,13 +68,16 @@ func main() {
 	if *once {
 		return
 	}
+	dash := exadigit.NewDashboardServer(tw)
+	dash.SetLogf(log.Printf)
 	log.Printf("serving dashboard API on %s", *addr)
 	log.Printf("  GET  /api/status       — live status")
 	log.Printf("  GET  /api/series       — power/PUE/utilization history")
-	log.Printf("  GET  /api/cooling      — the 317 cooling-model channels")
+	log.Printf("  GET  /api/cooling      — the compiled plant's output channels")
 	log.Printf("  POST /api/run          — launch a what-if (workload=, mode=, horizon_sec=, cooling=)")
 	log.Printf("  GET  /api/experiments  — recall stored what-if results")
-	if err := http.ListenAndServe(*addr, exadigit.DashboardHandler(tw)); err != nil {
+	log.Printf("  GET  /api/metrics      — HTTP middleware counters")
+	if err := http.ListenAndServe(*addr, dash.Handler()); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -118,20 +121,24 @@ func serve(args []string) {
 	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{
 		Workers: *workers, CacheCap: *cacheCap,
 	})
+	svc.SetLogf(log.Printf)
+	dash := exadigit.NewDashboardServer(tw)
+	dash.SetLogf(log.Printf)
 	mux := http.NewServeMux()
 	sweepAPI := svc.Handler()
 	mux.Handle("/api/sweeps", sweepAPI)
 	mux.Handle("/api/sweeps/", sweepAPI)
-	mux.Handle("/", exadigit.DashboardHandler(tw))
+	mux.Handle("/", dash.Handler())
 
 	log.Printf("serving twin-as-a-service on %s (%d workers, cache %d)",
 		*addr, svc.Workers(), *cacheCap)
-	log.Printf("  POST /api/sweeps               — submit a scenario sweep")
+	log.Printf("  POST /api/sweeps               — submit a scenario sweep (per-scenario cooling_spec mixes plants)")
 	log.Printf("  GET  /api/sweeps               — list sweeps + cache stats")
 	log.Printf("  GET  /api/sweeps/{id}          — sweep status")
 	log.Printf("  GET  /api/sweeps/{id}/results  — completed results")
 	log.Printf("  GET  /api/sweeps/{id}/stream   — NDJSON results as they complete")
-	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued work")
+	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued and in-flight work (aborts mid-day)")
+	log.Printf("  GET  /api/sweeps/metrics       — HTTP middleware counters")
 	log.Printf("  (dashboard endpoints /api/status, /api/series, /api/cooling, /api/run remain mounted)")
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)

@@ -192,18 +192,38 @@ func DefaultGeneratorConfig() GeneratorConfig { return job.DefaultGeneratorConfi
 // specification (the paper's AutoCSM, §V).
 func GenerateCoolingModel(spec CoolingSpec) (CoolingConfig, error) { return autocsm.Generate(spec) }
 
-// FrontierCoolingModel returns the hand-calibrated Frontier plant.
+// CompileCoolingSpec resolves a CoolingSpec the way the twin's cooling
+// pipeline does: a preset name yields its hand-calibrated plant
+// verbatim, anything else is synthesized by AutoCSM. This is the
+// function behind CompiledSpec.CoolingDesign and per-scenario cooling
+// overrides.
+func CompileCoolingSpec(spec CoolingSpec) (CoolingConfig, error) { return autocsm.Compile(spec) }
+
+// FrontierCoolingModel returns the hand-calibrated Frontier plant (the
+// "frontier" cooling preset).
 func FrontierCoolingModel() CoolingConfig { return cooling.Frontier() }
 
 // NewCoolingFMU instantiates the cooling model behind the FMI-style
 // co-simulation interface (SetReal / DoStep / GetReal).
 func NewCoolingFMU(cfg CoolingConfig) (*FMU, error) { return fmu.Instantiate(cfg) }
 
+// DashboardServer is the viz REST backend; expose it (rather than just
+// its Handler) to enable request logging or read the middleware metrics.
+type DashboardServer = viz.Server
+
+// NewDashboardServer builds the dashboard REST backend over the twin.
+// Its Handler serves /api/status, /api/series, /api/cooling, /api/run,
+// /api/experiments, and /api/metrics behind the shared middleware stack
+// (panic recovery, request metrics, optional logging via SetLogf).
+func NewDashboardServer(tw *Twin) *DashboardServer {
+	return viz.NewServer(tw, tw.ExperimentRunner())
+}
+
 // DashboardHandler returns the HTTP handler serving the twin's REST API
 // (/api/status, /api/series, /api/cooling, /api/run, /api/experiments) —
 // the data source the paper's web dashboard consumes.
 func DashboardHandler(tw *Twin) http.Handler {
-	return viz.NewServer(tw, tw.ExperimentRunner()).Handler()
+	return NewDashboardServer(tw).Handler()
 }
 
 // RenderStatus draws a terminal dashboard frame for the twin's most

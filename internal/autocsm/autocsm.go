@@ -30,6 +30,24 @@ const (
 	pumpEta          = 0.78
 )
 
+// Compile resolves a config.CoolingSpec to a full plant configuration —
+// the single entry point the twin's cooling pipeline routes every spec
+// through. A preset name resolves to its hand-calibrated plant verbatim
+// (the default Frontier spec stays bit-identical to the paper-validated
+// model); otherwise the plant is synthesized from the design quantities
+// by Generate.
+func Compile(spec config.CoolingSpec) (cooling.Config, error) {
+	if spec.Preset != "" {
+		cfg, ok := cooling.Preset(spec.Preset)
+		if !ok {
+			return cooling.Config{}, fmt.Errorf("autocsm: unknown cooling preset %q (known: %v)",
+				spec.Preset, cooling.PresetNames())
+		}
+		return cfg, nil
+	}
+	return Generate(spec)
+}
+
 // Generate sizes a full cooling plant from the spec.
 func Generate(spec config.CoolingSpec) (cooling.Config, error) {
 	var cfg cooling.Config

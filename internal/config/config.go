@@ -15,6 +15,7 @@ import (
 	"os"
 	"sync/atomic"
 
+	"exadigit/internal/cooling"
 	"exadigit/internal/power"
 )
 
@@ -74,8 +75,14 @@ type PowerSpec struct {
 }
 
 // CoolingSpec is the AutoCSM input (§V): high-level design quantities
-// from which a full plant model is synthesized.
+// from which a full plant model is synthesized. Setting Preset instead
+// names a hand-calibrated plant (cooling.Preset) that is used verbatim —
+// the default Frontier spec resolves to the "frontier" preset so its
+// cooled runs stay bit-identical to the paper-validated plant. The
+// design quantities may still be carried alongside a preset (they
+// document the machine and take over if the preset name is cleared).
 type CoolingSpec struct {
+	Preset         string  `json:"preset,omitempty"`
 	NumCDUs        int     `json:"num_cdus"`
 	NumTowers      int     `json:"num_towers"`
 	CellsPerTower  int     `json:"cells_per_tower"`
@@ -123,6 +130,7 @@ func Frontier() SystemSpec {
 			},
 		}},
 		Cooling: CoolingSpec{
+			Preset:  "frontier",
 			NumCDUs: 25, NumTowers: 5, CellsPerTower: 4, NumFanChannels: 16,
 			NumHTWPs: 4, NumCTWPs: 4, NumEHX: 5,
 			DesignHeatMW: 16, DesignWetBulbC: 20,
@@ -221,21 +229,59 @@ func (s *SystemSpec) Validate() error {
 			return fmt.Errorf("config: partition %q: cooling_efficiency out of (0,1]", p.Name)
 		}
 	}
-	if s.Cooling.NumCDUs <= 0 {
+	return s.Cooling.Validate()
+}
+
+// Validate checks the cooling spec for structural consistency — the same
+// checks the sweep service applies at its HTTP boundary, so malformed
+// plants (non-positive flows, CDU counts, inverted temperature ladders)
+// are rejected with a 400 instead of failing deep inside a worker. A
+// preset spec only needs a known preset name; the design quantities are
+// checked when AutoCSM will synthesize the plant from them.
+func (c *CoolingSpec) Validate() error {
+	if c.Preset != "" {
+		if _, ok := cooling.Preset(c.Preset); !ok {
+			return fmt.Errorf("config: unknown cooling preset %q (known: %v)",
+				c.Preset, cooling.PresetNames())
+		}
+		return nil
+	}
+	if c.NumCDUs <= 0 {
 		return fmt.Errorf("config: cooling num_cdus must be positive")
 	}
-	if s.Cooling.DesignHeatMW <= 0 {
+	if c.NumTowers <= 0 || c.CellsPerTower <= 0 {
+		return fmt.Errorf("config: cooling tower counts must be positive")
+	}
+	if c.NumHTWPs <= 0 || c.NumCTWPs <= 0 || c.NumEHX <= 0 {
+		return fmt.Errorf("config: cooling pump/EHX counts must be positive")
+	}
+	if c.DesignHeatMW <= 0 {
 		return fmt.Errorf("config: cooling design_heat_mw must be positive")
 	}
-	if s.Cooling.SecSupplyC <= s.Cooling.CTSupplyC {
-		return fmt.Errorf("config: secondary supply %v must exceed CT supply %v",
-			s.Cooling.SecSupplyC, s.Cooling.CTSupplyC)
+	if c.PrimaryFlowGPM <= 0 || c.TowerFlowGPM <= 0 {
+		return fmt.Errorf("config: cooling design flows must be positive")
 	}
-	if s.Cooling.CTSupplyC <= s.Cooling.DesignWetBulbC {
+	if c.SecSupplyC <= c.CTSupplyC {
+		return fmt.Errorf("config: secondary supply %v must exceed CT supply %v",
+			c.SecSupplyC, c.CTSupplyC)
+	}
+	if c.CTSupplyC <= c.DesignWetBulbC {
 		return fmt.Errorf("config: CT supply %v must exceed design wet bulb %v",
-			s.Cooling.CTSupplyC, s.Cooling.DesignWetBulbC)
+			c.CTSupplyC, c.DesignWetBulbC)
 	}
 	return nil
+}
+
+// Hash returns the canonical content hash of the cooling spec alone —
+// the key under which compiled plant designs are cached and shared when
+// scenarios override the system's plant.
+func (c *CoolingSpec) Hash() (string, error) {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("config: cooling hash: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Topology converts the partition counts to a power.Topology.

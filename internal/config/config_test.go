@@ -103,10 +103,17 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"bad sivoc":      func(s *SystemSpec) { s.Partitions[0].Power.SivocEta = 1.5 },
 		"bad mode":       func(s *SystemSpec) { s.Partitions[0].Power.Mode = "nuclear" },
 		"bad coolingeff": func(s *SystemSpec) { s.Partitions[0].Power.CoolingEfficiency = 0 },
-		"no cdus":        func(s *SystemSpec) { s.Cooling.NumCDUs = 0 },
-		"no heat":        func(s *SystemSpec) { s.Cooling.DesignHeatMW = 0 },
-		"temp order":     func(s *SystemSpec) { s.Cooling.SecSupplyC = s.Cooling.CTSupplyC },
-		"wetbulb order":  func(s *SystemSpec) { s.Cooling.CTSupplyC = s.Cooling.DesignWetBulbC - 1 },
+		// The cooling cases clear the preset: a preset spec resolves to
+		// its hand-calibrated plant and skips the AutoCSM design checks.
+		"no cdus":       func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.NumCDUs = 0 },
+		"no heat":       func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.DesignHeatMW = 0 },
+		"temp order":    func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.SecSupplyC = s.Cooling.CTSupplyC },
+		"wetbulb order": func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.CTSupplyC = s.Cooling.DesignWetBulbC - 1 },
+		"no flow":       func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.PrimaryFlowGPM = 0 },
+		"no tower flow": func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.TowerFlowGPM = -1 },
+		"no towers":     func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.NumTowers = 0 },
+		"no pumps":      func(s *SystemSpec) { s.Cooling.Preset = ""; s.Cooling.NumHTWPs = 0 },
+		"bad preset":    func(s *SystemSpec) { s.Cooling.Preset = "chiller-9000" },
 	}
 	for name, mutate := range cases {
 		s := Frontier()

@@ -81,6 +81,32 @@ type Config struct {
 	ControlDtS float64
 }
 
+// presets names the hand-calibrated plant configurations. A preset is
+// the escape hatch from AutoCSM synthesis: a config.CoolingSpec naming
+// one resolves to the calibrated Config verbatim, so the default
+// Frontier spec cools with exactly the plant the paper's validation was
+// run against (bit-identical, not AutoCSM-approximated).
+var presets = map[string]func() Config{
+	"frontier": Frontier,
+}
+
+// Preset resolves a hand-calibrated plant configuration by name.
+func Preset(name string) (Config, bool) {
+	if f, ok := presets[name]; ok {
+		return f(), true
+	}
+	return Config{}, false
+}
+
+// PresetNames lists the known hand-calibrated plant names.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	return names
+}
+
 // Frontier returns the full-scale plant configuration.
 func Frontier() Config {
 	return Config{

@@ -105,6 +105,9 @@ type Plant struct {
 	primFlows []float64
 }
 
+// Config returns the plant's design configuration.
+func (p *Plant) Config() Config { return p.cfg }
+
 // New builds a plant in a warm-started condition near its typical
 // operating point.
 func New(cfg Config) (*Plant, error) {

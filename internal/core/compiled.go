@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"exadigit/internal/autocsm"
 	"exadigit/internal/config"
-	"exadigit/internal/cooling"
 	"exadigit/internal/fmu"
 	"exadigit/internal/power"
 )
@@ -26,10 +26,16 @@ type CompiledSpec struct {
 	mu     sync.Mutex
 	models map[string]*power.Model
 
-	coolOnce   sync.Once
-	coolDesign *fmu.Design
-	coolErr    error
+	coolMu      sync.Mutex
+	coolDesigns map[string]*fmu.Design // cooling-spec hash → compiled design
+	coolOrder   []string               // design keys, oldest first, for eviction
 }
+
+// maxCoolingDesigns bounds the per-spec design cache: scenarios may
+// carry arbitrary per-scenario cooling overrides over HTTP, so distinct
+// plants must not pin designs forever. Evicted designs keep working for
+// running simulations; a re-submission recompiles.
+const maxCoolingDesigns = 32
 
 // Compile validates the spec and wraps it for shared use. Power models
 // and the cooling design are built lazily, on first demand per power
@@ -43,9 +49,10 @@ func Compile(spec config.SystemSpec) (*CompiledSpec, error) {
 		return nil, err
 	}
 	return &CompiledSpec{
-		spec:   spec,
-		hash:   hash,
-		models: make(map[string]*power.Model),
+		spec:        spec,
+		hash:        hash,
+		models:      make(map[string]*power.Model),
+		coolDesigns: make(map[string]*fmu.Design),
 	}, nil
 }
 
@@ -81,19 +88,54 @@ func (cs *CompiledSpec) Model(mode string) (*power.Model, error) {
 	return m, nil
 }
 
-// CoolingDesign returns the shared FMU design for the spec's cooling
-// plant, compiling it on first use. The plant itself is Frontier-shaped
-// today (matching the pre-existing raps coupling and the hand-calibrated
-// cooling.Frontier configuration); generalizing it to AutoCSM-synthesized
-// plants is a ROADMAP follow-on.
+// CoolingDesign returns the shared FMU design for the spec's own cooling
+// plant, compiling it on first use. SystemSpec.Cooling is the single
+// source of truth: a preset name resolves to its hand-calibrated plant
+// (the default Frontier spec is bit-identical to the paper-validated
+// model), anything else is synthesized by AutoCSM from the spec's design
+// quantities.
 func (cs *CompiledSpec) CoolingDesign() (*fmu.Design, error) {
-	cs.coolOnce.Do(func() {
-		cs.coolDesign, cs.coolErr = fmu.NewDesign(cooling.Frontier())
-	})
-	if cs.coolErr != nil {
-		return nil, fmt.Errorf("core: cooling design: %w", cs.coolErr)
+	return cs.CoolingDesignFor(cs.spec.Cooling)
+}
+
+// CoolingDesignFor returns the shared FMU design for an arbitrary
+// cooling spec — the path scenarios take when they override the system's
+// plant, letting one sweep mix cooling variants against the same compute
+// spec. Designs are compiled once per distinct cooling spec and served
+// from a bounded cache.
+func (cs *CompiledSpec) CoolingDesignFor(spec config.CoolingSpec) (*fmu.Design, error) {
+	key, err := spec.Hash()
+	if err != nil {
+		return nil, fmt.Errorf("core: cooling design: %w", err)
 	}
-	return cs.coolDesign, nil
+	cs.coolMu.Lock()
+	defer cs.coolMu.Unlock()
+	if d, ok := cs.coolDesigns[key]; ok {
+		return d, nil
+	}
+	cfg, err := autocsm.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: cooling design: %w", err)
+	}
+	// The simulation couples one heat input per topology CDU, so the
+	// plant must expose at least that many loops; catching it here gives
+	// submitters a clear error instead of a missing-FMU-variable failure
+	// deep inside a worker.
+	if topo := cs.spec.Partitions[0].NumCDUs; cfg.NumCDUs < topo {
+		return nil, fmt.Errorf("core: cooling design: plant has %d CDU loops but partition %q couples %d",
+			cfg.NumCDUs, cs.spec.Partitions[0].Name, topo)
+	}
+	d, err := fmu.NewDesign(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: cooling design: %w", err)
+	}
+	cs.coolDesigns[key] = d
+	cs.coolOrder = append(cs.coolOrder, key)
+	for len(cs.coolOrder) > maxCoolingDesigns {
+		delete(cs.coolDesigns, cs.coolOrder[0])
+		cs.coolOrder = cs.coolOrder[1:]
+	}
+	return d, nil
 }
 
 // Twin returns a fresh Twin bound to the compiled spec. Twins are cheap

@@ -6,11 +6,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"exadigit/internal/config"
+	"exadigit/internal/cooling"
+	"exadigit/internal/fmu"
 	"exadigit/internal/job"
 	"exadigit/internal/power"
 	"exadigit/internal/raps"
@@ -51,6 +55,12 @@ type Scenario struct {
 	Policy string
 	// Cooling couples the thermo-fluid plant.
 	Cooling bool
+	// CoolingSpec overrides the system spec's plant for this scenario —
+	// compiled through AutoCSM (or resolved as a preset) exactly like
+	// SystemSpec.Cooling — so a single sweep can mix cooling variants
+	// against the same compute spec. nil cools with the spec's own
+	// plant; implies Cooling when set.
+	CoolingSpec *config.CoolingSpec
 	// PowerMode selects the conversion architecture ("ac-baseline",
 	// "smart-rectifier", "dc380").
 	PowerMode string
@@ -102,9 +112,34 @@ type Result struct {
 type Twin struct {
 	Spec config.SystemSpec
 
-	compiled  *CompiledSpec
-	sim       *raps.Simulation
-	lastModel *power.Model
+	compiled *CompiledSpec
+
+	// mu guards the most-recent-run artifacts below: the dashboard's viz
+	// endpoints read them from HTTP goroutines while /api/run drives a
+	// new run on the same Twin, and the cooling names must stay paired
+	// with the simulation they label.
+	mu         sync.Mutex
+	sim        *raps.Simulation
+	lastModel  *power.Model
+	lastDesign *fmu.Design // cooling design of the most recent cooled run
+}
+
+// setRun publishes a run's artifacts as one consistent snapshot. It is
+// called once the simulation has stopped ticking (completed, failed, or
+// aborted), so viz readers never observe a live simulation's mutating
+// internals.
+func (tw *Twin) setRun(sim *raps.Simulation, model *power.Model, design *fmu.Design) {
+	tw.mu.Lock()
+	tw.sim, tw.lastModel, tw.lastDesign = sim, model, design
+	tw.mu.Unlock()
+}
+
+// currentRun returns the most recent run's simulation and cooling design
+// as a consistent pair.
+func (tw *Twin) currentRun() (*raps.Simulation, *fmu.Design) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.sim, tw.lastDesign
 }
 
 // NewFrontier builds a twin of Frontier.
@@ -189,6 +224,18 @@ func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) 
 
 // Run executes a scenario to completion and returns its result.
 func (tw *Twin) Run(sc Scenario) (*Result, error) {
+	return tw.RunContext(context.Background(), sc)
+}
+
+// RunContext executes a scenario under a context: cancellation aborts
+// the simulation at the next tick boundary (mid-day, not between
+// scenarios) and returns the context's error. This is the run path the
+// sweep service drives, so a cancelled sweep stops paying for its
+// in-flight days.
+func (tw *Twin) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sc.HorizonSec <= 0 {
 		return nil, fmt.Errorf("core: scenario horizon must be positive")
 	}
@@ -217,9 +264,14 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown engine %q (want \"event\" or \"dense\")", sc.Engine)
 	}
 	rcfg.NoHistory = sc.NoHistory
-	rcfg.EnableCooling = sc.Cooling
-	if sc.Cooling {
-		if rcfg.CoolingDesign, err = tw.compiled.CoolingDesign(); err != nil {
+	rcfg.EnableCooling = sc.Cooling || sc.CoolingSpec != nil
+	if rcfg.EnableCooling {
+		if sc.CoolingSpec != nil {
+			rcfg.CoolingDesign, err = tw.compiled.CoolingDesignFor(*sc.CoolingSpec)
+		} else {
+			rcfg.CoolingDesign, err = tw.compiled.CoolingDesign()
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -258,9 +310,11 @@ func (tw *Twin) Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tw.sim = sim
-	tw.lastModel = model
-	rep, err := sim.Run(sc.HorizonSec)
+	rep, err := sim.RunContext(ctx, sc.HorizonSec)
+	// Publish after the tick loop stops (even on error/abort): the
+	// dashboard serves the most recent settled run, and partial state of
+	// an aborted run stays inspectable via Simulation().
+	tw.setRun(sim, model, rcfg.CoolingDesign)
 	if err != nil {
 		return nil, err
 	}
@@ -316,14 +370,18 @@ func (tw *Twin) wetBulbFunc(sc *Scenario) func(float64) float64 {
 
 // Simulation exposes the most recent run's simulation (nil before any
 // run), for white-box inspection by experiments.
-func (tw *Twin) Simulation() *raps.Simulation { return tw.sim }
+func (tw *Twin) Simulation() *raps.Simulation {
+	sim, _ := tw.currentRun()
+	return sim
+}
 
 // Status implements viz.Source over the most recent run.
 func (tw *Twin) Status() viz.Status {
-	if tw.sim == nil {
+	sim, _ := tw.currentRun()
+	if sim == nil {
 		return viz.Status{}
 	}
-	hist := tw.sim.History()
+	hist := sim.History()
 	if len(hist) == 0 {
 		return viz.Status{}
 	}
@@ -341,10 +399,11 @@ func (tw *Twin) Status() viz.Status {
 
 // Series implements viz.Source.
 func (tw *Twin) Series() []viz.SeriesPoint {
-	if tw.sim == nil {
+	sim, _ := tw.currentRun()
+	if sim == nil {
 		return nil
 	}
-	hist := tw.sim.History()
+	hist := sim.History()
 	out := make([]viz.SeriesPoint, len(hist))
 	for i, smp := range hist {
 		out[i] = viz.SeriesPoint{
@@ -357,20 +416,29 @@ func (tw *Twin) Series() []viz.SeriesPoint {
 	return out
 }
 
-// CoolingOutputs implements viz.Source: the named 317-channel snapshot of
-// the most recent cooled run, or nil.
+// CoolingOutputs implements viz.Source: the named per-channel snapshot
+// of the most recent cooled run's plant (317 channels on Frontier), or
+// nil. Names come from the run's compiled design, so dashboard labels
+// follow SystemSpec.Cooling (or the scenario's override) instead of
+// assuming a Frontier-shaped plant.
 func (tw *Twin) CoolingOutputs() map[string]float64 {
-	if tw.sim == nil {
+	sim, design := tw.currentRun()
+	if sim == nil {
 		return nil
 	}
-	plant := tw.sim.CoolingPlant()
+	plant := sim.CoolingPlant()
 	if plant == nil {
 		return nil
 	}
-	// Rebuild the cooling config from the spec is not needed here: names
-	// depend only on CDU and fan counts, which the plant carries.
 	vec := plant.Snapshot().Vector()
-	names := tw.coolingNames()
+	var names []string
+	if design != nil {
+		names = design.OutputNames()
+	} else {
+		// Literal-built twin running raps directly: fall back to the
+		// plant the sim actually coupled via its config.
+		names = cooling.OutputNames(plant.Config())
+	}
 	if len(names) != len(vec) {
 		return nil
 	}
@@ -381,15 +449,12 @@ func (tw *Twin) CoolingOutputs() map[string]float64 {
 	return out
 }
 
-func (tw *Twin) coolingNames() []string {
-	// The default plant is Frontier-shaped; name layout matches it.
-	return coolingOutputNamesFrontier()
-}
-
 // ExperimentRunner returns a viz.ExperimentRunner that launches scenarios
-// from HTTP parameters (workload, horizon_sec, mode, cooling).
+// from HTTP parameters (workload, horizon_sec, mode, cooling). The
+// request context is threaded into the run, so a client disconnect
+// aborts the what-if at the next tick boundary.
 func (tw *Twin) ExperimentRunner() viz.ExperimentRunner {
-	return func(params map[string]string) (any, error) {
+	return func(ctx context.Context, params map[string]string) (any, error) {
 		sc := Scenario{
 			Workload:   WorkloadKind(params["workload"]),
 			HorizonSec: 900,
@@ -405,7 +470,7 @@ func (tw *Twin) ExperimentRunner() viz.ExperimentRunner {
 		}
 		sc.PowerMode = params["mode"]
 		sc.Cooling = params["cooling"] == "true"
-		res, err := tw.Run(sc)
+		res, err := tw.RunContext(ctx, sc)
 		if err != nil {
 			return nil, err
 		}

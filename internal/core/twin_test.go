@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -185,17 +186,17 @@ func TestExperimentRunner(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := tw.ExperimentRunner()
-	res, err := run(map[string]string{"workload": "idle", "horizon_sec": "60"})
+	res, err := run(context.Background(), map[string]string{"workload": "idle", "horizon_sec": "60"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res == nil {
 		t.Fatal("nil result")
 	}
-	if _, err := run(map[string]string{"workload": "bogus"}); err == nil {
+	if _, err := run(context.Background(), map[string]string{"workload": "bogus"}); err == nil {
 		t.Error("bad workload should fail")
 	}
-	if _, err := run(map[string]string{"horizon_sec": "xyz"}); err == nil {
+	if _, err := run(context.Background(), map[string]string{"horizon_sec": "xyz"}); err == nil {
 		t.Error("bad horizon should fail")
 	}
 }

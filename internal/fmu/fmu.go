@@ -110,6 +110,7 @@ type Design struct {
 	itPowerRef ValueRef
 
 	outRefs  []ValueRef
+	outNames []string
 	outIndex map[ValueRef]int
 }
 
@@ -134,7 +135,8 @@ func NewDesign(cfg cooling.Config) (*Design, error) {
 	dn.itPowerRef = add("it_power_w", Input, "W")
 
 	dn.outIndex = make(map[ValueRef]int)
-	for i, name := range cooling.OutputNames(cfg) {
+	dn.outNames = cooling.OutputNames(cfg)
+	for i, name := range dn.outNames {
 		unit := ""
 		switch {
 		case hasSuffix(name, "_w"):
@@ -160,6 +162,11 @@ func (dn *Design) Description() *ModelDescription { return dn.desc }
 
 // Config returns the plant configuration the design was compiled from.
 func (dn *Design) Config() cooling.Config { return dn.cfg }
+
+// OutputNames returns the output channel names in value order — the
+// labels a dashboard attaches to GetReal vectors. The slice is shared;
+// callers must not mutate it.
+func (dn *Design) OutputNames() []string { return dn.outNames }
 
 // Instantiate builds a fresh Instance over a new cooling plant, sharing
 // this design's description.

@@ -1,0 +1,157 @@
+// Package httpmw is the shared HTTP middleware layer for the twin's two
+// servers — the viz dashboard API and the sweep service. Both previously
+// hand-rolled their endpoints with no recovery or observability; this
+// package gives them one stack: panic recovery (a crashing handler
+// returns 500 instead of killing the connection), optional request
+// logging, and basic request metrics (totals, in-flight, status classes,
+// panics, cumulative handler time).
+package httpmw
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Logf is the logging hook (log.Printf-shaped). nil disables logging.
+type Logf func(format string, args ...any)
+
+// Metrics holds the counters one middleware stack accumulates. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	requests atomic.Uint64
+	inFlight atomic.Int64
+	panics   atomic.Uint64
+	status2x atomic.Uint64
+	status3x atomic.Uint64
+	status4x atomic.Uint64
+	status5x atomic.Uint64
+	// totalNs accumulates handler wall time for a cheap mean latency.
+	totalNs atomic.Int64
+}
+
+// MetricsSnapshot is the JSON-serializable view of the counters.
+type MetricsSnapshot struct {
+	Requests  uint64  `json:"requests"`
+	InFlight  int64   `json:"in_flight"`
+	Panics    uint64  `json:"panics"`
+	Status2xx uint64  `json:"status_2xx"`
+	Status3xx uint64  `json:"status_3xx"`
+	Status4xx uint64  `json:"status_4xx"`
+	Status5xx uint64  `json:"status_5xx"`
+	AvgMs     float64 `json:"avg_ms"`
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:  m.requests.Load(),
+		InFlight:  m.inFlight.Load(),
+		Panics:    m.panics.Load(),
+		Status2xx: m.status2x.Load(),
+		Status3xx: m.status3x.Load(),
+		Status4xx: m.status4x.Load(),
+		Status5xx: m.status5x.Load(),
+	}
+	if s.Requests > 0 {
+		s.AvgMs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e6
+	}
+	return s
+}
+
+// Handler serves the snapshot as JSON — mount it as the stack's
+// /api/metrics endpoint.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.Snapshot())
+	})
+}
+
+// statusRecorder captures the response code (and whether the handler
+// wrote one) without disturbing streaming: Flush is forwarded when the
+// underlying writer supports it, which the sweep service's NDJSON
+// endpoints rely on.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.code = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.code = http.StatusOK
+		sr.wrote = true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer, preserving http.Flusher for
+// streaming handlers.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Wrap layers panic recovery, metrics accounting, and (when logf is
+// non-nil) request logging around h. m may be nil to skip metrics.
+func Wrap(h http.Handler, logf Logf, m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		if m != nil {
+			m.requests.Add(1)
+			m.inFlight.Add(1)
+		}
+		defer func() {
+			if m != nil {
+				m.inFlight.Add(-1)
+				m.totalNs.Add(int64(time.Since(start)))
+			}
+			if rec := recover(); rec != nil {
+				if m != nil {
+					m.panics.Add(1)
+					m.status5x.Add(1)
+				}
+				if !sr.wrote {
+					http.Error(w, "internal server error", http.StatusInternalServerError)
+				}
+				if logf != nil {
+					logf("http: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+				}
+				return
+			}
+			code := sr.code
+			if !sr.wrote {
+				code = http.StatusOK
+			}
+			if m != nil {
+				switch {
+				case code >= 500:
+					m.status5x.Add(1)
+				case code >= 400:
+					m.status4x.Add(1)
+				case code >= 300:
+					m.status3x.Add(1)
+				default:
+					m.status2x.Add(1)
+				}
+			}
+			if logf != nil {
+				logf("http: %s %s -> %d (%s)", r.Method, r.URL.Path, code,
+					time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		h.ServeHTTP(sr, r)
+	})
+}

@@ -1,0 +1,103 @@
+package httpmw
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWrapRecoversPanicsAndCounts(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+
+	var logged []string
+	m := &Metrics{}
+	srv := httptest.NewServer(Wrap(mux, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}, m))
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/ok"); code != http.StatusOK {
+		t.Fatalf("/ok = %d", code)
+	}
+	if code := get("/missing"); code != http.StatusNotFound {
+		t.Fatalf("/missing = %d", code)
+	}
+	// A panicking handler returns 500 to the client instead of killing
+	// the connection.
+	if code := get("/boom"); code != http.StatusInternalServerError {
+		t.Fatalf("/boom = %d", code)
+	}
+
+	s := m.Snapshot()
+	if s.Requests != 3 || s.Status2xx != 1 || s.Status4xx != 1 || s.Status5xx != 1 || s.Panics != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("in-flight = %d after requests drained", s.InFlight)
+	}
+	if len(logged) != 3 {
+		t.Fatalf("logged %d lines: %v", len(logged), logged)
+	}
+	foundPanic := false
+	for _, line := range logged {
+		if strings.Contains(line, "panic") && strings.Contains(line, "kaboom") {
+			foundPanic = true
+		}
+	}
+	if !foundPanic {
+		t.Fatalf("panic not logged: %v", logged)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := &Metrics{}
+	h := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), nil, m)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := srv.Client().Get(srv.URL + "/"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/metrics", nil))
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != 1 || snap.Status2xx != 1 {
+		t.Fatalf("snapshot over HTTP = %+v", snap)
+	}
+}
+
+func TestWrapPreservesFlusher(t *testing.T) {
+	h := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("middleware dropped http.Flusher — streaming endpoints would stall")
+		}
+	}), nil, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := srv.Client().Get(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,7 @@
 package raps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -386,8 +387,25 @@ func (s *Simulation) CoolingPlant() *cooling.Plant {
 // crossing, pinned replay start, or cooling boundary — are integrated
 // analytically in one pass instead of being simulated tick by tick.
 func (s *Simulation) Run(horizonSec float64) (*Report, error) {
+	return s.RunContext(context.Background(), horizonSec)
+}
+
+// RunContext is Run under a context: cancellation is observed at every
+// tick boundary, so an abort stops a running day within one tick (one
+// analytic gap at most under EngineEvent) instead of letting the horizon
+// play out. The context error is returned; partial accumulators remain
+// inspectable through ReportNow and Now.
+func (s *Simulation) RunContext(ctx context.Context, horizonSec float64) (*Report, error) {
+	done := ctx.Done()
 	steps := int(math.Round(horizonSec / s.cfg.TickSec))
 	for i := 0; i < steps; {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if k := s.skippableTicks(steps - i); k > 0 {
 			s.advanceQuiet(k)
 			i += k

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"exadigit/internal/config"
 	"exadigit/internal/core"
 	"exadigit/internal/job"
 	"exadigit/internal/telemetry"
@@ -19,22 +20,26 @@ import (
 // replay dataset is folded in as its own content digest so huge traces
 // hash in one pass without being re-encoded into the payload.
 type scenarioPayload struct {
-	Name             string            `json:"name"`
-	Workload         core.WorkloadKind `json:"workload"`
-	HorizonSec       float64           `json:"horizon_sec"`
-	TickSec          float64           `json:"tick_sec"`
-	Policy           string            `json:"policy"`
-	Cooling          bool              `json:"cooling"`
-	PowerMode        string            `json:"power_mode"`
+	Name       string            `json:"name"`
+	Workload   core.WorkloadKind `json:"workload"`
+	HorizonSec float64           `json:"horizon_sec"`
+	TickSec    float64           `json:"tick_sec"`
+	Policy     string            `json:"policy"`
+	Cooling    bool              `json:"cooling"`
+	// CoolingSpec is the scenario's plant override; omitted when the
+	// scenario cools with the system spec's own plant, so pre-override
+	// hashes are unchanged.
+	CoolingSpec      *config.CoolingSpec `json:"cooling_spec,omitempty"`
+	PowerMode        string              `json:"power_mode"`
 	Generator        job.GeneratorConfig `json:"generator"`
-	DatasetDigest    string            `json:"dataset_digest,omitempty"`
-	BenchmarkWallSec float64           `json:"benchmark_wall_sec"`
-	WetBulbC         float64           `json:"wetbulb_c"`
-	WeatherStart     time.Time         `json:"weather_start"`
-	WeatherSeed      int64             `json:"weather_seed"`
-	Engine           string            `json:"engine"`
-	NoExport         bool              `json:"no_export"`
-	NoHistory        bool              `json:"no_history"`
+	DatasetDigest    string              `json:"dataset_digest,omitempty"`
+	BenchmarkWallSec float64             `json:"benchmark_wall_sec"`
+	WetBulbC         float64             `json:"wetbulb_c"`
+	WeatherStart     time.Time           `json:"weather_start"`
+	WeatherSeed      int64               `json:"weather_seed"`
+	Engine           string              `json:"engine"`
+	NoExport         bool                `json:"no_export"`
+	NoHistory        bool                `json:"no_history"`
 }
 
 // HashScenario returns the canonical content hash of a scenario — the
@@ -43,12 +48,17 @@ type scenarioPayload struct {
 // spec (the simulator is deterministic given these fields).
 func HashScenario(sc core.Scenario) (string, error) {
 	p := scenarioPayload{
-		Name:             sc.Name,
-		Workload:         sc.Workload,
-		HorizonSec:       sc.HorizonSec,
-		TickSec:          sc.TickSec,
-		Policy:           sc.Policy,
-		Cooling:          sc.Cooling,
+		Name:       sc.Name,
+		Workload:   sc.Workload,
+		HorizonSec: sc.HorizonSec,
+		TickSec:    sc.TickSec,
+		Policy:     sc.Policy,
+		// A plant override implies cooling (the twin normalizes the same
+		// way), so {CoolingSpec, Cooling:false} and {CoolingSpec,
+		// Cooling:true} — the library and HTTP spellings of the same run
+		// — hash identically and share one cache entry.
+		Cooling:          sc.Cooling || sc.CoolingSpec != nil,
+		CoolingSpec:      sc.CoolingSpec,
 		PowerMode:        sc.PowerMode,
 		Generator:        sc.Generator,
 		BenchmarkWallSec: sc.BenchmarkWallSec,

@@ -8,6 +8,7 @@ import (
 
 	"exadigit/internal/config"
 	"exadigit/internal/core"
+	"exadigit/internal/httpmw"
 	"exadigit/internal/job"
 	"exadigit/internal/raps"
 )
@@ -34,7 +35,12 @@ type ScenarioRequest struct {
 	TickSec    float64 `json:"tick_sec,omitempty"`
 	Policy     string  `json:"policy,omitempty"`
 	Cooling    bool    `json:"cooling,omitempty"`
-	PowerMode  string  `json:"power_mode,omitempty"`
+	// CoolingSpec overrides the system spec's plant for this scenario
+	// (preset name or AutoCSM design quantities); implies cooling. It is
+	// validated at this boundary — non-positive flows, CDU counts, or an
+	// unknown preset are a 400, not a worker failure.
+	CoolingSpec *config.CoolingSpec `json:"cooling_spec,omitempty"`
+	PowerMode   string              `json:"power_mode,omitempty"`
 	// Generator tunes synthetic workloads; omitted → defaults.
 	Generator        *job.GeneratorConfig `json:"generator,omitempty"`
 	BenchmarkWallSec float64              `json:"benchmark_wall_sec,omitempty"`
@@ -58,7 +64,8 @@ func (r *ScenarioRequest) Scenario() core.Scenario {
 		HorizonSec:       r.HorizonSec,
 		TickSec:          r.TickSec,
 		Policy:           r.Policy,
-		Cooling:          r.Cooling,
+		Cooling:          r.Cooling || r.CoolingSpec != nil,
+		CoolingSpec:      r.CoolingSpec,
 		PowerMode:        r.PowerMode,
 		BenchmarkWallSec: r.BenchmarkWallSec,
 		WetBulbC:         r.WetBulbC,
@@ -109,16 +116,19 @@ type ResultEntry struct {
 	Report   *raps.Report  `json:"report,omitempty"`
 }
 
-// Handler returns the HTTP handler exposing the sweep API.
+// Handler returns the HTTP handler exposing the sweep API, wrapped in
+// the shared middleware stack (panic recovery, metrics, optional
+// logging — the same layer the viz dashboard uses).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /api/sweeps", s.handleList)
+	mux.Handle("GET /api/sweeps/metrics", s.metrics.Handler())
 	mux.HandleFunc("GET /api/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /api/sweeps/{id}/cancel", s.handleCancel)
-	return mux
+	return httpmw.Wrap(mux, s.logf, s.metrics)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -20,6 +20,7 @@ import (
 
 	"exadigit/internal/config"
 	"exadigit/internal/core"
+	"exadigit/internal/httpmw"
 )
 
 // Options configures a Service.
@@ -46,6 +47,8 @@ type Service struct {
 	cache     *resultCache
 	hits      atomic.Uint64
 	misses    atomic.Uint64
+	logf      httpmw.Logf
+	metrics   *httpmw.Metrics
 
 	mu        sync.Mutex
 	specs     map[string]*core.CompiledSpec // spec hash → shared compiled spec
@@ -77,6 +80,7 @@ func New(opts Options) *Service {
 		maxSweeps: opts.MaxSweeps,
 		slots:     make(chan struct{}, opts.Workers),
 		cache:     newResultCache(opts.CacheCap),
+		metrics:   &httpmw.Metrics{},
 		specs:     make(map[string]*core.CompiledSpec),
 		sweeps:    make(map[string]*Sweep),
 	}
@@ -84,6 +88,13 @@ func New(opts Options) *Service {
 
 // Workers returns the pool capacity.
 func (s *Service) Workers() int { return s.workers }
+
+// SetLogf enables request logging through the shared middleware stack
+// (log.Printf-shaped; nil keeps logging off). Call before Handler.
+func (s *Service) SetLogf(logf httpmw.Logf) { s.logf = logf }
+
+// Metrics exposes the HTTP middleware counters.
+func (s *Service) Metrics() *httpmw.Metrics { return s.metrics }
 
 // CacheStats reports result-cache effectiveness: served-from-cache
 // scenario count, simulated count, and live cached entries.
@@ -161,18 +172,18 @@ func (st ScenarioStatus) Terminal() bool {
 
 // SweepStatus is a point-in-time snapshot of a sweep.
 type SweepStatus struct {
-	ID        string    `json:"id"`
-	Name      string    `json:"name,omitempty"`
-	SpecHash  string    `json:"spec_hash"`
-	CreatedAt time.Time `json:"created_at"`
-	Total     int       `json:"total"`
-	Queued    int       `json:"queued"`
-	Running   int       `json:"running"`
-	Done      int       `json:"done"`
-	Cached    int       `json:"cached"`
-	Failed    int       `json:"failed"`
-	Cancelled int       `json:"cancelled"`
-	Finished  bool      `json:"finished"`
+	ID        string           `json:"id"`
+	Name      string           `json:"name,omitempty"`
+	SpecHash  string           `json:"spec_hash"`
+	CreatedAt time.Time        `json:"created_at"`
+	Total     int              `json:"total"`
+	Queued    int              `json:"queued"`
+	Running   int              `json:"running"`
+	Done      int              `json:"done"`
+	Cached    int              `json:"cached"`
+	Failed    int              `json:"failed"`
+	Cancelled int              `json:"cancelled"`
+	Finished  bool             `json:"finished"`
 	Scenarios []ScenarioStatus `json:"scenarios,omitempty"`
 }
 
@@ -212,6 +223,21 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	for i, sc := range scenarios {
 		if hashes[i], err = HashScenario(sc); err != nil {
 			return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+		}
+		// Resolve each cooled scenario's plant design up front (they are
+		// cached and shared with the run), so an invalid or infeasible
+		// CoolingSpec fails the submission instead of a worker mid-sweep.
+		if sc.CoolingSpec != nil {
+			if err := sc.CoolingSpec.Validate(); err != nil {
+				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+			}
+			if _, err := compiled.CoolingDesignFor(*sc.CoolingSpec); err != nil {
+				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+			}
+		} else if sc.Cooling {
+			if _, err := compiled.CoolingDesign(); err != nil {
+				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+			}
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -329,8 +355,9 @@ func (s *Service) List() []SweepStatus {
 	return out
 }
 
-// Cancel aborts a sweep by id: queued scenarios become cancelled,
-// running simulations finish their current run. Safe to call repeatedly.
+// Cancel aborts a sweep by id: queued scenarios become cancelled and
+// running simulations stop at their next tick boundary (mid-day). Safe
+// to call repeatedly.
 func (s *Service) Cancel(id string) error {
 	sw, ok := s.Sweep(id)
 	if !ok {
@@ -510,6 +537,9 @@ var errAbandoned = errors.New("service: scenario abandoned by cancelled sweep")
 // simulate acquires a pool slot and runs scenario i — the single run
 // sequence shared by the cached and direct paths. ran is false when the
 // sweep was cancelled before a slot freed (err then carries ctx.Err()).
+// The sweep context is threaded through the run, so a cancel aborts an
+// in-flight simulation at its next tick boundary (mid-day) instead of
+// waiting for the day to play out.
 func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
 	select {
 	case sw.svc.slots <- struct{}{}:
@@ -519,7 +549,7 @@ func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
 	defer func() { <-sw.svc.slots }()
 	sw.update(func() { sw.statuses[i].State = StateRunning })
 	sw.svc.misses.Add(1)
-	res, err = sw.compiled.Twin().Run(sw.scenarios[i])
+	res, err = sw.compiled.Twin().RunContext(sw.ctx, sw.scenarios[i])
 	return res, true, err
 }
 
@@ -534,9 +564,10 @@ func (sw *Sweep) runDirect(i int) {
 // lead simulates the scenario and publishes the result to the cache.
 func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 	res, ran, err := sw.simulate(i)
-	if !ran {
-		// Never got a slot: release the key so another submitter can
-		// take over, rather than caching the cancellation.
+	if !ran || errors.Is(err, context.Canceled) {
+		// Never got a slot, or this sweep's cancel aborted the run
+		// mid-day: release the key so another submitter can take over,
+		// rather than publishing the cancellation to unrelated waiters.
 		sw.svc.cache.complete(key, entry, nil, errAbandoned)
 		sw.record(i, nil, err, false)
 		return

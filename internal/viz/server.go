@@ -1,11 +1,14 @@
 package viz
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+
+	"exadigit/internal/httpmw"
 )
 
 // Status is the JSON document served at /api/status.
@@ -40,13 +43,16 @@ type Source interface {
 
 // ExperimentRunner launches a named what-if scenario with parameters and
 // returns a JSON-serializable result. It stands in for the paper's
-// Kubernetes-pod-per-experiment deployment (§III-B6).
-type ExperimentRunner func(params map[string]string) (any, error)
+// Kubernetes-pod-per-experiment deployment (§III-B6). The context is the
+// request's: a client disconnect aborts the experiment mid-run.
+type ExperimentRunner func(ctx context.Context, params map[string]string) (any, error)
 
 // Server is the REST API backend (the dashboard's data source).
 type Server struct {
-	src    Source
-	runner ExperimentRunner
+	src     Source
+	runner  ExperimentRunner
+	logf    httpmw.Logf
+	metrics *httpmw.Metrics
 
 	mu      sync.Mutex
 	results map[int]any
@@ -56,10 +62,22 @@ type Server struct {
 // NewServer builds a Server over the source. runner may be nil to
 // disable /api/run.
 func NewServer(src Source, runner ExperimentRunner) *Server {
-	return &Server{src: src, runner: runner, results: make(map[int]any), nextID: 1}
+	return &Server{
+		src: src, runner: runner,
+		metrics: &httpmw.Metrics{},
+		results: make(map[int]any), nextID: 1,
+	}
 }
 
-// Handler returns the HTTP handler exposing the API.
+// SetLogf enables request logging through the shared middleware stack
+// (log.Printf-shaped; nil keeps logging off). Call before Handler.
+func (s *Server) SetLogf(logf httpmw.Logf) { s.logf = logf }
+
+// Metrics exposes the middleware counters.
+func (s *Server) Metrics() *httpmw.Metrics { return s.metrics }
+
+// Handler returns the HTTP handler exposing the API, wrapped in the
+// shared middleware stack (panic recovery, metrics, optional logging).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/status", s.handleStatus)
@@ -67,7 +85,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/cooling", s.handleCooling)
 	mux.HandleFunc("POST /api/run", s.handleRun)
 	mux.HandleFunc("GET /api/experiments", s.handleExperiments)
-	return mux
+	mux.Handle("GET /api/metrics", s.metrics.Handler())
+	return httpmw.Wrap(mux, s.logf, s.metrics)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -118,7 +137,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			params[k] = vs[0]
 		}
 	}
-	result, err := s.runner(params)
+	result, err := s.runner(r.Context(), params)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return

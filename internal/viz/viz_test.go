@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -178,7 +179,7 @@ func TestServerCooling(t *testing.T) {
 }
 
 func TestServerRunAndExperiments(t *testing.T) {
-	runner := func(params map[string]string) (any, error) {
+	runner := func(_ context.Context, params map[string]string) (any, error) {
 		if params["mode"] == "bad" {
 			return nil, errors.New("boom")
 		}

@@ -1,12 +1,13 @@
 #!/usr/bin/env sh
 # Run the headline benchmarks and emit them as a JSON array so the perf
-# trajectory can be tracked PR over PR (BENCH_PR1.json onward).
+# trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 3
+# adds compiled-cooling sweep throughput and mid-day cancel latency.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR2.json}
+out=${1:-BENCH_PR3.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1
