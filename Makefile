@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench-smoke bench-json ci
+.PHONY: all build vet test test-short bench-smoke bench-json bench-compare ci
 
 all: build vet test
 
@@ -21,9 +21,14 @@ test-short:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR3.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR4.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR3.json
+	./scripts/bench_json.sh BENCH_PR4.json
+
+# Diff the two most recent BENCH_PR*.json series benchmark by benchmark
+# (ns/op old vs new and the speedup ratio).
+bench-compare:
+	./scripts/bench_compare.sh
 
 ci: build vet test bench-smoke

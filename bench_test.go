@@ -263,9 +263,13 @@ func BenchmarkSweepService(b *testing.B) {
 // BenchmarkCoolingVariantSweep measures spec-driven sweep throughput:
 // one sweep mixing three cooling plants (hand-calibrated preset, AutoCSM
 // synthesis, and a re-sized AutoCSM variant) across three workload
-// seeds, each scenario cooled by its own compiled design.
+// seeds, each scenario cooled by its own compiled design. The plants
+// carry the adaptive solver — the accuracy budget sweeps ride on (the
+// adaptive-vs-fixed tolerance is pinned per plant by
+// TestAdaptiveSolverMatchesFixedAcrossPlants).
 func BenchmarkCoolingVariantSweep(b *testing.B) {
 	preset := FrontierSpec().Cooling
+	preset.Solver = "adaptive"
 	auto := preset
 	auto.Preset = ""
 	resized := auto
@@ -349,6 +353,61 @@ func BenchmarkTwinDayCooled(b *testing.B) {
 		b.ReportMetric(res.Report.AvgPUE, "pue")
 	}
 }
+
+// BenchmarkTwinDayCooledAdaptive is the cooled day under the adaptive
+// plant solver (error-controlled integration, equilibrium holds, and
+// cooling-boundary coasting) — the PR 4 headline. Outside the timed loop
+// it replays the same day under the fixed-step reference solver and
+// reports the energy and PUE divergence (acceptance gates: ≤0.1 % and
+// ≤0.005) plus the fraction of simulated time the plant fast-forwarded.
+// A fixed 20 °C wet bulb keeps the comparison a pure solver-error
+// measurement (the seasonal weather generator is stateful, so coarser
+// sampling under coasting would otherwise change its noise path).
+func BenchmarkTwinDayCooledAdaptive(b *testing.B) {
+	spec := FrontierSpec()
+	spec.Cooling.Solver = "adaptive"
+	day := Scenario{
+		Workload: WorkloadSynthetic, HorizonSec: 86400, TickSec: 15,
+		Cooling: true, WetBulbC: 20, NoExport: true,
+	}
+	var res *Result
+	var quiescent float64
+	for i := 0; i < b.N; i++ {
+		tw, err := NewTwin(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = tw.Run(day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quiescent = tw.Simulation().CoolingSolverStats().QuiescentFraction()
+	}
+	b.StopTimer()
+	fixedCooledBaseline.Do(func() {
+		tw, err := NewFrontierTwin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err := tw.Run(day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixedCooledMWh = ref.Report.EnergyMWh
+		fixedCooledPUE = ref.Report.AvgPUE
+	})
+	b.ReportMetric(res.Report.AvgPUE, "pue")
+	b.ReportMetric(quiescent*100, "quiescent%")
+	b.ReportMetric(100*math.Abs(res.Report.EnergyMWh-fixedCooledMWh)/fixedCooledMWh, "energyDiv%")
+	b.ReportMetric(math.Abs(res.Report.AvgPUE-fixedCooledPUE), "pueDiv")
+	b.StartTimer()
+}
+
+var (
+	fixedCooledBaseline sync.Once
+	fixedCooledMWh      float64
+	fixedCooledPUE      float64
+)
 
 // Ablation benchmarks for the design choices DESIGN.md calls out.
 

@@ -81,6 +81,14 @@ type (
 	CoolingSpec = config.CoolingSpec
 	// CoolingConfig is a fully sized cooling-plant model.
 	CoolingConfig = cooling.Config
+	// CoolingSolverStats is the plant thermal-solver work accounting
+	// (adaptive step counts, control updates, quiescent time); read it
+	// from Twin.Simulation().CoolingSolverStats() after a cooled run.
+	CoolingSolverStats = cooling.SolverStats
+	// SpecFieldError is the structured validation/feasibility error
+	// (field, violated constraint, suggested fix) that spec compilation
+	// and the sweep service surface for malformed or unsizable plants.
+	SpecFieldError = config.FieldError
 )
 
 // Telemetry and workload types (Table II, §III-B).

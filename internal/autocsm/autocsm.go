@@ -40,12 +40,37 @@ func Compile(spec config.CoolingSpec) (cooling.Config, error) {
 	if spec.Preset != "" {
 		cfg, ok := cooling.Preset(spec.Preset)
 		if !ok {
-			return cooling.Config{}, fmt.Errorf("autocsm: unknown cooling preset %q (known: %v)",
-				spec.Preset, cooling.PresetNames())
+			return cooling.Config{}, fmt.Errorf("autocsm: %w", &config.FieldError{
+				Field:      "preset",
+				Constraint: fmt.Sprintf("unknown cooling preset %q", spec.Preset),
+				Suggestion: fmt.Sprintf("use one of %v, or clear preset and supply design quantities", cooling.PresetNames()),
+			})
 		}
+		applySolver(&cfg, spec)
 		return cfg, nil
 	}
-	return Generate(spec)
+	cfg, err := Generate(spec)
+	if err != nil {
+		return cfg, err
+	}
+	applySolver(&cfg, spec)
+	return cfg, nil
+}
+
+// applySolver overlays the spec's solver selection onto a resolved plant
+// configuration. Empty fields leave the plant untouched, so a preset
+// without a solver override stays bit-identical to its hand-calibrated
+// Config.
+func applySolver(cfg *cooling.Config, spec config.CoolingSpec) {
+	if spec.Solver != "" {
+		cfg.Solver = spec.Solver
+	}
+	if spec.SolverRelTol > 0 {
+		cfg.RelTol = spec.SolverRelTol
+	}
+	if spec.SolverAbsTol > 0 {
+		cfg.AbsTol = spec.SolverAbsTol
+	}
 }
 
 // Generate sizes a full cooling plant from the spec.
@@ -100,9 +125,12 @@ func Generate(spec config.CoolingSpec) (cooling.Config, error) {
 	htwSupplyC := spec.CTSupplyC + 3.0
 	htwReturnC := htwSupplyC + dtPrim
 	if htwReturnC >= secReturnC {
-		return cfg, fmt.Errorf(
-			"autocsm: infeasible design: HTW return %.1f °C ≥ secondary return %.1f °C — increase primary_flow_gpm",
-			htwReturnC, secReturnC)
+		return cfg, fmt.Errorf("autocsm: %w", &config.FieldError{
+			Field: "primary_flow_gpm",
+			Constraint: fmt.Sprintf("infeasible sizing: HTW return %.1f °C would not stay below the secondary return %.1f °C",
+				htwReturnC, secReturnC),
+			Suggestion: "increase primary_flow_gpm (or reduce design_heat_mw) so the primary loop carries the heat at a lower temperature rise",
+		})
 	}
 
 	// CDU HEX: invert ε-NTU at (secondary hot side, primary cold side).
@@ -110,7 +138,11 @@ func Generate(spec config.CoolingSpec) (cooling.Config, error) {
 		secReturnC, mdotSec,
 		htwSupplyC, mdotPrimPerCDU, cp)
 	if err != nil {
-		return cfg, fmt.Errorf("autocsm: CDU HEX: %w", err)
+		return cfg, fmt.Errorf("autocsm: %w", &config.FieldError{
+			Field:      "primary_flow_gpm",
+			Constraint: fmt.Sprintf("CDU heat exchanger cannot be sized: %v", err),
+			Suggestion: "increase primary_flow_gpm or widen the secondary-to-CT temperature gap",
+		})
 	}
 	cfg.CDUHex = thermal.HeatExchanger{UANominal: ua, MdotHotN: mdotSec, MdotColdN: mdotPrimPerCDU}
 
@@ -136,7 +168,11 @@ func Generate(spec config.CoolingSpec) (cooling.Config, error) {
 		htwReturnC, mdotHTWPerEHX,
 		spec.CTSupplyC, mdotCTWPerEHX, cp)
 	if err != nil {
-		return cfg, fmt.Errorf("autocsm: EHX: %w", err)
+		return cfg, fmt.Errorf("autocsm: %w", &config.FieldError{
+			Field:      "tower_flow_gpm",
+			Constraint: fmt.Sprintf("intermediate heat exchanger cannot be sized: %v", err),
+			Suggestion: "increase tower_flow_gpm or lower ct_supply_c to widen the EHX temperature gap",
+		})
 	}
 	cfg.EHX = thermal.HeatExchanger{UANominal: uaEHX, MdotHotN: mdotHTWPerEHX, MdotColdN: mdotCTWPerEHX}
 
@@ -155,7 +191,11 @@ func Generate(spec config.CoolingSpec) (cooling.Config, error) {
 	ctReturnC := spec.CTSupplyC + dtCTW
 	epsDesign := dtCTW / (ctReturnC - spec.DesignWetBulbC)
 	if epsDesign >= 0.95 {
-		return cfg, fmt.Errorf("autocsm: tower effectiveness %.2f infeasible — raise tower_flow_gpm or ct_supply_c", epsDesign)
+		return cfg, fmt.Errorf("autocsm: %w", &config.FieldError{
+			Field:      "tower_flow_gpm",
+			Constraint: fmt.Sprintf("required tower effectiveness %.2f is infeasible (≥ 0.95)", epsDesign),
+			Suggestion: "raise tower_flow_gpm or ct_supply_c so each cell rejects heat across a wider approach",
+		})
 	}
 	cfg.Tower = thermal.CoolingTower{
 		EpsNominal:  math.Min(0.95, epsDesign/math.Pow(0.9, 0.4)*1.05),

@@ -96,6 +96,37 @@ type CoolingSpec struct {
 	CTSupplyC      float64 `json:"ct_supply_c"`
 	PrimaryFlowGPM float64 `json:"primary_flow_gpm"`
 	TowerFlowGPM   float64 `json:"tower_flow_gpm"`
+
+	// Solver selects the plant's thermal integration scheme: "" or "rk4"
+	// keeps the fixed-step bit-reproducible reference, "adaptive" enables
+	// the error-controlled stepper with the quiescence fast path. Applied
+	// on top of presets too, so {"preset":"frontier","solver":"adaptive"}
+	// runs the hand-calibrated plant under the adaptive solver.
+	Solver string `json:"solver,omitempty"`
+	// SolverRelTol and SolverAbsTol override the adaptive error
+	// tolerances; zero keeps the solver defaults (1e-4, 1e-3 °C).
+	SolverRelTol float64 `json:"solver_rel_tol,omitempty"`
+	SolverAbsTol float64 `json:"solver_abs_tol,omitempty"`
+}
+
+// FieldError is a structured spec validation or feasibility error: the
+// offending field (its JSON name), the constraint it violated, and a
+// suggested fix. The sweep service and the dashboard render it as
+// structured JSON on HTTP 400s instead of leaking sizing internals as a
+// free-text message; errors.As-unwrap it from any spec-compilation
+// error path.
+type FieldError struct {
+	Field      string `json:"field"`
+	Constraint string `json:"constraint"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("%s: %s — %s", e.Field, e.Constraint, e.Suggestion)
+	}
+	return fmt.Sprintf("%s: %s", e.Field, e.Constraint)
 }
 
 // SchedulerSpec selects the scheduling policy.
@@ -239,35 +270,87 @@ func (s *SystemSpec) Validate() error {
 // preset spec only needs a known preset name; the design quantities are
 // checked when AutoCSM will synthesize the plant from them.
 func (c *CoolingSpec) Validate() error {
+	if err := c.validateSolver(); err != nil {
+		return err
+	}
 	if c.Preset != "" {
 		if _, ok := cooling.Preset(c.Preset); !ok {
-			return fmt.Errorf("config: unknown cooling preset %q (known: %v)",
-				c.Preset, cooling.PresetNames())
+			return fmt.Errorf("config: %w", &FieldError{
+				Field:      "preset",
+				Constraint: fmt.Sprintf("unknown cooling preset %q", c.Preset),
+				Suggestion: fmt.Sprintf("use one of %v, or clear preset and supply design quantities", cooling.PresetNames()),
+			})
 		}
 		return nil
 	}
 	if c.NumCDUs <= 0 {
-		return fmt.Errorf("config: cooling num_cdus must be positive")
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "num_cdus", Constraint: "must be positive",
+			Suggestion: "set num_cdus to the number of CDU loops (Frontier: 25)",
+		})
 	}
 	if c.NumTowers <= 0 || c.CellsPerTower <= 0 {
-		return fmt.Errorf("config: cooling tower counts must be positive")
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "num_towers", Constraint: "tower counts must be positive",
+			Suggestion: "set num_towers and cells_per_tower ≥ 1",
+		})
 	}
 	if c.NumHTWPs <= 0 || c.NumCTWPs <= 0 || c.NumEHX <= 0 {
-		return fmt.Errorf("config: cooling pump/EHX counts must be positive")
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "num_htwps", Constraint: "pump/EHX counts must be positive",
+			Suggestion: "set num_htwps, num_ctwps, and num_ehx ≥ 1",
+		})
 	}
 	if c.DesignHeatMW <= 0 {
-		return fmt.Errorf("config: cooling design_heat_mw must be positive")
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "design_heat_mw", Constraint: "must be positive",
+			Suggestion: "set design_heat_mw to the plant's rated heat load",
+		})
 	}
 	if c.PrimaryFlowGPM <= 0 || c.TowerFlowGPM <= 0 {
-		return fmt.Errorf("config: cooling design flows must be positive")
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "primary_flow_gpm", Constraint: "design flows must be positive",
+			Suggestion: "set primary_flow_gpm and tower_flow_gpm to the design loop flows",
+		})
 	}
 	if c.SecSupplyC <= c.CTSupplyC {
-		return fmt.Errorf("config: secondary supply %v must exceed CT supply %v",
-			c.SecSupplyC, c.CTSupplyC)
+		return fmt.Errorf("config: %w", &FieldError{
+			Field:      "secondary_supply_c",
+			Constraint: fmt.Sprintf("secondary supply %v °C must exceed CT supply %v °C", c.SecSupplyC, c.CTSupplyC),
+			Suggestion: "raise secondary_supply_c or lower ct_supply_c",
+		})
 	}
 	if c.CTSupplyC <= c.DesignWetBulbC {
-		return fmt.Errorf("config: CT supply %v must exceed design wet bulb %v",
-			c.CTSupplyC, c.DesignWetBulbC)
+		return fmt.Errorf("config: %w", &FieldError{
+			Field:      "ct_supply_c",
+			Constraint: fmt.Sprintf("CT supply %v °C must exceed design wet bulb %v °C", c.CTSupplyC, c.DesignWetBulbC),
+			Suggestion: "raise ct_supply_c or lower design_wetbulb_c",
+		})
+	}
+	return nil
+}
+
+func (c *CoolingSpec) validateSolver() error {
+	switch c.Solver {
+	case "", cooling.SolverRK4, cooling.SolverAdaptive:
+	default:
+		return fmt.Errorf("config: %w", &FieldError{
+			Field:      "solver",
+			Constraint: fmt.Sprintf("unknown solver %q", c.Solver),
+			Suggestion: fmt.Sprintf("use %q (fixed-step, bit-reproducible) or %q (fast path)", cooling.SolverRK4, cooling.SolverAdaptive),
+		})
+	}
+	if c.SolverRelTol < 0 {
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "solver_rel_tol", Constraint: "must be non-negative",
+			Suggestion: "use 0 for the default (1e-4 relative)",
+		})
+	}
+	if c.SolverAbsTol < 0 {
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "solver_abs_tol", Constraint: "must be non-negative",
+			Suggestion: "use 0 for the default (1e-3 °C absolute)",
+		})
 	}
 	return nil
 }

@@ -131,15 +131,45 @@ func NewTransportDelay(delaySec, dtSec float64) *TransportDelay {
 // Update pushes u and returns the value from delaySec ago. Before the
 // buffer has filled at least once it returns the first pushed value.
 func (d *TransportDelay) Update(u float64) float64 {
+	return d.UpdateN(u, 1)
+}
+
+// UpdateN pushes u n times — one sample per design sampling period — and
+// returns the delayed value after the final push. Callers advancing the
+// plant with a coarser step than the delay's design period use it to
+// keep the delay line on its design time base (n = step/period) without
+// n separate calls; n ≥ len(buf) degenerates to filling the line with u.
+func (d *TransportDelay) UpdateN(u float64, n int) float64 {
 	if !d.init {
 		for i := range d.buf {
 			d.buf[i] = u
 		}
 		d.init = true
 	}
-	out := d.buf[d.idx]
-	d.buf[d.idx] = u
-	d.idx = (d.idx + 1) % len(d.buf)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(d.buf) {
+		var out float64
+		if n == len(d.buf) {
+			// The oldest retained sample is exactly the one about to be
+			// overwritten last; idx is unchanged modulo the buffer.
+			out = d.buf[(d.idx+n-1)%len(d.buf)]
+		} else {
+			out = u
+		}
+		for i := range d.buf {
+			d.buf[i] = u
+		}
+		d.idx = (d.idx + n) % len(d.buf)
+		return out
+	}
+	var out float64
+	for i := 0; i < n; i++ {
+		out = d.buf[d.idx]
+		d.buf[d.idx] = u
+		d.idx = (d.idx + 1) % len(d.buf)
+	}
 	return out
 }
 
@@ -260,6 +290,12 @@ func (s *Stager) Update(signal, dt float64) int {
 	}
 	return s.count
 }
+
+// Pending reports whether a stage change is being dwelled toward: the
+// loading signal has been beyond a threshold for part of its dwell time.
+// A quiescent plant must not freeze a stager mid-dwell — under a held
+// (constant) signal the dwell would elapse and the stage count change.
+func (s *Stager) Pending() bool { return s.upTimer > 0 || s.downTimer > 0 }
 
 // Force sets the stage count directly (clamped), clearing dwell timers.
 func (s *Stager) Force(n int) {

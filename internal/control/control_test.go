@@ -312,3 +312,53 @@ func TestStagerCountAlwaysInBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTransportDelayUpdateNMatchesRepeatedUpdate(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 11, 12, 13, 40} {
+		a := NewTransportDelay(12, 1)
+		b := NewTransportDelay(12, 1)
+		// Establish some history first.
+		for i := 0; i < 7; i++ {
+			a.Update(float64(i))
+			b.Update(float64(i))
+		}
+		var want float64
+		for i := 0; i < n; i++ {
+			want = a.Update(99)
+		}
+		if got := b.UpdateN(99, n); got != want {
+			t.Errorf("n=%d: UpdateN = %v, %d×Update = %v", n, got, n, want)
+		}
+	}
+}
+
+func TestTransportDelayUpdateNClampsNonPositive(t *testing.T) {
+	d := NewTransportDelay(5, 1)
+	d.Update(1)
+	if got := d.UpdateN(2, 0); got != 1 {
+		t.Errorf("UpdateN(_, 0) = %v, want one-sample push behavior", got)
+	}
+}
+
+func TestStagerPending(t *testing.T) {
+	s := NewStager(1, 4, 2, 0.9, 0.3, 10, 10)
+	if s.Pending() {
+		t.Error("fresh stager should not be pending")
+	}
+	s.Update(0.95, 1) // start dwelling toward a stage-up
+	if !s.Pending() {
+		t.Error("mid-dwell stager must report pending")
+	}
+	s.Update(0.5, 1) // back inside the deadband: timers reset
+	if s.Pending() {
+		t.Error("deadband signal should clear pending")
+	}
+	s.Update(0.1, 4)
+	if !s.Pending() {
+		t.Error("dwelling toward stage-down must report pending")
+	}
+	s.Update(0.1, 10) // dwell elapses, stage change fires, timer resets
+	if s.Pending() {
+		t.Error("timer should reset after the stage change")
+	}
+}

@@ -1,0 +1,218 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+)
+
+func adaptiveFrontier() Config {
+	cfg := Frontier()
+	cfg.Solver = SolverAdaptive
+	return cfg
+}
+
+func TestSolverValidation(t *testing.T) {
+	bad := Frontier()
+	bad.Solver = "bogus"
+	if bad.Validate() == nil {
+		t.Error("unknown solver must fail validation")
+	}
+	bad = Frontier()
+	bad.Solver = SolverAdaptive
+	bad.RelTol = -1
+	if bad.Validate() == nil {
+		t.Error("negative tolerance must fail validation")
+	}
+	good := adaptiveFrontier()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveMatchesFixedSteadyState pins the adaptive solver's
+// accuracy on the settle-then-run trajectory: both solvers driven by the
+// same constant inputs land on the same steady state.
+func TestAdaptiveMatchesFixedSteadyState(t *testing.T) {
+	in := typicalInputs()
+	fixed := settledPlant(t, in)
+
+	ap, err := New(adaptiveFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.SettleToSteadyState(in, 4*3600); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs := [][2]float64{
+		{fixed.htwSupply.T, ap.htwSupply.T},
+		{fixed.htwReturn.T, ap.htwReturn.T},
+		{fixed.ctwSupply.T, ap.ctwSupply.T},
+		{fixed.ctwReturn.T, ap.ctwReturn.T},
+	}
+	for i, pr := range pairs {
+		if math.Abs(pr[0]-pr[1]) > 0.1 {
+			t.Errorf("loop temperature %d: fixed %.3f °C vs adaptive %.3f °C", i, pr[0], pr[1])
+		}
+	}
+	if f, a := fixed.PUE(), ap.PUE(); math.Abs(f-a) > 0.005 {
+		t.Errorf("PUE: fixed %.4f vs adaptive %.4f", f, a)
+	}
+}
+
+// TestQuiescentHold pins the fast path: a settled plant under unchanged
+// inputs fast-forwards (holds) instead of integrating, and the held
+// state does not move.
+func TestQuiescentHold(t *testing.T) {
+	in := typicalInputs()
+	cfg := adaptiveFrontier()
+	// A large budget so no re-sync interrupts the observed hold chain.
+	cfg.MaxHoldS = 4 * 3600
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SettleToSteadyState(in, 6*3600); err != nil {
+		t.Fatal(err)
+	}
+	// Drive repeated 15 s coupling steps at the settled point until the
+	// quiescence detector arms, then require holds.
+	for i := 0; i < 80 && !p.Quiescent(); i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Quiescent() {
+		t.Fatal("plant did not settle under constant inputs")
+	}
+	before := p.SolverStats()
+	tBefore := p.Time()
+	supply := p.htwSupply.T
+	for i := 0; i < 10; i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := p.SolverStats()
+	if after.Holds-before.Holds < 8 {
+		t.Errorf("expected ≥8 holds over 10 settled steps, got %d", after.Holds-before.Holds)
+	}
+	if after.QuiescentSec <= before.QuiescentSec {
+		t.Error("quiescent seconds did not advance")
+	}
+	if p.htwSupply.T != supply {
+		t.Errorf("held state moved: %.6f → %.6f", supply, p.htwSupply.T)
+	}
+	if p.Time()-tBefore != 150 {
+		t.Errorf("held plant time advanced %.1f s, want 150", p.Time()-tBefore)
+	}
+	if f := after.QuiescentFraction(); f <= 0 || f >= 1 {
+		t.Errorf("quiescent fraction %v out of (0,1)", f)
+	}
+}
+
+// TestHoldBreaksOnInputStep pins re-entry into integration: a heat step
+// beyond the hold tolerance ends the hold chain and the plant responds.
+func TestHoldBreaksOnInputStep(t *testing.T) {
+	in := typicalInputs()
+	p, err := New(adaptiveFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SettleToSteadyState(in, 6*3600); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80 && !p.Quiescent(); i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.CanCoast(in.CDUHeatW) {
+		t.Fatal("settled plant should report coastable under unchanged heat")
+	}
+	if p.CoastWindowS() <= 0 {
+		t.Error("adaptive plant must expose a positive coast window")
+	}
+
+	bumped := typicalInputs()
+	for i := range bumped.CDUHeatW {
+		bumped.CDUHeatW[i] *= 1.15
+	}
+	if p.CanCoast(bumped.CDUHeatW) {
+		t.Error("15 % heat step must not be coastable")
+	}
+	before := p.SolverStats()
+	supply := p.htwReturn.T
+	for i := 0; i < 40; i++ {
+		if err := p.Step(15, bumped); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := p.SolverStats()
+	if after.ControlSteps == before.ControlSteps {
+		t.Error("heat step did not trigger real integration")
+	}
+	if math.Abs(p.htwReturn.T-supply) < 0.2 {
+		t.Errorf("return temperature did not respond to a 15%% heat step (Δ=%.3f)", p.htwReturn.T-supply)
+	}
+}
+
+// TestHoldBudgetForcesResync pins the drift bound: holds cannot chain
+// past MaxHoldS without a real integration in between.
+func TestHoldBudgetForcesResync(t *testing.T) {
+	cfg := adaptiveFrontier()
+	cfg.MaxHoldS = 60
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := typicalInputs()
+	if err := p.SettleToSteadyState(in, 6*3600); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80 && !p.Quiescent(); i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Quiescent() {
+		t.Fatal("plant did not settle")
+	}
+	before := p.SolverStats()
+	for i := 0; i < 20; i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := p.SolverStats()
+	// 20 steps × 15 s = 300 s with a 60 s budget: at least 4 re-syncs.
+	if after.IntegratedSec-before.IntegratedSec < 4*15 {
+		t.Errorf("hold budget not enforced: only %.0f s integrated over 300 s",
+			after.IntegratedSec-before.IntegratedSec)
+	}
+	if after.Holds == before.Holds {
+		t.Error("expected holds between re-syncs")
+	}
+}
+
+// TestFixedSolverReportsNoQuiescence pins the reference mode: the
+// fixed-step solver never holds or coasts.
+func TestFixedSolverReportsNoQuiescence(t *testing.T) {
+	in := typicalInputs()
+	p := settledPlant(t, in)
+	for i := 0; i < 5; i++ {
+		if err := p.Step(15, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.SolverStats()
+	if st.Holds != 0 || st.QuiescentSec != 0 || st.Accepted != 0 {
+		t.Errorf("fixed solver reported adaptive work: %+v", st)
+	}
+	if st.ControlSteps == 0 || st.IntegratedSec == 0 {
+		t.Errorf("fixed solver must account control steps: %+v", st)
+	}
+	if p.Quiescent() || p.CanCoast(in.CDUHeatW) || p.CoastWindowS() != 0 {
+		t.Error("fixed solver must never report quiescence or coastability")
+	}
+}

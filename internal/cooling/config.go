@@ -79,7 +79,48 @@ type Config struct {
 	// ControlDtS is the controller/hydraulics update period; the thermal
 	// ODE is integrated with RK4 between updates.
 	ControlDtS float64
+
+	// Solver selects the thermal integration scheme between controller
+	// updates: "" or SolverRK4 keeps the fixed-step classic RK4 reference
+	// (bit-reproducible run to run); SolverAdaptive switches to the
+	// error-controlled Dormand–Prince stepper with the quiescence fast
+	// path (equilibrium holds and tiered control periods).
+	Solver string
+	// RelTol and AbsTol are the adaptive stepper's mixed error
+	// tolerances; zero keeps the defaults (1e-4 relative, 1e-3 °C
+	// absolute). Ignored under the fixed-step solver.
+	RelTol float64
+	AbsTol float64
+	// QuiesceRateCps is the maximum state movement rate (°C/s for the
+	// thermal states, actuator fraction/s for pump and fan commands)
+	// below which the plant counts as settled (default 2e-3 — above the
+	// control system's intrinsic millikelvin limit cycle, well below any
+	// genuine load transient). Ignored under the fixed-step solver.
+	QuiesceRateCps float64
+	// HeatTolFrac is the per-CDU heat-input relative drift tolerated
+	// during an equilibrium hold, measured against the inputs at the last
+	// real integration so drift cannot compound (default 0.01).
+	HeatTolFrac float64
+	// WetBulbTolC is the wet-bulb drift tolerated during a hold
+	// (default 0.25 °C).
+	WetBulbTolC float64
+	// MaxHoldS bounds how long the plant may fast-forward before a real
+	// integration re-synchronizes it — also the window the simulation
+	// layer may coast across cooling boundaries (default 900 s).
+	MaxHoldS float64
 }
+
+// Solver names accepted by Config.Solver and config.CoolingSpec.Solver.
+const (
+	// SolverRK4 is the fixed-step classic RK4 reference ("" selects it
+	// too): every control period costs the same work and repeated runs
+	// are bit-identical — the mode validation goldens pin.
+	SolverRK4 = "rk4"
+	// SolverAdaptive is the error-controlled Dormand–Prince stepper with
+	// steady-state detection: quiet stretches fast-forward instead of
+	// integrating, making cooled days nearly as cheap as uncooled ones.
+	SolverAdaptive = "adaptive"
+)
 
 // presets names the hand-calibrated plant configurations. A preset is
 // the escape hatch from AutoCSM synthesis: a config.CoolingSpec naming
@@ -188,6 +229,16 @@ func (c Config) Validate() error {
 	}
 	if c.SecVolumeKg <= 0 || c.HTWVolumeKg <= 0 || c.CTWVolumeKg <= 0 {
 		return fmt.Errorf("cooling: volumes must be positive")
+	}
+	switch c.Solver {
+	case "", SolverRK4, SolverAdaptive:
+	default:
+		return fmt.Errorf("cooling: unknown solver %q (want %q or %q)",
+			c.Solver, SolverRK4, SolverAdaptive)
+	}
+	if c.RelTol < 0 || c.AbsTol < 0 || c.QuiesceRateCps < 0 ||
+		c.HeatTolFrac < 0 || c.WetBulbTolC < 0 || c.MaxHoldS < 0 {
+		return fmt.Errorf("cooling: solver tolerances must be non-negative")
 	}
 	return nil
 }

@@ -103,6 +103,72 @@ type Plant struct {
 	// hydraulic scratch reused across solveHydraulics calls
 	branchKs  []float64
 	primFlows []float64
+
+	// Adaptive-solver state (nil/zero under the fixed-step reference).
+	adaptive *ode.AdaptiveStepper
+	solv     solverParams
+	stats    SolverStats
+	// refHeat/refWB are the inputs at the last real integration —
+	// equilibrium holds tolerate drift against these, never against the
+	// previous (possibly already held) step, so drift cannot compound.
+	refHeat  []float64
+	refWB    float64
+	refValid bool
+	settled  bool
+	heldS    float64 // consecutive held seconds since the last integration
+	lastRate float64 // max state movement rate over the last integration
+	// prevState/prevAct are rate-measurement scratch.
+	prevState []float64
+	prevAct   []float64
+	act       []float64
+	// Frozen transfer coefficients: UA and tower effectiveness depend
+	// only on the hydraulic solution (flows, fan speed), which is fixed
+	// across a control period — the adaptive path evaluates them once per
+	// period instead of per ODE stage (two Pow calls each, the dominant
+	// derivative-sweep cost).
+	frozenUA bool
+	cduUA    []float64
+	ehxUA    float64
+	towerEps float64
+}
+
+// solverParams are the resolved adaptive-solver knobs (Config fields
+// with defaults applied at New).
+type solverParams struct {
+	adaptive    bool
+	quiesceRate float64
+	heatTolFrac float64
+	wbTol       float64
+	maxHold     float64
+}
+
+// SolverStats reports the work the plant's thermal solver performed:
+// adaptive ODE step accounting, the controller/hydraulics updates
+// actually simulated, and the simulated time fast-forwarded through
+// equilibrium holds. Zero-valued under the fixed-step reference solver
+// except ControlSteps and IntegratedSec.
+type SolverStats struct {
+	// Accepted and Rejected count adaptive ODE steps.
+	Accepted int
+	Rejected int
+	// ControlSteps counts controller/hydraulics updates simulated.
+	ControlSteps int
+	// Holds counts equilibrium-hold intervals; QuiescentSec is the
+	// simulated time they covered. IntegratedSec is the simulated time
+	// advanced by real integration.
+	Holds         int
+	QuiescentSec  float64
+	IntegratedSec float64
+}
+
+// QuiescentFraction returns the share of simulated time fast-forwarded
+// through equilibrium holds.
+func (st SolverStats) QuiescentFraction() float64 {
+	total := st.QuiescentSec + st.IntegratedSec
+	if total <= 0 {
+		return 0
+	}
+	return st.QuiescentSec / total
 }
 
 // Config returns the plant's design configuration.
@@ -165,7 +231,32 @@ func New(cfg Config) (*Plant, error) {
 	p.stepper = ode.NewFixedStepper(thermalSystem{p: p}, ode.RK4)
 	p.branchKs = make([]float64, cfg.NumCDUs)
 	p.primFlows = make([]float64, cfg.NumCDUs)
+	if cfg.Solver == SolverAdaptive {
+		p.solv = solverParams{
+			adaptive:    true,
+			quiesceRate: defaultNZ(cfg.QuiesceRateCps, 2e-3),
+			heatTolFrac: defaultNZ(cfg.HeatTolFrac, 0.01),
+			wbTol:       defaultNZ(cfg.WetBulbTolC, 0.25),
+			maxHold:     defaultNZ(cfg.MaxHoldS, 900),
+		}
+		p.adaptive = ode.NewAdaptiveStepper(thermalSystem{p: p}, ode.DOPRI5, ode.AdaptiveConfig{
+			RelTol: defaultNZ(cfg.RelTol, 1e-4),
+			AbsTol: defaultNZ(cfg.AbsTol, 1e-3),
+		})
+		p.refHeat = make([]float64, cfg.NumCDUs)
+		p.prevState = make([]float64, p.Dim())
+		p.prevAct = make([]float64, p.actDim())
+		p.act = make([]float64, p.actDim())
+		p.cduUA = make([]float64, cfg.NumCDUs)
+	}
 	return p, nil
+}
+
+func defaultNZ(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
 }
 
 // Dim implements ode.System: two temperatures per CDU plus the four loop
@@ -176,8 +267,10 @@ func (p *Plant) Dim() int { return 2*len(p.cdus) + 4 }
 func (p *Plant) Time() float64 { return p.simT }
 
 // Step advances the plant by dt seconds under the given inputs,
-// subdividing into ControlDtS control periods. It returns an error only
-// for malformed inputs.
+// subdividing into ControlDtS control periods. Under the adaptive solver
+// the control period widens (and integration is skipped entirely) as the
+// plant approaches steady state; see stepAdaptive. It returns an error
+// only for malformed inputs.
 func (p *Plant) Step(dt float64, in Inputs) error {
 	if len(in.CDUHeatW) != len(p.cdus) {
 		return fmt.Errorf("cooling: got %d CDU heat loads, plant has %d CDUs",
@@ -187,6 +280,9 @@ func (p *Plant) Step(dt float64, in Inputs) error {
 		if h < 0 || math.IsNaN(h) {
 			return fmt.Errorf("cooling: CDU %d heat %v invalid", i, h)
 		}
+	}
+	if p.solv.adaptive {
+		return p.stepAdaptive(dt, in)
 	}
 	p.lastIn = in
 	steps := int(math.Ceil(dt / p.cfg.ControlDtS))
@@ -199,8 +295,266 @@ func (p *Plant) Step(dt float64, in Inputs) error {
 		p.solveHydraulics()
 		p.integrateThermal(h, in)
 		p.simT += h
+		p.stats.ControlSteps++
 	}
+	p.stats.IntegratedSec += dt
 	return nil
+}
+
+// stepAdaptive is Step under the adaptive solver. Three regimes, chosen
+// per call from the last integration's state movement and the input
+// drift since then:
+//
+//   - equilibrium hold: the plant is settled, no stager is mid-dwell,
+//     and the inputs are within tolerance of those it settled under —
+//     fast-forward without touching controls, hydraulics, or thermal
+//     state (the cooling-side analogue of RAPS's tick-gap skipping);
+//   - coarse/fine integration: otherwise the control period widens from
+//     ControlDtS up to 5× as activity dies down (pickControlDt), with
+//     the thermal network advanced by the error-controlled
+//     Dormand–Prince stepper (warm-started across periods) instead of
+//     fixed RK4.
+func (p *Plant) stepAdaptive(dt float64, in Inputs) error {
+	if p.canHold(in, dt) {
+		p.lastIn = in
+		p.simT += dt
+		p.heldS += dt
+		p.stats.Holds++
+		p.stats.QuiescentSec += dt
+		// Keep the cross-loop delay line on its time base; at a held
+		// state the supply temperature is constant, so this is exact.
+		p.htwsDelayed.UpdateN(p.htwSupply.T, delaySteps(dt, p.cfg.ControlDtS))
+		return nil
+	}
+	h := p.pickControlDt(dt, in)
+	p.heldS = 0
+	p.refHeat = p.refHeat[:0]
+	p.refHeat = append(p.refHeat, in.CDUHeatW...)
+	p.refWB = in.WetBulbC
+	p.refValid = true
+	p.lastIn = in
+
+	steps := int(math.Ceil(dt/h - 1e-9))
+	if steps < 1 {
+		steps = 1
+	}
+	h = dt / float64(steps)
+	p.packState(p.prevState)
+	p.packActuators(p.prevAct)
+	for s := 0; s < steps; s++ {
+		p.updateControls(h)
+		p.solveHydraulics()
+		p.freezeTransferCoeffs()
+		p.integrateThermalAdaptive(h, in)
+		p.simT += h
+		p.stats.ControlSteps++
+	}
+	p.frozenUA = false
+	p.stats.IntegratedSec += dt
+
+	// Post-step quiescence detection: how fast did the thermal states and
+	// actuator commands move across this interval?
+	p.packState(p.state)
+	p.packActuators(p.act)
+	rate := maxAbsRate(p.state, p.prevState, dt)
+	actRate := maxAbsRate(p.act, p.prevAct, dt)
+	p.lastRate = math.Max(rate, actRate)
+	p.settled = p.lastRate < p.solv.quiesceRate && p.stagersIdle()
+	return nil
+}
+
+// freezeTransferCoeffs evaluates the flow-dependent transfer
+// coefficients — per-CDU HEX UA, intermediate-EHX UA, and tower-cell
+// effectiveness — once for the control period about to be integrated,
+// from the period-start temperatures. The hydraulic solution they
+// depend on is held fixed across the period anyway; their residual
+// temperature sensitivity (through water density) is ~0.1 %.
+func (p *Plant) freezeTransferCoeffs() {
+	cfg := p.cfg
+	rho := units.WaterDensity(p.htwSupply.T)
+	for i := range p.cdus {
+		c := &p.cdus[i]
+		mdotSec := units.WaterDensity(c.secCold.T) * c.qSec
+		p.cduUA[i] = cfg.CDUHex.UA(mdotSec, rho*c.qPrim)
+	}
+	mdotHTW := rho * p.qHTW
+	mdotCTW := units.WaterDensity(p.ctwSupply.T) * p.qCTW
+	nEHX := float64(p.ehxStaged)
+	p.ehxUA = cfg.EHX.UA(mdotHTW/nEHX, mdotCTW/nEHX)
+	cells := float64(p.cellStager.Count())
+	p.towerEps = cfg.Tower.Effectiveness(p.fanSpeed, mdotCTW/cells)
+	p.frozenUA = true
+}
+
+// canHold reports whether the plant may fast-forward the next dt
+// seconds: settled, no staging action pending, the hold budget covers
+// the whole interval (so the time between real integrations never
+// exceeds MaxHoldS even when a coasted gap arrives as one large dt),
+// and inputs within tolerance of those at the last real integration.
+func (p *Plant) canHold(in Inputs, dt float64) bool {
+	if !p.settled || !p.refValid {
+		return false
+	}
+	if p.solv.maxHold > 0 && p.heldS+dt > p.solv.maxHold {
+		return false
+	}
+	return p.inputsNearRef(in)
+}
+
+func (p *Plant) inputsNearRef(in Inputs) bool {
+	if !p.refValid || math.Abs(in.WetBulbC-p.refWB) > p.solv.wbTol {
+		return false
+	}
+	return p.heatNearRef(in.CDUHeatW)
+}
+
+// heatNearRef reports whether the per-CDU heat loads are within the
+// hold tolerance of those at the last real integration — the single
+// drift check shared by the hold decision and the coast decision, with
+// a 1 kW floor so near-idle loops do not pin the tolerance at zero.
+func (p *Plant) heatNearRef(cduHeatW []float64) bool {
+	if len(cduHeatW) > len(p.refHeat) {
+		return false
+	}
+	for i, h := range cduHeatW {
+		ref := p.refHeat[i]
+		if math.Abs(h-ref) > p.solv.heatTolFrac*ref+1e3 {
+			return false
+		}
+	}
+	return true
+}
+
+// pickControlDt widens the controller/hydraulics period as activity
+// dies down: a sharp input step or fast state movement gets the design
+// period; everything else — routine load jitter, settling tails,
+// near-quiescent drift — gets 5×, capped at the coupling step. The
+// thermal ODE remains error-controlled inside every period; this trades
+// only controller sampling, the Finding-6 fidelity-vs-cost knob the
+// ControlDt ablation measures.
+func (p *Plant) pickControlDt(dt float64, in Inputs) float64 {
+	base := p.cfg.ControlDtS
+	if !p.refValid {
+		return math.Min(base, dt)
+	}
+	move := p.inputMoveFrac(in)
+	rate := p.lastRate
+	if move >= 0.25 || rate >= 25*p.solv.quiesceRate {
+		// A sharp step (a large job landing, an HPL ramp): resolve the
+		// control response at the design period.
+		return math.Min(base, dt)
+	}
+	// Routine load jitter, settling tails, and near-quiescent drift: 5×
+	// keeps every control loop (including the fan/tower loop, whose
+	// sampled-data stability margin sits near 10–15× on Frontier-scale
+	// volumes and tighter on smaller AutoCSM plants) well inside its
+	// stable region; the truly settled case is covered by holds.
+	return math.Min(5*base, dt)
+}
+
+// inputMoveFrac measures how far the inputs have moved since the last
+// real integration, as a relative heat change (with wet-bulb drift
+// folded in on the hold-tolerance scale).
+func (p *Plant) inputMoveFrac(in Inputs) float64 {
+	m := math.Abs(in.WetBulbC-p.refWB) / p.solv.wbTol * p.solv.heatTolFrac
+	for i, h := range in.CDUHeatW {
+		if i >= len(p.refHeat) {
+			break
+		}
+		d := math.Abs(h-p.refHeat[i]) / math.Max(p.refHeat[i], 1e5)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// stagersIdle reports that no discrete staging action is being dwelled
+// toward — holds must not freeze a pending stage change.
+func (p *Plant) stagersIdle() bool {
+	return !p.htwpStager.Pending() && !p.ctwpStager.Pending() && !p.cellStager.Pending()
+}
+
+// packState writes the thermal state vector into dst (len Dim()).
+func (p *Plant) packState(dst []float64) {
+	n := len(p.cdus)
+	for i := range p.cdus {
+		dst[2*i] = p.cdus[i].secHot.T
+		dst[2*i+1] = p.cdus[i].secCold.T
+	}
+	dst[2*n] = p.htwSupply.T
+	dst[2*n+1] = p.htwReturn.T
+	dst[2*n+2] = p.ctwSupply.T
+	dst[2*n+3] = p.ctwReturn.T
+}
+
+// actDim is the actuator vector length: per-CDU pump speed and valve
+// position plus the three loop-level commands.
+func (p *Plant) actDim() int { return 2*len(p.cdus) + 3 }
+
+// packActuators writes the continuous actuator commands into dst — the
+// signals whose slew (PID convergence, rate-limited pump ramps) must
+// also die out before the plant counts as settled.
+func (p *Plant) packActuators(dst []float64) {
+	for i := range p.cdus {
+		dst[2*i] = p.cdus[i].pumpSpeed
+		dst[2*i+1] = p.cdus[i].valve.Position()
+	}
+	n := 2 * len(p.cdus)
+	dst[n] = p.htwpSpeed
+	dst[n+1] = p.ctwpSpeed
+	dst[n+2] = p.fanSpeed
+}
+
+func maxAbsRate(a, b []float64, dt float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m / dt
+}
+
+func delaySteps(dt, controlDt float64) int {
+	n := int(math.Round(dt / controlDt))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SolverStats returns the plant's solver work accounting since New.
+func (p *Plant) SolverStats() SolverStats {
+	st := p.stats
+	if p.adaptive != nil {
+		a := p.adaptive.Stats()
+		st.Accepted, st.Rejected = a.Accepted, a.Rejected
+	}
+	return st
+}
+
+// Quiescent reports whether the plant is currently settled at an
+// equilibrium (adaptive solver only; always false under fixed-step).
+func (p *Plant) Quiescent() bool { return p.settled }
+
+// CanCoast reports whether the simulation layer may skip upcoming
+// coupling boundaries entirely: the plant is settled with no staging
+// pending and would hold under the given per-CDU heat loads. Wet-bulb
+// drift is not predictable here; CoastWindowS bounds how long a coast
+// may defer re-checking it.
+func (p *Plant) CanCoast(cduHeatW []float64) bool {
+	return p.solv.adaptive && p.settled && p.refValid && p.heatNearRef(cduHeatW)
+}
+
+// CoastWindowS is the longest stretch the simulation layer may coast
+// across cooling boundaries before stepping the plant again (0 under the
+// fixed-step solver: every boundary must be stepped).
+func (p *Plant) CoastWindowS() float64 {
+	if !p.solv.adaptive {
+		return 0
+	}
+	return p.solv.maxHold
 }
 
 // updateControls advances every PID and stager one control period.
@@ -224,8 +578,11 @@ func (p *Plant) updateControls(dt float64) {
 	p.fanSpeed = p.fanPID.Update(cfg.CTSupplySetC, p.ctwSupply.T, dt)
 
 	// Tower staging: fan loading plus the delayed HTW-supply temperature
-	// gradient (§III-C5's cross-loop delay transfer function).
-	delayed := p.htwsDelayed.Update(p.htwSupply.T)
+	// gradient (§III-C5's cross-loop delay transfer function). The delay
+	// line is sampled on its ControlDtS design period; coarse adaptive
+	// control periods push one sample per design period to keep the delay
+	// duration invariant.
+	delayed := p.htwsDelayed.UpdateN(p.htwSupply.T, delaySteps(dt, cfg.ControlDtS))
 	grad := p.htwsGradF.Update((p.htwSupply.T-delayed)/math.Max(cfg.LoopDelayS, 1), dt)
 	signal := p.fanSpeed
 	if math.Abs(grad) > cfg.CTHTWSGradient {
@@ -239,7 +596,12 @@ func (p *Plant) updateControls(dt float64) {
 }
 
 // solveHydraulics computes loop flows from the current pump speeds,
-// staging, and valve positions.
+// staging, and valve positions. Every loop's system curve is purely
+// quadratic in the loop flow (fixed piping, fouling-scaled rack loops,
+// and the parallel valve+HEX branch network all compose to K·Q²), so the
+// operating points come from hydro.SolveQuadLoop's closed form rather
+// than bracketing/bisection — this runs 27× per control period and used
+// to be a third of the cooled-day cost.
 func (p *Plant) solveHydraulics() {
 	cfg := p.cfg
 
@@ -249,15 +611,9 @@ func (p *Plant) solveHydraulics() {
 		c := &p.cdus[i]
 		loopK := cfg.SecLoopK * p.secFouling[i]
 		bank := hydro.PumpBank{Curve: cfg.SecPump, N: 1, Speed: c.pumpSpeed}
-		q, head, err := hydro.SolveLoop(bank, func(q float64) float64 {
-			return loopK * q * q
-		})
-		if err != nil {
-			q, head = 0, 0
-		}
+		q, _ := hydro.SolveQuadLoop(bank, loopK)
 		c.qSec = q
 		c.pumpPower = cfg.SecPump.Power(q, c.pumpSpeed)
-		_ = head
 	}
 
 	// Primary loop: staged HTWPs against fixed piping plus the parallel
@@ -269,12 +625,7 @@ func (p *Plant) solveHydraulics() {
 	}
 	eqBranch := hydro.ParallelK(branchKs)
 	htwBank := hydro.PumpBank{Curve: cfg.HTWPump, N: p.htwpStager.Count(), Speed: p.htwpSpeed}
-	qHTW, htwHead, err := hydro.SolveLoop(htwBank, func(q float64) float64 {
-		return cfg.HTWLoopK*q*q + eqBranch.Drop(q)
-	})
-	if err != nil {
-		qHTW, htwHead = 0, 0
-	}
+	qHTW, htwHead := hydro.SolveQuadLoop(htwBank, cfg.HTWLoopK+eqBranch.K)
 	p.qHTW, p.htwHeadPa = qHTW, htwHead
 	headerDP := hydro.SplitParallelInto(qHTW, branchKs, p.primFlows)
 	p.headerDPPa = headerDP
@@ -285,12 +636,7 @@ func (p *Plant) solveHydraulics() {
 
 	// Cooling-tower loop: staged CTWPs against the fixed tower circuit.
 	ctwBank := hydro.PumpBank{Curve: cfg.CTWPump, N: p.ctwpStager.Count(), Speed: p.ctwpSpeed}
-	qCTW, ctwHead, err := hydro.SolveLoop(ctwBank, func(q float64) float64 {
-		return cfg.CTWLoopK * q * q
-	})
-	if err != nil {
-		qCTW, ctwHead = 0, 0
-	}
+	qCTW, ctwHead := hydro.SolveQuadLoop(ctwBank, cfg.CTWLoopK)
 	p.qCTW, p.ctwHeadPa = qCTW, ctwHead
 	p.ctwpPowerW = ctwBank.Power(ctwHead)
 
@@ -340,7 +686,12 @@ func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 		dydt[2*i] = hot.DTdt(mdotSec, secColdT, in.CDUHeatW[i])
 
 		// HEX-1600: secondary (hot) → primary (cold).
-		q, secOutT, primOutT := cfg.CDUHex.Transfer(secHotT, mdotSec, htwSupplyT, mdotPrim)
+		var q, secOutT, primOutT float64
+		if p.frozenUA {
+			q, secOutT, primOutT = cfg.CDUHex.TransferUA(p.cduUA[i], secHotT, mdotSec, htwSupplyT, mdotPrim)
+		} else {
+			q, secOutT, primOutT = cfg.CDUHex.Transfer(secHotT, mdotSec, htwSupplyT, mdotPrim)
+		}
 		cold := thermal.Volume{Mass: cfg.SecVolumeKg, T: secColdT}
 		dydt[2*i+1] = cold.DTdt(mdotSec, secOutT, 0)
 
@@ -356,14 +707,25 @@ func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 
 	// Intermediate EHX bank: HTW return (hot) → CTW (cold), per unit.
 	nEHX := float64(p.ehxStaged)
-	qEHX, htwOutT, ctwOutT := cfg.EHX.Transfer(
-		htwReturnT, mdotHTW/nEHX, ctwSupplyT, mdotCTW/nEHX)
+	var qEHX, htwOutT, ctwOutT float64
+	if p.frozenUA {
+		qEHX, htwOutT, ctwOutT = cfg.EHX.TransferUA(p.ehxUA,
+			htwReturnT, mdotHTW/nEHX, ctwSupplyT, mdotCTW/nEHX)
+	} else {
+		qEHX, htwOutT, ctwOutT = cfg.EHX.Transfer(
+			htwReturnT, mdotHTW/nEHX, ctwSupplyT, mdotCTW/nEHX)
+	}
 	p.ehxDutyW = qEHX * nEHX
 
 	// Cooling-tower cells reject to the wet bulb.
 	cells := p.cellStager.Count()
 	perCell := mdotCTW / float64(cells)
-	cellOutT := cfg.Tower.Outlet(ctwReturnT, in.WetBulbC, p.fanSpeed, perCell)
+	var cellOutT float64
+	if p.frozenUA {
+		cellOutT = cfg.Tower.OutletEff(p.towerEps, ctwReturnT, in.WetBulbC)
+	} else {
+		cellOutT = cfg.Tower.Outlet(ctwReturnT, in.WetBulbC, p.fanSpeed, perCell)
+	}
 	p.towerRejW = mdotCTW * units.WaterSpecificHeat(ctwReturnT) * (ctwReturnT - cellOutT)
 
 	hs := thermal.Volume{Mass: cfg.HTWVolumeKg, T: htwSupplyT}
@@ -377,20 +739,32 @@ func (s thermalSystem) Derivatives(t float64, y, dydt []float64) {
 }
 
 func (p *Plant) integrateThermal(dt float64, in Inputs) {
-	n := len(p.cdus)
 	y := p.state
-	for i := range p.cdus {
-		y[2*i] = p.cdus[i].secHot.T
-		y[2*i+1] = p.cdus[i].secCold.T
-	}
-	y[2*n] = p.htwSupply.T
-	y[2*n+1] = p.htwReturn.T
-	y[2*n+2] = p.ctwSupply.T
-	y[2*n+3] = p.ctwReturn.T
-
+	p.packState(y)
 	p.thermalIn = in
 	p.stepper.Integrate(0, dt, y, dt)
+	p.unpackState(y)
+}
 
+// integrateThermalAdaptive advances the thermal network by dt with the
+// persistent Dormand–Prince stepper (warm-started step size, shared
+// stage buffers). A step failure — which the mildly stiff network should
+// never produce at sane tolerances — falls back to the fixed RK4
+// reference for the period rather than aborting the run.
+func (p *Plant) integrateThermalAdaptive(dt float64, in Inputs) {
+	y := p.state
+	p.packState(y)
+	p.thermalIn = in
+	if _, err := p.adaptive.Integrate(0, dt, y); err != nil {
+		p.packState(y)
+		p.stepper.Integrate(0, dt, y, p.cfg.ControlDtS)
+	}
+	p.unpackState(y)
+}
+
+// unpackState writes the packed state vector back into the volumes.
+func (p *Plant) unpackState(y []float64) {
+	n := len(p.cdus)
 	for i := range p.cdus {
 		p.cdus[i].secHot.T = y[2*i]
 		p.cdus[i].secCold.T = y[2*i+1]

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -271,5 +272,74 @@ func TestRunContextAbortsMidDay(t *testing.T) {
 	sim := tw.Simulation()
 	if sim == nil || sim.Now() >= 14*24*3600 {
 		t.Fatal("simulation ran to completion despite cancel")
+	}
+}
+
+// TestAdaptiveSolverMatchesFixedAcrossPlants is the accuracy property
+// behind the quiescent-plant fast path: for several plant designs — the
+// hand-calibrated Frontier preset, its AutoCSM synthesis, and a re-sized
+// AutoCSM variant — the same cooled day under the adaptive solver stays
+// within the configured tolerance of the fixed-step reference on energy
+// (exactly: cooling does not feed back into power), average PUE, and the
+// recorded loop temperatures.
+func TestAdaptiveSolverMatchesFixedAcrossPlants(t *testing.T) {
+	preset := config.Frontier().Cooling
+	auto := preset
+	auto.Preset = ""
+	resized := auto
+	resized.NumTowers = 4
+	resized.TowerFlowGPM = 7500
+	resized.PrimaryFlowGPM = 6000
+
+	cs, err := Compile(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		spec config.CoolingSpec
+	}{
+		{"frontier-preset", preset},
+		{"autocsm-frontier", auto},
+		{"autocsm-resized", resized},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(solver string) *Result {
+				spec := tc.spec
+				spec.Solver = solver
+				gen := job.DefaultGeneratorConfig()
+				gen.Seed = 77
+				res, err := cs.Twin().Run(Scenario{
+					Workload: WorkloadSynthetic, Generator: gen,
+					HorizonSec: 3600, TickSec: 15, WetBulbC: 19,
+					CoolingSpec: &spec, NoExport: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fixed := run("rk4")
+			adaptive := run("adaptive")
+			if fixed.Report.EnergyMWh != adaptive.Report.EnergyMWh {
+				t.Errorf("energy diverged: %v vs %v MWh",
+					fixed.Report.EnergyMWh, adaptive.Report.EnergyMWh)
+			}
+			if d := math.Abs(fixed.Report.AvgPUE - adaptive.Report.AvgPUE); d > 0.005 {
+				t.Errorf("PUE divergence %v > 0.005 (fixed %v, adaptive %v)",
+					d, fixed.Report.AvgPUE, adaptive.Report.AvgPUE)
+			}
+			if len(fixed.History) != len(adaptive.History) {
+				t.Fatalf("history lengths differ: %d vs %d", len(fixed.History), len(adaptive.History))
+			}
+			for i := range fixed.History {
+				f, a := fixed.History[i], adaptive.History[i]
+				if math.Abs(f.HTWSupplyC-a.HTWSupplyC) > 0.75 ||
+					math.Abs(f.HTWReturnC-a.HTWReturnC) > 0.75 ||
+					math.Abs(f.SecSupplyMaxC-a.SecSupplyMaxC) > 0.75 {
+					t.Fatalf("sample %d loop temperatures diverged:\nfixed    %+v\nadaptive %+v", i, f, a)
+				}
+			}
+		})
 	}
 }

@@ -356,6 +356,12 @@ func (m *Instance) Reset() error {
 // experiments (not part of the FMI surface).
 func (m *Instance) Plant() *cooling.Plant { return m.plant }
 
+// SolverStats exposes the wrapped plant's thermal-solver accounting —
+// adaptive step counts, control updates simulated, quiescent time —
+// through the FMI-shaped boundary, so co-simulation drivers can report
+// solver effectiveness without reaching into the plant.
+func (m *Instance) SolverStats() cooling.SolverStats { return m.plant.SolverStats() }
+
 func (m *Instance) varByRef(r ValueRef) *ScalarVariable {
 	vars := m.design.desc.Variables
 	idx := sort.Search(len(vars), func(i int) bool {

@@ -261,6 +261,27 @@ func SolveLoop(bank PumpBank, systemDrop func(q float64) float64) (q, head float
 	return q, systemDrop(q), nil
 }
 
+// SolveQuadLoop returns the operating point of a pump bank pushing flow
+// around a closed loop whose total drop is purely quadratic, ΔP = K·Q².
+// The intersection with the (affinity-law) quadratic pump curve has a
+// closed form, so the plant's fixed-resistance loops — every loop it
+// solves per control period — skip SolveLoop's bracketing and bisection
+// entirely in the simulation hot path. Agrees with SolveLoop to solver
+// precision on the same inputs.
+func SolveQuadLoop(bank PumpBank, K float64) (q, head float64) {
+	if bank.N <= 0 || bank.Speed <= 0 {
+		return 0, 0
+	}
+	n := float64(bank.N)
+	denom := K + bank.Curve.H2/(n*n)
+	num := bank.Curve.H0 * bank.Speed * bank.Speed
+	if denom <= 0 || num <= 0 {
+		return 0, 0
+	}
+	q = math.Sqrt(num / denom)
+	return q, K * q * q
+}
+
 // SplitParallel distributes total flow qTot across parallel branches with
 // resistances ks, returning per-branch flows and the common pressure drop.
 // Branches with non-positive K take no flow unless all are non-positive,

@@ -265,3 +265,33 @@ func BenchmarkSolveLoop(b *testing.B) {
 		}
 	}
 }
+
+func TestSolveQuadLoopMatchesSolveLoop(t *testing.T) {
+	curve := NewPumpCurve(480e3, 0.097, 320e3, 0.80)
+	for _, tc := range []struct {
+		n     int
+		speed float64
+		k     float64
+	}{
+		{1, 0.9, 180e3 / (0.029 * 0.029)},
+		{3, 0.85, 4.9e5},
+		{4, 1.05, 5.6e5},
+		{2, 0.4, 1e6},
+	} {
+		bank := PumpBank{Curve: curve, N: tc.n, Speed: tc.speed}
+		qRef, headRef, err := SolveLoop(bank, func(q float64) float64 {
+			return tc.k * q * q
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, head := SolveQuadLoop(bank, tc.k)
+		if math.Abs(q-qRef) > 1e-9*(1+qRef) || math.Abs(head-headRef) > 1e-6*(1+headRef) {
+			t.Errorf("n=%d s=%v k=%g: closed form (%v, %v) vs bisection (%v, %v)",
+				tc.n, tc.speed, tc.k, q, head, qRef, headRef)
+		}
+	}
+	if q, head := SolveQuadLoop(PumpBank{Curve: curve, N: 0, Speed: 1}, 1e5); q != 0 || head != 0 {
+		t.Error("unstaged bank must return zero flow")
+	}
+}

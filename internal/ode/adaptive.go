@@ -1,0 +1,205 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"exadigit/internal/la"
+)
+
+// AdaptiveMethod names an embedded Runge–Kutta pair.
+type AdaptiveMethod int
+
+const (
+	// DOPRI5 is the Dormand–Prince 5(4) pair (7 stages; ode45's method).
+	DOPRI5 AdaptiveMethod = iota
+	// RKF45 is Fehlberg's classic 4(5) pair (6 stages).
+	RKF45
+)
+
+// String returns the method name.
+func (m AdaptiveMethod) String() string {
+	switch m {
+	case DOPRI5:
+		return "dopri5"
+	case RKF45:
+		return "rkf45"
+	}
+	return fmt.Sprintf("adaptive(%d)", int(m))
+}
+
+// rkPair is one embedded pair's Butcher tableau in slice form: the
+// higher-order weights propagate the solution, the lower-order weights
+// supply the error estimate.
+type rkPair struct {
+	stages     int
+	a          []float64
+	b          [][]float64
+	cHigh, cLo []float64
+}
+
+var (
+	pairRKF45 = &rkPair{
+		stages: 6,
+		a:      rkfA[:],
+		b: [][]float64{
+			rkfB[0][:], rkfB[1][:], rkfB[2][:],
+			rkfB[3][:], rkfB[4][:], rkfB[5][:],
+		},
+		cHigh: rkfC5[:],
+		cLo:   rkfC4[:],
+	}
+	pairDOPRI5 = &rkPair{
+		stages: 7,
+		a:      dpA[:],
+		b: [][]float64{
+			dpB[0][:], dpB[1][:], dpB[2][:], dpB[3][:],
+			dpB[4][:], dpB[5][:], dpB[6][:],
+		},
+		cHigh: dpC5[:],
+		cLo:   dpC4[:],
+	}
+)
+
+func pairFor(m AdaptiveMethod) *rkPair {
+	if m == RKF45 {
+		return pairRKF45
+	}
+	return pairDOPRI5
+}
+
+// AdaptiveStepper advances a System with an embedded Runge–Kutta pair
+// under mixed absolute/relative error control. Unlike the standalone
+// IntegrateAdaptive/IntegrateDormandPrince entry points, the stepper is
+// persistent: its stage buffers are allocated once at construction and
+// the accepted step size is carried (warm-started) across Integrate
+// calls, so a hot loop that repeatedly integrates short spans — the
+// cooling plant's control periods — performs no per-call allocation and
+// no per-call step-size rediscovery.
+type AdaptiveStepper struct {
+	sys  System
+	pair *rkPair
+	cfg  AdaptiveConfig
+
+	// stage and state scratch, sized to sys.Dim() at construction
+	k          [][]float64
+	ytmp       []float64
+	yhi, ylo   []float64
+	h          float64 // warm-started step suggestion; 0 until first use
+	cumulative AdaptiveStats
+}
+
+// NewAdaptiveStepper builds a persistent stepper for sys. The config's
+// zero fields are defaulted per Integrate call relative to that call's
+// span, exactly as the standalone entry points default them.
+func NewAdaptiveStepper(sys System, method AdaptiveMethod, cfg AdaptiveConfig) *AdaptiveStepper {
+	n := sys.Dim()
+	p := pairFor(method)
+	s := &AdaptiveStepper{
+		sys: sys, pair: p, cfg: cfg,
+		k:    make([][]float64, p.stages),
+		ytmp: make([]float64, n),
+		yhi:  make([]float64, n),
+		ylo:  make([]float64, n),
+	}
+	for i := range s.k {
+		s.k[i] = make([]float64, n)
+	}
+	return s
+}
+
+// Stats returns the cumulative step accounting across every Integrate
+// call since construction (or the last Reset).
+func (s *AdaptiveStepper) Stats() AdaptiveStats { return s.cumulative }
+
+// Reset clears the warm-started step size and the cumulative stats.
+func (s *AdaptiveStepper) Reset() {
+	s.h = 0
+	s.cumulative = AdaptiveStats{}
+}
+
+// Integrate advances y in place from t0 to t1 and returns this call's
+// step accounting. The accepted step size is retained as the warm start
+// for the next call.
+func (s *AdaptiveStepper) Integrate(t0, t1 float64, y []float64) (AdaptiveStats, error) {
+	var st AdaptiveStats
+	if t1 <= t0 {
+		return st, nil
+	}
+	cfg := s.cfg
+	cfg.defaults(t1 - t0)
+	n := s.sys.Dim()
+	if len(y) != n {
+		return st, fmt.Errorf("ode: state length %d != dim %d", len(y), n)
+	}
+	hSug := s.h
+	if hSug <= 0 {
+		hSug = math.Min(cfg.HInit, cfg.HMax)
+	}
+	hSug = math.Max(cfg.HMin, math.Min(hSug, cfg.HMax))
+
+	p := s.pair
+	t := t0
+	for t < t1 {
+		if st.Accepted+st.Rejected > cfg.MaxSteps {
+			s.accumulate(st)
+			return st, fmt.Errorf("%w: exceeded %d steps", ErrStepFailed, cfg.MaxSteps)
+		}
+		h := hSug
+		if t+h > t1 {
+			h = t1 - t
+		}
+		for stage := 0; stage < p.stages; stage++ {
+			copy(s.ytmp, y)
+			for j := 0; j < stage; j++ {
+				la.AXPY(h*p.b[stage][j], s.k[j], s.ytmp)
+			}
+			s.sys.Derivatives(t+p.a[stage]*h, s.ytmp, s.k[stage])
+		}
+		copy(s.yhi, y)
+		copy(s.ylo, y)
+		for stage := 0; stage < p.stages; stage++ {
+			la.AXPY(h*p.cHigh[stage], s.k[stage], s.yhi)
+			la.AXPY(h*p.cLo[stage], s.k[stage], s.ylo)
+		}
+		// Error estimate scaled by mixed absolute/relative tolerance.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			sc := cfg.AbsTol + cfg.RelTol*math.Max(math.Abs(y[i]), math.Abs(s.yhi[i]))
+			e := math.Abs(s.yhi[i]-s.ylo[i]) / sc
+			if e > errNorm {
+				errNorm = e
+			}
+		}
+		if errNorm <= 1 || h <= cfg.HMin {
+			t += h
+			copy(y, s.yhi)
+			st.Accepted++
+			st.LastStep = h
+		} else {
+			st.Rejected++
+		}
+		// Classic step-size update with safety factor.
+		if errNorm == 0 {
+			hSug = cfg.HMax
+		} else {
+			hSug = h * 0.9 * math.Pow(errNorm, -0.2)
+		}
+		hSug = math.Max(cfg.HMin, math.Min(hSug, cfg.HMax))
+		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
+			s.accumulate(st)
+			return st, fmt.Errorf("%w: non-finite error estimate at t=%g", ErrStepFailed, t)
+		}
+	}
+	s.h = hSug
+	s.accumulate(st)
+	return st, nil
+}
+
+func (s *AdaptiveStepper) accumulate(st AdaptiveStats) {
+	s.cumulative.Accepted += st.Accepted
+	s.cumulative.Rejected += st.Rejected
+	if st.LastStep > 0 {
+		s.cumulative.LastStep = st.LastStep
+	}
+}

@@ -1,11 +1,5 @@
 package ode
 
-import (
-	"fmt"
-	"math"
-
-	"exadigit/internal/la"
-)
 
 // Dormand–Prince 5(4) coefficients (the RK45 pair behind MATLAB's ode45
 // and SciPy's default solver). Seven stages; the 5th-order solution
@@ -30,71 +24,8 @@ var (
 // 5(4) embedded pair under the same tolerance control as
 // IntegrateAdaptive. It is one order higher than RKF45 per step and is
 // provided for accuracy cross-checks of the cooling model's transients.
+// It is a convenience wrapper over a one-shot AdaptiveStepper; hot loops
+// that integrate repeatedly should hold a persistent stepper instead.
 func IntegrateDormandPrince(sys System, t0, t1 float64, y []float64, cfg AdaptiveConfig) (AdaptiveStats, error) {
-	var st AdaptiveStats
-	if t1 <= t0 {
-		return st, nil
-	}
-	cfg.defaults(t1 - t0)
-	n := sys.Dim()
-	if len(y) != n {
-		return st, fmt.Errorf("ode: state length %d != dim %d", len(y), n)
-	}
-	k := make([][]float64, 7)
-	for i := range k {
-		k[i] = make([]float64, n)
-	}
-	ytmp := make([]float64, n)
-	y5 := make([]float64, n)
-	y4 := make([]float64, n)
-
-	t := t0
-	h := math.Min(cfg.HInit, cfg.HMax)
-	for t < t1 {
-		if st.Accepted+st.Rejected > cfg.MaxSteps {
-			return st, fmt.Errorf("%w: exceeded %d steps", ErrStepFailed, cfg.MaxSteps)
-		}
-		if t+h > t1 {
-			h = t1 - t
-		}
-		for stage := 0; stage < 7; stage++ {
-			copy(ytmp, y)
-			for j := 0; j < stage; j++ {
-				la.AXPY(h*dpB[stage][j], k[j], ytmp)
-			}
-			sys.Derivatives(t+dpA[stage]*h, ytmp, k[stage])
-		}
-		copy(y5, y)
-		copy(y4, y)
-		for stage := 0; stage < 7; stage++ {
-			la.AXPY(h*dpC5[stage], k[stage], y5)
-			la.AXPY(h*dpC4[stage], k[stage], y4)
-		}
-		errNorm := 0.0
-		for i := 0; i < n; i++ {
-			sc := cfg.AbsTol + cfg.RelTol*math.Max(math.Abs(y[i]), math.Abs(y5[i]))
-			e := math.Abs(y5[i]-y4[i]) / sc
-			if e > errNorm {
-				errNorm = e
-			}
-		}
-		if errNorm <= 1 || h <= cfg.HMin {
-			t += h
-			copy(y, y5)
-			st.Accepted++
-			st.LastStep = h
-		} else {
-			st.Rejected++
-		}
-		if errNorm == 0 {
-			h = cfg.HMax
-		} else {
-			h *= 0.9 * math.Pow(errNorm, -0.2)
-		}
-		h = math.Max(cfg.HMin, math.Min(h, cfg.HMax))
-		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
-			return st, fmt.Errorf("%w: non-finite error estimate at t=%g", ErrStepFailed, t)
-		}
-	}
-	return st, nil
+	return NewAdaptiveStepper(sys, DOPRI5, cfg).Integrate(t0, t1, y)
 }

@@ -203,75 +203,10 @@ var (
 
 // IntegrateAdaptive advances y from t0 to t1 with the RKF45 embedded pair,
 // controlling local error against cfg tolerances. y is updated in place.
+// It is a convenience wrapper over a one-shot AdaptiveStepper; hot loops
+// that integrate repeatedly should hold a persistent stepper instead.
 func IntegrateAdaptive(sys System, t0, t1 float64, y []float64, cfg AdaptiveConfig) (AdaptiveStats, error) {
-	var st AdaptiveStats
-	if t1 <= t0 {
-		return st, nil
-	}
-	cfg.defaults(t1 - t0)
-	n := sys.Dim()
-	if len(y) != n {
-		return st, fmt.Errorf("ode: state length %d != dim %d", len(y), n)
-	}
-	k := make([][]float64, 6)
-	for i := range k {
-		k[i] = make([]float64, n)
-	}
-	ytmp := make([]float64, n)
-	y4 := make([]float64, n)
-	y5 := make([]float64, n)
-
-	t := t0
-	h := math.Min(cfg.HInit, cfg.HMax)
-	for t < t1 {
-		if st.Accepted+st.Rejected > cfg.MaxSteps {
-			return st, fmt.Errorf("%w: exceeded %d steps", ErrStepFailed, cfg.MaxSteps)
-		}
-		if t+h > t1 {
-			h = t1 - t
-		}
-		for stage := 0; stage < 6; stage++ {
-			copy(ytmp, y)
-			for j := 0; j < stage; j++ {
-				la.AXPY(h*rkfB[stage][j], k[j], ytmp)
-			}
-			sys.Derivatives(t+rkfA[stage]*h, ytmp, k[stage])
-		}
-		copy(y4, y)
-		copy(y5, y)
-		for stage := 0; stage < 6; stage++ {
-			la.AXPY(h*rkfC4[stage], k[stage], y4)
-			la.AXPY(h*rkfC5[stage], k[stage], y5)
-		}
-		// Error estimate scaled by mixed absolute/relative tolerance.
-		errNorm := 0.0
-		for i := 0; i < n; i++ {
-			sc := cfg.AbsTol + cfg.RelTol*math.Max(math.Abs(y[i]), math.Abs(y5[i]))
-			e := math.Abs(y5[i]-y4[i]) / sc
-			if e > errNorm {
-				errNorm = e
-			}
-		}
-		if errNorm <= 1 || h <= cfg.HMin {
-			t += h
-			copy(y, y5)
-			st.Accepted++
-			st.LastStep = h
-		} else {
-			st.Rejected++
-		}
-		// PI-free classic step-size update with safety factor.
-		if errNorm == 0 {
-			h = cfg.HMax
-		} else {
-			h *= 0.9 * math.Pow(errNorm, -0.2)
-		}
-		h = math.Max(cfg.HMin, math.Min(h, cfg.HMax))
-		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
-			return st, fmt.Errorf("%w: non-finite error estimate at t=%g", ErrStepFailed, t)
-		}
-	}
-	return st, nil
+	return NewAdaptiveStepper(sys, RKF45, cfg).Integrate(t0, t1, y)
 }
 
 // ImplicitStepper advances a System with backward Euler, solving the

@@ -194,6 +194,12 @@ type Simulation struct {
 	heatRefs []fmu.ValueRef
 	wbRef    fmu.ValueRef
 	itRef    fmu.ValueRef
+	// lastCoolT is the sim time of the last cooling DoStep; coasting
+	// across quiet boundaries leaves it behind s.now until the plant is
+	// stepped across the whole gap at once. coolCoastS is the plant's
+	// coast window (0 for the fixed-step solver: every boundary steps).
+	lastCoolT  float64
+	coolCoastS float64
 	// Preallocated cooling-coupling scratch (refs are constant).
 	coolRefs []fmu.ValueRef
 	coolVals []float64
@@ -338,6 +344,7 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 		s.coolVals = make([]float64, len(s.coolRefs))
 		s.fmuOut = make([]float64, len(s.fmuGet))
 		s.cool = inst
+		s.coolCoastS = inst.Plant().CoastWindowS()
 	}
 	return s, nil
 }
@@ -379,6 +386,16 @@ func (s *Simulation) CoolingPlant() *cooling.Plant {
 		return nil
 	}
 	return s.cool.Plant()
+}
+
+// CoolingSolverStats returns the coupled plant's thermal-solver
+// accounting — the quiescent-fraction observability for the adaptive
+// cooling fast path (zero when cooling is disabled).
+func (s *Simulation) CoolingSolverStats() cooling.SolverStats {
+	if s.cool == nil {
+		return cooling.SolverStats{}
+	}
+	return s.cool.SolverStats()
 }
 
 // Run advances the simulation for the given horizon (Algorithm 1's
@@ -558,7 +575,18 @@ func (s *Simulation) skippableTicks(maxTicks int) int {
 	}
 	if s.cool != nil {
 		period := s.cfg.CoolingDtSec
-		consider((math.Floor((s.now+1e-6)/period) + 1) * period)
+		next := (math.Floor((s.now+1e-6)/period) + 1) * period
+		if s.coolCoastS > 0 {
+			if limit := s.lastCoolT + s.coolCoastS; limit > next && s.cool.Plant().CanCoast(s.cduHeat()) {
+				// The plant is settled and would hold at the upcoming
+				// boundaries under the gap's (constant) heat: coast — the
+				// next cooling event is the end of the coast window,
+				// snapped onto the boundary grid. stepCooling integrates
+				// the plant across the whole deferred gap at once.
+				next = math.Floor(limit/period) * period
+			}
+		}
+		consider(next)
 	}
 	if math.IsInf(next, 1) {
 		return maxTicks
@@ -659,7 +687,26 @@ func (s *Simulation) cduHeat() []float64 {
 	return s.heatBuf
 }
 
+// stepCooling advances the plant to s.now. The common case steps one
+// coupling interval exactly (bit-identical to the pre-coasting path).
+// After a coasted gap the deferred stretch is fast-forwarded first under
+// the inputs it was quiescent under — the values of the previous SetReal
+// — and only the final coupling interval sees the fresh inputs, so a
+// coast never back-applies a new transient over held time.
 func (s *Simulation) stepCooling() error {
+	period := s.cfg.CoolingDtSec
+	dt := s.now - s.lastCoolT
+	if dt <= 0 {
+		return nil
+	}
+	if math.Abs(dt-period) < 1e-6 {
+		dt = period
+	} else if dt > period {
+		if err := s.cool.DoStep(dt - period); err != nil {
+			return err
+		}
+		dt = period
+	}
 	heat := s.cduHeat()
 	n := copy(s.coolVals, heat)
 	wb := 20.0
@@ -671,7 +718,11 @@ func (s *Simulation) stepCooling() error {
 	if err := s.cool.SetReal(s.coolRefs, s.coolVals); err != nil {
 		return err
 	}
-	return s.cool.DoStep(s.cfg.CoolingDtSec)
+	if err := s.cool.DoStep(dt); err != nil {
+		return err
+	}
+	s.lastCoolT = s.now
+	return nil
 }
 
 func (s *Simulation) accumulate(dt float64) {

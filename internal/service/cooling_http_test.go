@@ -222,3 +222,64 @@ func TestHTTPCancelAbortsMidDay(t *testing.T) {
 		t.Errorf("status after cancel = %+v", st)
 	}
 }
+
+// TestHTTPStructuredFeasibilityError pins the structured 400 body: an
+// AutoCSM-infeasible plant rejection names the offending field and a
+// suggested fix instead of leaking sizing internals as free text.
+func TestHTTPStructuredFeasibilityError(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	spec := config.Frontier().Cooling
+	spec.Preset = ""
+	spec.CTSupplyC = 28 // feasibility failure deep in AutoCSM sizing
+
+	req := SubmitRequest{Scenarios: []ScenarioRequest{{
+		Workload: "idle", HorizonSec: 60, TickSec: 15, CoolingSpec: &spec,
+	}}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var got struct {
+		Error      string `json:"error"`
+		Field      string `json:"field"`
+		Constraint string `json:"constraint"`
+		Suggestion string `json:"suggestion"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Field == "" || got.Constraint == "" || got.Suggestion == "" {
+		t.Fatalf("expected structured field/constraint/suggestion, got %+v", got)
+	}
+
+	// An unknown solver name is structured too.
+	spec2 := config.Frontier().Cooling
+	spec2.Solver = "magic"
+	req.Scenarios[0].CoolingSpec = &spec2
+	body, _ = json.Marshal(req)
+	resp2, err := http.Post(srv.URL+"/api/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var got2 struct {
+		Field string `json:"field"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&got2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusBadRequest || got2.Field != "solver" {
+		t.Fatalf("solver rejection: status %d field %q", resp2.StatusCode, got2.Field)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -123,7 +124,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /api/sweeps", s.handleList)
-	mux.Handle("GET /api/sweeps/metrics", s.metrics.Handler())
+	mux.HandleFunc("GET /api/sweeps/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/sweeps/{id}/stream", s.handleStream)
@@ -137,8 +138,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the JSON error envelope. Spec validation and AutoCSM
+// feasibility failures carry the structured field/constraint/suggestion
+// triple (config.FieldError) so clients can highlight the offending
+// field instead of parsing sizing internals out of a message string.
+type errorBody struct {
+	Error      string `json:"error"`
+	Field      string `json:"field,omitempty"`
+	Constraint string `json:"constraint,omitempty"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := errorBody{Error: err.Error()}
+	var fe *config.FieldError
+	if errors.As(err, &fe) {
+		body.Field = fe.Field
+		body.Constraint = fe.Constraint
+		body.Suggestion = fe.Suggestion
+	}
+	writeJSON(w, code, body)
+}
+
+// handleMetrics serves the shared HTTP middleware counters together with
+// the result-cache accounting (hits/misses/evictions/entries/capacity).
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"http":  s.metrics.Snapshot(),
+		"cache": s.CacheMetricsSnapshot(),
+	})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"exadigit/internal/config"
+	"exadigit/internal/core"
 	"exadigit/internal/fmu"
 	"exadigit/internal/job"
 )
@@ -236,5 +237,54 @@ func TestHTTPCancelAndStatus(t *testing.T) {
 	nf.Body.Close()
 	if nf.StatusCode != http.StatusNotFound {
 		t.Fatalf("want 404 for unknown sweep, got %d", nf.StatusCode)
+	}
+}
+
+// TestMetricsReportsCacheEvictions pins the /api/sweeps/metrics cache
+// block: a count-bounded cache under pressure reports evictions, live
+// entries, and capacity — the observability groundwork for the planned
+// byte-bounded persistent cache.
+func TestMetricsReportsCacheEvictions(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheCap: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var scenarios []core.Scenario
+	for i := 0; i < 4; i++ {
+		gen := job.DefaultGeneratorConfig()
+		gen.Seed = int64(900 + i)
+		scenarios = append(scenarios, core.Scenario{
+			Workload: core.WorkloadSynthetic, Generator: gen,
+			HorizonSec: 60, TickSec: 15, NoExport: true, NoHistory: true,
+		})
+	}
+	sw, err := svc.Submit(config.Frontier(), scenarios, SweepOptions{Name: "evict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sw.Done()
+
+	resp, err := http.Get(srv.URL + "/api/sweeps/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Cache CacheMetrics `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cache.Capacity != 2 {
+		t.Errorf("capacity = %d, want 2", got.Cache.Capacity)
+	}
+	if got.Cache.Evictions < 2 {
+		t.Errorf("evictions = %d, want ≥ 2 (4 results through a cap of 2)", got.Cache.Evictions)
+	}
+	if got.Cache.Entries > 2 {
+		t.Errorf("entries = %d exceed capacity", got.Cache.Entries)
+	}
+	if got.Cache.Misses < 4 {
+		t.Errorf("misses = %d, want ≥ 4", got.Cache.Misses)
 	}
 }

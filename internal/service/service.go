@@ -102,6 +102,30 @@ func (s *Service) CacheStats() (hits, misses uint64, entries int) {
 	return s.hits.Load(), s.misses.Load(), s.cache.len()
 }
 
+// CacheMetrics is the full result-cache accounting served on
+// /api/sweeps/metrics — the observability groundwork for the planned
+// byte-bounded persistent cache (eviction pressure tells an operator
+// whether the count bound is the limiting resource).
+type CacheMetrics struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// CacheMetricsSnapshot returns the current result-cache counters.
+func (s *Service) CacheMetricsSnapshot() CacheMetrics {
+	ev, entries, capacity := s.cache.stats()
+	return CacheMetrics{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: ev,
+		Entries:   entries,
+		Capacity:  capacity,
+	}
+}
+
 // compiledFor returns the shared CompiledSpec for the spec, compiling it
 // on first submission. Sweeps of the same spec — byte-identical after
 // canonical JSON encoding — share one compiled instance.
@@ -613,10 +637,11 @@ type cacheEntry struct {
 // acquirers wait on the same entry, so N identical submissions cost one
 // simulation.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*cacheEntry
-	order   []string // completed keys, oldest first, for eviction
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*cacheEntry
+	order     []string // completed keys, oldest first, for eviction
+	evictions uint64   // completed entries dropped by the capacity bound
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -656,8 +681,16 @@ func (c *resultCache) complete(key string, e *cacheEntry, res *core.Result, err 
 			evict := c.order[0]
 			c.order = c.order[1:]
 			delete(c.entries, evict)
+			c.evictions++
 		}
 	}
 	c.mu.Unlock()
 	close(e.done)
+}
+
+// stats returns the cache's eviction count, live entries, and capacity.
+func (c *resultCache) stats() (evictions uint64, entries, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions, len(c.entries), c.cap
 }

@@ -73,6 +73,16 @@ func Effectiveness(ntu, cr float64) float64 {
 // inlet temperatures and mass flows, plus the two outlet temperatures.
 // Zero flow on either side transfers nothing.
 func (h HeatExchanger) Transfer(tHotIn, mdotHot, tColdIn, mdotCold float64) (q, tHotOut, tColdOut float64) {
+	return h.TransferUA(h.UA(mdotHot, mdotCold), tHotIn, mdotHot, tColdIn, mdotCold)
+}
+
+// TransferUA is Transfer with the overall conductance supplied by the
+// caller. UA depends only on the mass flows (not on temperature), so a
+// hot loop whose hydraulic solution is frozen across an integration
+// period can evaluate UA once and skip its two Pow calls per stage
+// evaluation — the dominant cost of the cooling model's derivative
+// sweep. TransferUA(h.UA(mh, mc), ...) is exactly Transfer(...).
+func (h HeatExchanger) TransferUA(ua, tHotIn, mdotHot, tColdIn, mdotCold float64) (q, tHotOut, tColdOut float64) {
 	tHotOut, tColdOut = tHotIn, tColdIn
 	if mdotHot <= 0 || mdotCold <= 0 || tHotIn <= tColdIn {
 		return 0, tHotOut, tColdOut
@@ -85,7 +95,6 @@ func (h HeatExchanger) Transfer(tHotIn, mdotHot, tColdIn, mdotCold float64) (q, 
 	if cCold < cHot {
 		cMin, cMax = cCold, cHot
 	}
-	ua := h.UA(mdotHot, mdotCold)
 	eps := Effectiveness(ua/cMin, cMin/cMax)
 	q = eps * cMin * (tHotIn - tColdIn)
 	tHotOut = tHotIn - q/cHot
@@ -120,7 +129,17 @@ func (c CoolingTower) Outlet(tIn, tWb, fanSpeed, mdot float64) float64 {
 	if tIn <= tWb {
 		return tIn
 	}
-	eps := c.Effectiveness(fanSpeed, mdot)
+	return c.OutletEff(c.Effectiveness(fanSpeed, mdot), tIn, tWb)
+}
+
+// OutletEff is Outlet with the cell effectiveness supplied by the
+// caller (see HeatExchanger.TransferUA for the precomputation rationale:
+// effectiveness depends on fan speed and flow, both frozen across an
+// integration period).
+func (c CoolingTower) OutletEff(eps, tIn, tWb float64) float64 {
+	if tIn <= tWb {
+		return tIn
+	}
 	return tIn - eps*(tIn-tWb)
 }
 

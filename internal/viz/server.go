@@ -3,11 +3,13 @@ package viz
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 
+	"exadigit/internal/config"
 	"exadigit/internal/httpmw"
 )
 
@@ -95,6 +97,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeRunError renders a what-if launch failure. Spec validation and
+// AutoCSM feasibility errors carry a structured field/constraint/
+// suggestion triple (config.FieldError); the dashboard surfaces it as
+// JSON fields instead of a free-text message with sizing internals.
+func writeRunError(w http.ResponseWriter, err error) {
+	body := map[string]string{"error": err.Error()}
+	var fe *config.FieldError
+	if errors.As(err, &fe) {
+		body["field"] = fe.Field
+		body["constraint"] = fe.Constraint
+		if fe.Suggestion != "" {
+			body["suggestion"] = fe.Suggestion
+		}
+	}
+	writeJSON(w, http.StatusBadRequest, body)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.src.Status())
 }
@@ -139,7 +158,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	result, err := s.runner(r.Context(), params)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeRunError(w, err)
 		return
 	}
 	s.mu.Lock()

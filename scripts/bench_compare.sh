@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Compare the two most recent BENCH_PR*.json series (or two explicit
+# files) benchmark by benchmark: ns/op old vs new and the speedup ratio.
+#
+# Usage: scripts/bench_compare.sh [old.json new.json]
+set -e
+
+if [ $# -eq 2 ]; then
+	old=$1
+	new=$2
+else
+	# Sort numerically on the PR number: splitting "BENCH_PR4.json" on
+	# "R" leaves "4.json" in field 2, which -n parses as 4 (so PR10
+	# orders after PR9, not between PR1 and PR2).
+	set -- $(ls BENCH_PR*.json 2>/dev/null | sort -t R -k 2 -n)
+	[ $# -ge 2 ] || { echo "need at least two BENCH_PR*.json files" >&2; exit 1; }
+	while [ $# -gt 2 ]; do shift; done
+	old=$1
+	new=$2
+fi
+
+echo "comparing $old -> $new" >&2
+awk -v oldfile="$old" '
+function parse(line) {
+	# One benchmark object per line: pull "name" and "ns_per_op".
+	if (match(line, /"name": *"[^"]+"/)) {
+		name = substr(line, RSTART, RLENGTH)
+		gsub(/"name": *"|"/, "", name)
+		if (match(line, /"ns_per_op": *[0-9.e+]+/)) {
+			ns = substr(line, RSTART, RLENGTH)
+			gsub(/"ns_per_op": */, "", ns)
+			return name SUBSEP ns
+		}
+	}
+	return ""
+}
+BEGIN {
+	while ((getline line < oldfile) > 0) {
+		kv = parse(line)
+		if (kv != "") { split(kv, a, SUBSEP); oldns[a[1]] = a[2] }
+	}
+	close(oldfile)
+	printf("%-36s %14s %14s %9s\n", "benchmark", "old ms/op", "new ms/op", "speedup")
+}
+{
+	kv = parse($0)
+	if (kv == "") next
+	split(kv, a, SUBSEP)
+	name = a[1]; ns = a[2]
+	seen[name] = 1
+	if (name in oldns)
+		printf("%-36s %14.2f %14.2f %8.2fx\n", name, oldns[name]/1e6, ns/1e6, oldns[name]/ns)
+	else
+		printf("%-36s %14s %14.2f %9s\n", name, "-", ns/1e6, "new")
+}
+END {
+	for (name in oldns)
+		if (!(name in seen))
+			printf("%-36s %14.2f %14s %9s\n", name, oldns[name]/1e6, "-", "gone")
+}
+' "$new"
