@@ -21,10 +21,10 @@ test-short:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR4.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR5.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR4.json
+	./scripts/bench_json.sh BENCH_PR5.json
 
 # Diff the two most recent BENCH_PR*.json series benchmark by benchmark
 # (ns/op old vs new and the speedup ratio).

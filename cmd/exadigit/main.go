@@ -15,7 +15,8 @@
 //	exadigit [-addr :8080] [-workload synthetic] [-horizon 2h]
 //	         [-cooling] [-once]
 //	exadigit serve [-addr :8080] [-workers N] [-cache 1024]
-//	               [-spec spec.json] [-warm 15m]
+//	               [-cache-bytes 268435456] [-spec spec.json] [-warm 15m]
+//	               [-presets plants.json] [-token SECRET]
 package main
 
 import (
@@ -87,13 +88,29 @@ func main() {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "HTTP listen address")
-		workers  = fs.Int("workers", 0, "concurrent simulations across all sweeps (0 = all CPUs)")
-		cacheCap = fs.Int("cache", 1024, "result-cache capacity (scenario results)")
-		specPath = fs.String("spec", "", "system spec JSON for the dashboard twin (default: built-in Frontier)")
-		warm     = fs.Duration("warm", 15*time.Minute, "warm-up scenario horizon for the dashboard twin (0 skips)")
+		addr       = fs.String("addr", ":8080", "HTTP listen address")
+		workers    = fs.Int("workers", 0, "concurrent simulations across all sweeps (0 = all CPUs)")
+		cacheCap   = fs.Int("cache", 1024, "result-cache capacity (scenario results)")
+		cacheBytes = fs.Int64("cache-bytes", 256<<20, "result-cache byte bound (approximate resident size)")
+		specPath   = fs.String("spec", "", "system spec JSON for the dashboard twin (default: built-in Frontier)")
+		warm       = fs.Duration("warm", 15*time.Minute, "warm-up scenario horizon for the dashboard twin (0 skips)")
+		presets    = fs.String("presets", "", "cooling preset registry JSON ({\"name\": {plant config}}), resolved before built-ins")
+		token      = fs.String("token", "", "bearer token required on every request (default $EXADIGIT_TOKEN; empty disables auth)")
 	)
 	_ = fs.Parse(args)
+	if *token == "" {
+		// Read the env fallback after parsing rather than as the flag
+		// default, so usage/error output never prints the secret.
+		*token = os.Getenv("EXADIGIT_TOKEN")
+	}
+
+	if *presets != "" {
+		names, err := exadigit.RegisterCoolingPresetsFromFile(*presets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered cooling presets from %s: %v", *presets, names)
+	}
 
 	spec := exadigit.FrontierSpec()
 	if *specPath != "" {
@@ -119,7 +136,7 @@ func serve(args []string) {
 	}
 
 	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{
-		Workers: *workers, CacheCap: *cacheCap,
+		Workers: *workers, CacheCap: *cacheCap, CacheMaxBytes: *cacheBytes,
 	})
 	svc.SetLogf(log.Printf)
 	dash := exadigit.NewDashboardServer(tw)
@@ -129,9 +146,13 @@ func serve(args []string) {
 	mux.Handle("/api/sweeps", sweepAPI)
 	mux.Handle("/api/sweeps/", sweepAPI)
 	mux.Handle("/", dash.Handler())
+	handler := exadigit.RequireBearerToken(*token, mux)
+	if *token != "" {
+		log.Printf("bearer-token auth enabled (every request needs Authorization: Bearer <token>)")
+	}
 
-	log.Printf("serving twin-as-a-service on %s (%d workers, cache %d)",
-		*addr, svc.Workers(), *cacheCap)
+	log.Printf("serving twin-as-a-service on %s (%d workers, cache %d entries / %d MiB)",
+		*addr, svc.Workers(), *cacheCap, *cacheBytes>>20)
 	log.Printf("  POST /api/sweeps               — submit a scenario sweep (per-scenario cooling_spec mixes plants)")
 	log.Printf("  GET  /api/sweeps               — list sweeps + cache stats")
 	log.Printf("  GET  /api/sweeps/{id}          — sweep status")
@@ -140,7 +161,7 @@ func serve(args []string) {
 	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued and in-flight work (aborts mid-day)")
 	log.Printf("  GET  /api/sweeps/metrics       — HTTP middleware counters")
 	log.Printf("  (dashboard endpoints /api/status, /api/series, /api/cooling, /api/run remain mounted)")
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"exadigit/internal/cooling"
 	"exadigit/internal/core"
 	"exadigit/internal/fmu"
+	"exadigit/internal/httpmw"
 	"exadigit/internal/job"
 	"exadigit/internal/optimize"
 	"exadigit/internal/raps"
@@ -61,12 +62,19 @@ type (
 	Twin = core.Twin
 	// Scenario describes one simulation or what-if run.
 	Scenario = core.Scenario
+	// PartitionScenario configures one partition's workload in a
+	// multi-partition scenario (Scenario.Partitions) — the §V
+	// heterogeneous-system axis.
+	PartitionScenario = core.PartitionScenario
 	// Result carries a scenario's report, history, and telemetry export.
 	Result = core.Result
 	// WorkloadKind selects how a scenario's jobs are produced.
 	WorkloadKind = core.WorkloadKind
 	// Report is the §III-B5 end-of-run summary.
 	Report = raps.Report
+	// PartitionReport is one partition's share of a multi-partition
+	// run's report (Report.Partitions).
+	PartitionReport = raps.PartitionReport
 	// Sample is one recorded history point (Fig. 9's series).
 	Sample = raps.Sample
 )
@@ -210,6 +218,35 @@ func CompileCoolingSpec(spec CoolingSpec) (CoolingConfig, error) { return autocs
 // FrontierCoolingModel returns the hand-calibrated Frontier plant (the
 // "frontier" cooling preset).
 func FrontierCoolingModel() CoolingConfig { return cooling.Frontier() }
+
+// RegisterCoolingPreset installs a named plant configuration in the
+// runtime preset registry, resolved by the spec pipeline before the
+// built-in presets — calibrated plants ship as data, not rebuilds.
+func RegisterCoolingPreset(name string, cfg CoolingConfig) error {
+	return cooling.RegisterPreset(name, cfg)
+}
+
+// RegisterCoolingPresetsFromJSON registers every plant in a
+// {"name": {plant config}} JSON document, returning the names.
+func RegisterCoolingPresetsFromJSON(data []byte) ([]string, error) {
+	return cooling.RegisterPresetsFromJSON(data)
+}
+
+// RegisterCoolingPresetsFromFile loads a preset registry JSON file (see
+// RegisterCoolingPresetsFromJSON); `exadigit serve -presets` calls this
+// at startup.
+func RegisterCoolingPresetsFromFile(path string) ([]string, error) {
+	return cooling.RegisterPresetsFromFile(path)
+}
+
+// RequireBearerToken wraps an HTTP handler with bearer-token auth
+// (httpmw.RequireBearer): every request must carry
+// "Authorization: Bearer <token>" or is rejected with a 401. An empty
+// token disables enforcement — the opt-in knob behind
+// `exadigit serve -token` / EXADIGIT_TOKEN.
+func RequireBearerToken(token string, h http.Handler) http.Handler {
+	return httpmw.RequireBearer(token, h)
+}
 
 // NewCoolingFMU instantiates the cooling model behind the FMI-style
 // co-simulation interface (SetReal / DoStep / GetReal).

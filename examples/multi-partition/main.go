@@ -1,7 +1,8 @@
-// Multi-partition generalization (§V): model a Setonix-like system with
-// separate CPU-only and CPU+GPU partitions from a JSON specification,
-// generate its cooling plant with AutoCSM, and compare the partitions'
-// power envelopes.
+// Multi-partition generalization (§V): simulate a full day of a
+// Setonix-like system — a CPU-only partition and a GPU partition,
+// scheduled and powered independently, rejecting their heat into one
+// shared AutoCSM-sized cooling plant — and report per-partition energy
+// alongside the shared-plant PUE.
 package main
 
 import (
@@ -9,54 +10,60 @@ import (
 	"log"
 
 	"exadigit"
-	"exadigit/internal/cooling"
-	"exadigit/internal/units"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	spec := exadigit.SetonixLikeSpec()
-	fmt.Printf("system %q with %d partitions\n", spec.Name, len(spec.Partitions))
+	fmt.Printf("system %q with %d partitions sharing one cooling plant\n",
+		spec.Name, len(spec.Partitions))
 
-	models, err := spec.BuildModels()
+	tw, err := exadigit.NewTwin(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, m := range models {
-		idle := m.Spec.NodeIdle() * float64(m.Topo.NodesTotal) / 1e6
-		peak := m.Spec.NodePeak() * float64(m.Topo.NodesTotal) / 1e6
-		fmt.Printf("  partition %-4s %5d nodes, node envelope %.0f-%.0f W (≈%.2f-%.2f MW at the plug)\n",
-			spec.Partitions[i].Name, m.Topo.NodesTotal,
-			m.Spec.NodeIdle(), m.Spec.NodePeak(), idle/0.94, peak/0.94)
-	}
 
-	// AutoCSM sizes the shared cooling plant for the combined design heat.
-	cfg, err := exadigit.GenerateCoolingModel(spec.Cooling)
+	// Heterogeneous day: synthetic jobs on the CPU partition, an HPL-like
+	// peak stretch on the GPU partition. One simulated day drives both
+	// partitions against the shared plant.
+	gen := exadigit.DefaultGeneratorConfig()
+	gen.Seed = 2024
+	res, err := tw.Run(exadigit.Scenario{
+		Name:       "setonix-day",
+		HorizonSec: 24 * 3600,
+		TickSec:    15,
+		Cooling:    true,
+		WetBulbC:   21,
+		Partitions: []exadigit.PartitionScenario{
+			{Workload: exadigit.WorkloadSynthetic, Generator: gen},
+			{Workload: exadigit.WorkloadPeak},
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nAutoCSM plant: %d CDUs, %d towers × %d cells, CDU HEX UA %.0f W/degC\n",
-		cfg.NumCDUs, cfg.NumTowers, cfg.CellsPerTower, cfg.CDUHex.UANominal)
 
-	plant, err := cooling.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	rep := res.Report
+	fmt.Printf("\nsimulated day: %.2f MW avg, %.1f MWh, %d jobs completed\n",
+		rep.AvgPowerMW, rep.EnergyMWh, rep.JobsCompleted)
+	for _, p := range rep.Partitions {
+		fmt.Printf("  partition %-4s %7.2f MWh (avg %.2f MW, peak %.2f MW, util %.0f %%, %d jobs)\n",
+			p.Name, p.EnergyMWh, p.AvgPowerMW, p.MaxPowerMW, 100*p.AvgUtilization, p.JobsCompleted)
 	}
-	heat := make([]float64, cfg.NumCDUs)
-	for i := range heat {
-		heat[i] = spec.Cooling.DesignHeatMW * 1e6 / float64(cfg.NumCDUs)
+	fmt.Printf("shared plant: PUE %.3f (both partitions' heat through one CEP)\n", rep.AvgPUE)
+
+	// The per-partition split is also a telemetry channel: the last
+	// recorded sample carries each partition's instantaneous power.
+	if n := len(res.History); n > 0 {
+		last := res.History[n-1]
+		fmt.Printf("last sample t=%.0fs: total %.2f MW = ", last.TimeSec, last.PowerW/1e6)
+		for i, w := range last.PartPowerW {
+			if i > 0 {
+				fmt.Print(" + ")
+			}
+			fmt.Printf("%.2f MW (%s)", w/1e6, spec.Partitions[i].Name)
+		}
+		fmt.Println()
 	}
-	in := cooling.Inputs{
-		CDUHeatW: heat,
-		WetBulbC: spec.Cooling.DesignWetBulbC,
-		ITPowerW: spec.Cooling.DesignHeatMW * 1e6 / 0.945,
-	}
-	if err := plant.SettleToSteadyState(in, 4*3600); err != nil {
-		log.Fatal(err)
-	}
-	o := plant.Snapshot()
-	fmt.Printf("steady state: rejecting %.2f of %.2f MW, primary %.0f gpm, PUE %.3f\n",
-		plant.TowerRejectionW()/1e6, spec.Cooling.DesignHeatMW,
-		o.HTWFlowM3s*units.M3sToGPM, o.PUE)
 }

@@ -82,8 +82,8 @@ func main() {
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
 		var e struct {
-			Name    string `json:"name"`
-			State   string `json:"state"`
+			Name    string  `json:"name"`
+			State   string  `json:"state"`
 			WallSec float64 `json:"wall_sec"`
 			Report  struct {
 				AvgPowerMW float64 `json:"AvgPowerMW"`

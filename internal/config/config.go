@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
 
@@ -357,14 +358,41 @@ func (c *CoolingSpec) validateSolver() error {
 
 // Hash returns the canonical content hash of the cooling spec alone —
 // the key under which compiled plant designs are cached and shared when
-// scenarios override the system's plant.
+// scenarios override the system's plant. A preset name resolved from
+// the runtime registry folds the registered plant's content in, so
+// re-registering a preset under the same name yields a different hash
+// (built-in presets are compile-time constants and hash by name alone,
+// keeping pre-registry hashes stable).
 func (c *CoolingSpec) Hash() (string, error) {
 	data, err := json.Marshal(c)
 	if err != nil {
 		return "", fmt.Errorf("config: cooling hash: %w", err)
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
+	h := sha256.New()
+	h.Write(data)
+	if err := writeRegisteredPreset(h, c.Preset); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// writeRegisteredPreset appends the registered plant content for a
+// preset name to a hash, if the name is in the runtime registry; absent
+// or built-in names append nothing (hash-stable).
+func writeRegisteredPreset(h io.Writer, preset string) error {
+	if preset == "" {
+		return nil
+	}
+	cfg, ok := cooling.RegisteredPreset(preset)
+	if !ok {
+		return nil
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("config: preset hash: %w", err)
+	}
+	_, err = h.Write(data)
+	return err
 }
 
 // Topology converts the partition counts to a power.Topology.
@@ -454,16 +482,22 @@ func modeByName(name string) (power.Mode, error) {
 }
 
 // Hash returns the canonical content hash of the spec: the hex SHA-256
-// of its JSON encoding. Two specs hash equal iff every field matches, so
-// the hash keys shared compiled state and content-addressed result
-// caches across sweep submissions.
+// of its JSON encoding, with the content of a runtime-registered cooling
+// preset folded in (see CoolingSpec.Hash). Two specs hash equal iff
+// every field — and the plant a registered preset name resolves to —
+// matches, so the hash keys shared compiled state and content-addressed
+// result caches across sweep submissions.
 func (s *SystemSpec) Hash() (string, error) {
 	data, err := json.Marshal(s)
 	if err != nil {
 		return "", fmt.Errorf("config: hash: %w", err)
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
+	h := sha256.New()
+	h.Write(data)
+	if err := writeRegisteredPreset(h, s.Cooling.Preset); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Parse decodes and validates a SystemSpec from JSON.

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"exadigit/internal/cooling"
 	"exadigit/internal/power"
 )
 
@@ -156,5 +157,56 @@ func TestModeMapping(t *testing.T) {
 	}
 	if m.Chain.Mode != power.ACBaseline {
 		t.Errorf("default mode = %v", m.Chain.Mode)
+	}
+}
+
+// TestHashFoldsRegisteredPresetContent pins the cache-invalidation
+// contract of the runtime preset registry: registering (or replacing) a
+// plant under a name a spec references changes the spec's hash, the
+// cooling spec's hash, and therefore every cache keyed on them —
+// re-registration cannot silently serve stale compiled designs or
+// cached results. Built-in preset names keep their pre-registry hashes.
+func TestHashFoldsRegisteredPresetContent(t *testing.T) {
+	spec := Frontier()
+	spec.Cooling.Preset = "hash-probe"
+
+	h0, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0, err := spec.Cooling.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgA := cooling.Frontier()
+	if err := cooling.RegisterPreset("hash-probe", cfgA); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cooling.UnregisterPreset("hash-probe") })
+	h1, _ := spec.Hash()
+	ch1, _ := spec.Cooling.Hash()
+	if h1 == h0 || ch1 == ch0 {
+		t.Fatal("registering a preset did not change the hashes of specs naming it")
+	}
+
+	cfgB := cfgA
+	cfgB.CTSupplySetC = 23.5
+	if err := cooling.RegisterPreset("hash-probe", cfgB); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := spec.Hash()
+	ch2, _ := spec.Cooling.Hash()
+	if h2 == h1 || ch2 == ch1 {
+		t.Fatal("re-registering a preset did not change the hashes — caches would serve the stale plant")
+	}
+
+	// A built-in preset (not in the registry) hashes by name alone, so
+	// the default Frontier spec's hash is stable across this test.
+	fr := Frontier()
+	fh1, _ := fr.Hash()
+	fh2, _ := fr.Hash()
+	if fh1 != fh2 {
+		t.Fatal("built-in preset hash unstable")
 	}
 }

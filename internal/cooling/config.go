@@ -15,7 +15,11 @@
 package cooling
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"sync"
 
 	"exadigit/internal/hydro"
 	"exadigit/internal/thermal"
@@ -122,29 +126,136 @@ const (
 	SolverAdaptive = "adaptive"
 )
 
-// presets names the hand-calibrated plant configurations. A preset is
-// the escape hatch from AutoCSM synthesis: a config.CoolingSpec naming
-// one resolves to the calibrated Config verbatim, so the default
-// Frontier spec cools with exactly the plant the paper's validation was
-// run against (bit-identical, not AutoCSM-approximated).
+// presets names the built-in hand-calibrated plant configurations. A
+// preset is the escape hatch from AutoCSM synthesis: a
+// config.CoolingSpec naming one resolves to the calibrated Config
+// verbatim, so the default Frontier spec cools with exactly the plant
+// the paper's validation was run against (bit-identical, not
+// AutoCSM-approximated).
 var presets = map[string]func() Config{
 	"frontier": Frontier,
 }
 
-// Preset resolves a hand-calibrated plant configuration by name.
+// registered holds presets installed at runtime (RegisterPreset,
+// RegisterPresetsFromJSON). Registered presets are resolved BEFORE the
+// built-ins, so a deployment can ship a recalibrated "frontier" plant as
+// data without a rebuild.
+var (
+	registeredMu sync.RWMutex
+	registered   = map[string]Config{}
+)
+
+// RegisterPreset installs (or replaces) a named plant configuration in
+// the runtime preset registry. The config is validated first; a
+// registered name shadows a built-in of the same name.
+func RegisterPreset(name string, cfg Config) error {
+	if name == "" {
+		return fmt.Errorf("cooling: preset name required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("cooling: preset %q: %w", name, err)
+	}
+	registeredMu.Lock()
+	registered[name] = cfg
+	registeredMu.Unlock()
+	return nil
+}
+
+// RegisterPresetsFromJSON parses a {"name": {...Config...}} document and
+// registers every plant in it, returning the registered names (sorted).
+// This is the deployment path for calibrated plants: ship the JSON next
+// to the binary and load it at startup (exadigit serve -presets), no
+// rebuild required. Each config is validated; the first invalid entry
+// aborts the whole load with nothing registered.
+func RegisterPresetsFromJSON(data []byte) ([]string, error) {
+	var doc map[string]Config
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("cooling: preset JSON: %w", err)
+	}
+	names := make([]string, 0, len(doc))
+	for name, cfg := range doc {
+		if name == "" {
+			return nil, fmt.Errorf("cooling: preset JSON: empty preset name")
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("cooling: preset %q: %w", name, err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	registeredMu.Lock()
+	for name, cfg := range doc {
+		registered[name] = cfg
+	}
+	registeredMu.Unlock()
+	return names, nil
+}
+
+// RegisterPresetsFromFile loads a preset registry JSON file (see
+// RegisterPresetsFromJSON).
+func RegisterPresetsFromFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cooling: preset file: %w", err)
+	}
+	return RegisterPresetsFromJSON(data)
+}
+
+// UnregisterPreset removes a runtime-registered preset; built-in
+// presets are unaffected (a shadowed built-in becomes visible again).
+func UnregisterPreset(name string) {
+	registeredMu.Lock()
+	delete(registered, name)
+	registeredMu.Unlock()
+}
+
+// RegisteredPreset resolves a name from the runtime registry only
+// (built-ins excluded). Spec hashing folds the registered content into
+// preset-name hashes, so re-registering a plant under the same name
+// invalidates every cache keyed on a spec that names it.
+func RegisteredPreset(name string) (Config, bool) {
+	registeredMu.RLock()
+	defer registeredMu.RUnlock()
+	cfg, ok := registered[name]
+	return cfg, ok
+}
+
+// Preset resolves a plant configuration by name: runtime-registered
+// presets first (the JSON-loadable registry), then the built-in
+// hand-calibrated plants.
 func Preset(name string) (Config, bool) {
+	registeredMu.RLock()
+	cfg, ok := registered[name]
+	registeredMu.RUnlock()
+	if ok {
+		return cfg, true
+	}
 	if f, ok := presets[name]; ok {
 		return f(), true
 	}
 	return Config{}, false
 }
 
-// PresetNames lists the known hand-calibrated plant names.
+// PresetNames lists the known plant names — built-ins plus the runtime
+// registry — sorted and deduplicated.
 func PresetNames() []string {
-	names := make([]string, 0, len(presets))
-	for n := range presets {
-		names = append(names, n)
+	seen := map[string]bool{}
+	var names []string
+	registeredMu.RLock()
+	for n := range registered {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
 	}
+	registeredMu.RUnlock()
+	for n := range presets {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
 	return names
 }
 

@@ -1,0 +1,101 @@
+package cooling
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cleanupRegistry removes test entries so preset state does not leak
+// across tests in the package.
+func cleanupRegistry(t *testing.T, names ...string) {
+	t.Cleanup(func() {
+		registeredMu.Lock()
+		for _, n := range names {
+			delete(registered, n)
+		}
+		registeredMu.Unlock()
+	})
+}
+
+// TestPresetJSONRoundTripFrontier is the registry's fidelity guarantee:
+// the hand-calibrated Frontier plant survives a JSON round trip through
+// the registry bit-for-bit, so deployments can ship calibrated plants as
+// data without a rebuild.
+func TestPresetJSONRoundTripFrontier(t *testing.T) {
+	data, err := json.Marshal(map[string]Config{"frontier-json": Frontier()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := RegisterPresetsFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanupRegistry(t, "frontier-json")
+	if len(names) != 1 || names[0] != "frontier-json" {
+		t.Fatalf("registered names = %v", names)
+	}
+	got, ok := Preset("frontier-json")
+	if !ok {
+		t.Fatal("registered preset not resolvable")
+	}
+	if got != Frontier() {
+		t.Fatalf("JSON round trip changed the plant:\ngot  %+v\nwant %+v", got, Frontier())
+	}
+}
+
+// TestRegisteredPresetShadowsBuiltin pins the resolution order the spec
+// pipeline relies on: a registered plant wins over a built-in of the
+// same name, so a deployment can recalibrate "frontier" as data.
+func TestRegisteredPresetShadowsBuiltin(t *testing.T) {
+	cfg := Frontier()
+	cfg.CTSupplySetC = 23.5
+	if err := RegisterPreset("frontier", cfg); err != nil {
+		t.Fatal(err)
+	}
+	cleanupRegistry(t, "frontier")
+	got, ok := Preset("frontier")
+	if !ok {
+		t.Fatal("preset vanished")
+	}
+	if got.CTSupplySetC != 23.5 {
+		t.Fatalf("registered preset did not shadow the built-in: CTSupplySetC = %v", got.CTSupplySetC)
+	}
+}
+
+// TestRegisterPresetsFromFileAndValidation covers the file loader and
+// the all-or-nothing validation: one invalid plant aborts the load with
+// nothing registered.
+func TestRegisterPresetsFromFileAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "presets.json")
+	data, err := json.Marshal(map[string]Config{"site-a": Frontier()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := RegisterPresetsFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanupRegistry(t, "site-a")
+	if len(names) != 1 || names[0] != "site-a" {
+		t.Fatalf("names = %v", names)
+	}
+
+	bad := Frontier()
+	bad.NumCDUs = 0
+	data, err = json.Marshal(map[string]Config{"ok": Frontier(), "broken": bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegisterPresetsFromJSON(data); err == nil {
+		t.Fatal("invalid preset accepted")
+	}
+	if _, ok := Preset("ok"); ok {
+		t.Fatal("partial load registered the valid half of an invalid document")
+	}
+}

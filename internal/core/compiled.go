@@ -1,6 +1,9 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -24,10 +27,10 @@ type CompiledSpec struct {
 	hash string
 
 	mu     sync.Mutex
-	models map[string]*power.Model
+	models map[string][]*power.Model // power-mode key → per-partition models
 
 	coolMu      sync.Mutex
-	coolDesigns map[string]*fmu.Design // cooling-spec hash → compiled design
+	coolDesigns map[string]*fmu.Design // resolved-plant content hash → compiled design
 	coolOrder   []string               // design keys, oldest first, for eviction
 }
 
@@ -51,7 +54,7 @@ func Compile(spec config.SystemSpec) (*CompiledSpec, error) {
 	return &CompiledSpec{
 		spec:        spec,
 		hash:        hash,
-		models:      make(map[string]*power.Model),
+		models:      make(map[string][]*power.Model),
 		coolDesigns: make(map[string]*fmu.Design),
 	}, nil
 }
@@ -63,29 +66,45 @@ func (cs *CompiledSpec) Spec() config.SystemSpec { return cs.spec }
 // (spec, scenario) result-cache key.
 func (cs *CompiledSpec) Hash() string { return cs.hash }
 
-// Model returns the partition-0 power model with the given power mode
-// applied ("" keeps the spec's own mode), building it on first use and
-// serving the shared instance afterwards.
-func (cs *CompiledSpec) Model(mode string) (*power.Model, error) {
+// Models returns every partition's power model with the given power mode
+// applied ("" keeps each partition's own mode), building them on first
+// use and serving the shared instances afterwards. The returned slice is
+// indexed like the spec's partitions and must be treated as read-only.
+func (cs *CompiledSpec) Models(mode string) ([]*power.Model, error) {
 	key := mode
-	if key == "" {
-		key = cs.spec.Partitions[0].Power.Mode
+	if key != "" {
+		// An explicit mode that matches every partition's own mode is the
+		// spec's default spelled out — share the default build.
+		same := true
+		for i := range cs.spec.Partitions {
+			if cs.spec.Partitions[i].Power.Mode != mode {
+				same = false
+				break
+			}
+		}
+		if same {
+			key = ""
+		}
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if m, ok := cs.models[key]; ok {
-		return m, nil
+	if ms, ok := cs.models[key]; ok {
+		return ms, nil
 	}
-	part := cs.spec.Partitions[0]
-	if mode != "" {
-		part.Power.Mode = mode
+	ms := make([]*power.Model, len(cs.spec.Partitions))
+	for i := range cs.spec.Partitions {
+		part := cs.spec.Partitions[i]
+		if mode != "" {
+			part.Power.Mode = mode
+		}
+		m, err := part.BuildModel()
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
 	}
-	m, err := part.BuildModel()
-	if err != nil {
-		return nil, err
-	}
-	cs.models[key] = m
-	return m, nil
+	cs.models[key] = ms
+	return ms, nil
 }
 
 // CoolingDesign returns the shared FMU design for the spec's own cooling
@@ -101,29 +120,39 @@ func (cs *CompiledSpec) CoolingDesign() (*fmu.Design, error) {
 // CoolingDesignFor returns the shared FMU design for an arbitrary
 // cooling spec — the path scenarios take when they override the system's
 // plant, letting one sweep mix cooling variants against the same compute
-// spec. Designs are compiled once per distinct cooling spec and served
+// spec. The spec is resolved to a concrete plant first (one registry
+// read) and the cache keyed by the resolved content, so a preset
+// re-registered concurrently can never cache a design under another
+// plant's hash; designs are compiled once per distinct plant and served
 // from a bounded cache.
 func (cs *CompiledSpec) CoolingDesignFor(spec config.CoolingSpec) (*fmu.Design, error) {
-	key, err := spec.Hash()
+	cfg, err := autocsm.Compile(spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: cooling design: %w", err)
 	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: cooling design: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	key := hex.EncodeToString(sum[:])
 	cs.coolMu.Lock()
 	defer cs.coolMu.Unlock()
 	if d, ok := cs.coolDesigns[key]; ok {
 		return d, nil
 	}
-	cfg, err := autocsm.Compile(spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: cooling design: %w", err)
+	// The simulation couples one heat input per topology CDU across all
+	// partitions (each partition claims a contiguous loop range of the
+	// shared plant), so the plant must expose at least the summed count;
+	// catching it here gives submitters a clear error instead of a
+	// missing-FMU-variable failure deep inside a worker.
+	topo := 0
+	for i := range cs.spec.Partitions {
+		topo += cs.spec.Partitions[i].NumCDUs
 	}
-	// The simulation couples one heat input per topology CDU, so the
-	// plant must expose at least that many loops; catching it here gives
-	// submitters a clear error instead of a missing-FMU-variable failure
-	// deep inside a worker.
-	if topo := cs.spec.Partitions[0].NumCDUs; cfg.NumCDUs < topo {
-		return nil, fmt.Errorf("core: cooling design: plant has %d CDU loops but partition %q couples %d",
-			cfg.NumCDUs, cs.spec.Partitions[0].Name, topo)
+	if cfg.NumCDUs < topo {
+		return nil, fmt.Errorf("core: cooling design: plant has %d CDU loops but the spec's %d partition(s) couple %d",
+			cfg.NumCDUs, len(cs.spec.Partitions), topo)
 	}
 	d, err := fmu.NewDesign(cfg)
 	if err != nil {

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// frontierCooledTelemetryGolden is the SHA-256 of the NDJSON telemetry
+// stream of the deterministic Frontier scenario below, captured on the
+// single-partition engine before the multi-partition refactor. The
+// refactored pipeline must reproduce the stream byte for byte: the
+// Frontier spec has one partition, so the partition dimension must be
+// invisible in its telemetry.
+const frontierCooledTelemetryGolden = "19a49abd8e88dda25d7fbd539599d2f05b3e518396e3bff811ea8c1fa7678207"
+
+// TestFrontierCooledTelemetryBitGolden pins the Frontier single-partition
+// telemetry bit-identical across the multi-partition refactor (ISSUE 5
+// satellite): same spec, same scenario, same bytes.
+func TestFrontierCooledTelemetryBitGolden(t *testing.T) {
+	tw, err := NewFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tw.Run(Scenario{
+		Workload: WorkloadHPL, BenchmarkWallSec: 3 * 3600,
+		HorizonSec: 2 * 3600, TickSec: 15,
+		Cooling: true, WetBulbC: 18,
+		TelemetryTo: &buf, NoExport: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != frontierCooledTelemetryGolden {
+		t.Fatalf("Frontier cooled telemetry stream hash = %s, want %s (stream changed across refactor)",
+			got, frontierCooledTelemetryGolden)
+	}
+}

@@ -68,7 +68,7 @@ func TestStreamedTelemetryMatchesExport(t *testing.T) {
 			len(streamed.Series), len(res.Dataset.Series))
 	}
 	for i := range streamed.Series {
-		if streamed.Series[i] != res.Dataset.Series[i] {
+		if !reflect.DeepEqual(streamed.Series[i], res.Dataset.Series[i]) {
 			t.Fatalf("series point %d diverges: stream %+v vs export %+v",
 				i, streamed.Series[i], res.Dataset.Series[i])
 		}
@@ -176,28 +176,28 @@ func TestCompiledSpecSharesModelsAcrossModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base1, err := cs.Model("")
+	base1, err := cs.Models("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	base2, err := cs.Model("ac-baseline")
+	base2, err := cs.Models("ac-baseline")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base1 != base2 {
+	if base1[0] != base2[0] {
 		t.Error("default mode and explicit ac-baseline should share one model")
 	}
-	dc, err := cs.Model("dc380")
+	dc, err := cs.Models("dc380")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dc == base1 {
+	if dc[0] == base1[0] {
 		t.Error("dc380 must be a distinct model")
 	}
-	if dc2, _ := cs.Model("dc380"); dc2 != dc {
+	if dc2, _ := cs.Models("dc380"); dc2[0] != dc[0] {
 		t.Error("dc380 model not cached")
 	}
-	if _, err := cs.Model("warp-drive"); err == nil {
+	if _, err := cs.Models("warp-drive"); err == nil {
 		t.Error("unknown mode should fail")
 	}
 	d1, err := cs.CoolingDesign()

@@ -42,6 +42,25 @@ const (
 	WorkloadReplay WorkloadKind = "replay"
 )
 
+// PartitionScenario configures one partition's workload in a
+// multi-partition scenario (§V's Setonix-style systems): which jobs the
+// partition runs and how they are generated. The zero value (empty
+// Workload) leaves the partition idle. JSON tags double as the HTTP wire
+// schema and the canonical hash encoding.
+type PartitionScenario struct {
+	// Workload selects the partition's job source ("" = idle). Replay is
+	// not valid per-partition (a dataset describes one machine).
+	Workload WorkloadKind `json:"workload"`
+	// Generator configures synthetic workloads (zero value → defaults
+	// sized to the partition).
+	Generator job.GeneratorConfig `json:"generator"`
+	// BenchmarkWallSec is the duration of HPL/OpenMxP jobs (default 2 h).
+	BenchmarkWallSec float64 `json:"benchmark_wall_sec,omitempty"`
+	// MaxJobs caps the partition's job count (0 = unlimited) — the
+	// per-partition job-count knob for heterogeneous sweeps.
+	MaxJobs int `json:"max_jobs,omitempty"`
+}
+
 // Scenario describes one what-if run.
 type Scenario struct {
 	Name     string
@@ -66,6 +85,13 @@ type Scenario struct {
 	PowerMode string
 	// Generator configures synthetic workloads (zero value → defaults).
 	Generator job.GeneratorConfig
+	// Partitions configures each partition's workload individually,
+	// indexed like the spec's partitions (all must be listed). When
+	// empty, the scenario-level Workload/Generator/BenchmarkWallSec are
+	// replicated onto every partition — on a single-partition spec that
+	// is exactly the pre-partition behavior, and a replay workload runs
+	// on the first partition only (a dataset describes one machine).
+	Partitions []PartitionScenario
 	// Dataset supplies jobs for replay scenarios.
 	Dataset *telemetry.Dataset
 	// BenchmarkWallSec is the duration of HPL/OpenMxP jobs (default 2 h).
@@ -120,7 +146,6 @@ type Twin struct {
 	// with the simulation they label.
 	mu         sync.Mutex
 	sim        *raps.Simulation
-	lastModel  *power.Model
 	lastDesign *fmu.Design // cooling design of the most recent cooled run
 }
 
@@ -128,9 +153,9 @@ type Twin struct {
 // called once the simulation has stopped ticking (completed, failed, or
 // aborted), so viz readers never observe a live simulation's mutating
 // internals.
-func (tw *Twin) setRun(sim *raps.Simulation, model *power.Model, design *fmu.Design) {
+func (tw *Twin) setRun(sim *raps.Simulation, design *fmu.Design) {
 	tw.mu.Lock()
-	tw.sim, tw.lastModel, tw.lastDesign = sim, model, design
+	tw.sim, tw.lastDesign = sim, design
 	tw.mu.Unlock()
 }
 
@@ -157,9 +182,9 @@ func NewFromSpec(spec config.SystemSpec) (*Twin, error) {
 	return cs.Twin(), nil
 }
 
-// buildModel returns the partition-0 power model with the scenario's
+// buildModels returns every partition's power model with the scenario's
 // power mode applied, served from the compiled spec's shared cache.
-func (tw *Twin) buildModel(mode string) (*power.Model, error) {
+func (tw *Twin) buildModels(mode string) ([]*power.Model, error) {
 	if tw.compiled == nil {
 		// Twin built as a literal rather than through NewFromSpec /
 		// CompiledSpec.Twin: compile its spec on first use.
@@ -169,16 +194,56 @@ func (tw *Twin) buildModel(mode string) (*power.Model, error) {
 		}
 		tw.compiled = cs
 	}
-	return tw.compiled.Model(mode)
+	return tw.compiled.Models(mode)
 }
 
-// buildJobs realizes the scenario workload.
-func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) {
-	wall := sc.BenchmarkWallSec
+// partIDStride separates the job-ID namespaces of different partitions
+// in merged telemetry: partition i's generated jobs are offset by
+// i·partIDStride (partition 0 keeps its IDs, so single-partition runs
+// are unchanged).
+const partIDStride = 10_000_000
+
+// partitionWorkloads resolves the scenario to one workload config per
+// spec partition. An explicit Scenario.Partitions list must cover every
+// partition; an empty list replicates the scenario-level workload onto
+// all of them (replay runs on the first partition only — a dataset
+// describes one machine's job stream).
+func (tw *Twin) partitionWorkloads(sc *Scenario) ([]PartitionScenario, error) {
+	n := len(tw.Spec.Partitions)
+	if len(sc.Partitions) == 0 {
+		ps := make([]PartitionScenario, n)
+		for i := range ps {
+			ps[i] = PartitionScenario{
+				Workload:         sc.Workload,
+				Generator:        sc.Generator,
+				BenchmarkWallSec: sc.BenchmarkWallSec,
+			}
+			if sc.Workload == WorkloadReplay && i > 0 {
+				ps[i].Workload = WorkloadIdle
+			}
+		}
+		return ps, nil
+	}
+	if len(sc.Partitions) != n {
+		return nil, fmt.Errorf("core: scenario lists %d partition workloads but spec %q has %d partitions",
+			len(sc.Partitions), tw.Spec.Name, n)
+	}
+	for i := range sc.Partitions {
+		if sc.Partitions[i].Workload == WorkloadReplay {
+			return nil, fmt.Errorf("core: partition %d: replay is not a per-partition workload (set Scenario.Workload)", i)
+		}
+	}
+	return sc.Partitions, nil
+}
+
+// buildJobs realizes one partition's workload.
+func (tw *Twin) buildJobs(sc *Scenario, ps *PartitionScenario, model *power.Model) ([]*job.Job, error) {
+	wall := ps.BenchmarkWallSec
 	if wall <= 0 {
 		wall = 2 * 3600
 	}
-	switch sc.Workload {
+	var jobs []*job.Job
+	switch ps.Workload {
 	case WorkloadIdle, "":
 		return nil, nil
 	case WorkloadPeak:
@@ -186,13 +251,13 @@ func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) 
 		if err := j.ApplyFingerprint(job.FPMax); err != nil {
 			return nil, err
 		}
-		return []*job.Job{j}, nil
+		jobs = []*job.Job{j}
 	case WorkloadHPL:
-		return []*job.Job{job.NewHPL(1, 0, wall)}, nil
+		jobs = []*job.Job{job.NewHPL(1, 0, wall)}
 	case WorkloadOpenMxP:
-		return []*job.Job{job.NewOpenMxP(1, 0, wall)}, nil
+		jobs = []*job.Job{job.NewOpenMxP(1, 0, wall)}
 	case WorkloadSynthetic:
-		cfg := sc.Generator
+		cfg := ps.Generator
 		if cfg.ArrivalMeanSec < 0 {
 			// A non-positive mean would stall the Poisson clock; reject
 			// rather than looping (this path is reachable from the sweep
@@ -201,6 +266,14 @@ func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) 
 		}
 		if cfg.ArrivalMeanSec == 0 {
 			cfg = job.DefaultGeneratorConfig()
+		}
+		// Clamp the node cap to the partition: an uncapped or
+		// over-sized generator (MaxNodes 0 or above the partition's node
+		// count — e.g. the Frontier-calibrated defaults against a small
+		// partition) would emit jobs no scheduler can ever place, and
+		// one infeasible job head-of-line blocks FCFS for the rest of
+		// the run.
+		if cfg.MaxNodes <= 0 || cfg.MaxNodes > model.Topo.NodesTotal {
 			cfg.MaxNodes = model.Topo.NodesTotal
 		}
 		// Runaway bound, also HTTP-reachable: a near-zero mean would
@@ -211,15 +284,48 @@ func (tw *Twin) buildJobs(sc *Scenario, model *power.Model) ([]*job.Job, error) 
 				"core: horizon %.0fs at arrival mean %.3gs implies ~%.2g jobs (cap %d); raise arrival_mean_sec",
 				sc.HorizonSec, cfg.ArrivalMeanSec, expected, maxSyntheticJobs)
 		}
-		return job.NewGenerator(cfg).GenerateHorizon(sc.HorizonSec), nil
+		jobs = job.NewGenerator(cfg).GenerateHorizon(sc.HorizonSec)
 	case WorkloadReplay:
 		if sc.Dataset == nil {
 			return nil, fmt.Errorf("core: replay scenario needs a dataset")
 		}
-		return raps.JobsFromDataset(sc.Dataset, model.Spec), nil
+		jobs = raps.JobsFromDataset(sc.Dataset, model.Spec)
 	default:
-		return nil, fmt.Errorf("core: unknown workload %q", sc.Workload)
+		return nil, fmt.Errorf("core: unknown workload %q", ps.Workload)
 	}
+	if ps.MaxJobs > 0 && len(jobs) > ps.MaxJobs {
+		jobs = jobs[:ps.MaxJobs]
+	}
+	return jobs, nil
+}
+
+// buildPartitions assembles the raps partitions for a scenario: one per
+// spec partition, each with its own power model and realized job stream.
+// Generated job IDs of partition i > 0 are offset into their own
+// namespace so merged telemetry stays unambiguous.
+func (tw *Twin) buildPartitions(sc *Scenario, models []*power.Model) ([]raps.Partition, error) {
+	workloads, err := tw.partitionWorkloads(sc)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]raps.Partition, len(models))
+	for i := range models {
+		jobs, err := tw.buildJobs(sc, &workloads[i], models[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %q: %w", tw.Spec.Partitions[i].Name, err)
+		}
+		if i > 0 {
+			for _, j := range jobs {
+				j.ID += i * partIDStride
+			}
+		}
+		parts[i] = raps.Partition{
+			Name:  tw.Spec.Partitions[i].Name,
+			Model: models[i],
+			Jobs:  jobs,
+		}
+	}
+	return parts, nil
 }
 
 // Run executes a scenario to completion and returns its result.
@@ -240,11 +346,11 @@ func (tw *Twin) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		return nil, fmt.Errorf("core: scenario horizon must be positive")
 	}
 	start := time.Now()
-	model, err := tw.buildModel(sc.PowerMode)
+	models, err := tw.buildModels(sc.PowerMode)
 	if err != nil {
 		return nil, err
 	}
-	jobs, err := tw.buildJobs(&sc, model)
+	parts, err := tw.buildPartitions(&sc, models)
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +404,7 @@ func (tw *Twin) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		rcfg.OnSample = func(smp raps.Sample) {
 			p := telemetry.SeriesPoint{
 				TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: streamWB(smp.TimeSec),
+				PartPowerW: smp.PartPowerW,
 			}
 			stream.Series(p)
 			if capture {
@@ -306,7 +413,7 @@ func (tw *Twin) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 	}
 
-	sim, err := raps.New(rcfg, model, jobs)
+	sim, err := raps.NewMulti(rcfg, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +421,7 @@ func (tw *Twin) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	// Publish after the tick loop stops (even on error/abort): the
 	// dashboard serves the most recent settled run, and partial state of
 	// an aborted run stays inspectable via Simulation().
-	tw.setRun(sim, model, rcfg.CoolingDesign)
+	tw.setRun(sim, rcfg.CoolingDesign)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +493,7 @@ func (tw *Twin) Status() viz.Status {
 		return viz.Status{}
 	}
 	last := hist[len(hist)-1]
-	return viz.Status{
+	st := viz.Status{
 		TimeSec:     last.TimeSec,
 		PowerMW:     last.PowerW / 1e6,
 		LossMW:      last.LossW / 1e6,
@@ -395,6 +502,21 @@ func (tw *Twin) Status() viz.Status {
 		JobsRunning: last.JobsRunning,
 		JobsPending: last.JobsPending,
 	}
+	st.PartPowerMW = partMW(last.PartPowerW)
+	return st
+}
+
+// partMW converts a per-partition watt vector to MW (nil in → nil out,
+// keeping single-partition JSON documents unchanged).
+func partMW(partW []float64) []float64 {
+	if len(partW) == 0 {
+		return nil
+	}
+	out := make([]float64, len(partW))
+	for i, w := range partW {
+		out[i] = w / 1e6
+	}
+	return out
 }
 
 // Series implements viz.Source.
@@ -411,6 +533,7 @@ func (tw *Twin) Series() []viz.SeriesPoint {
 			PowerMW: smp.PowerW / 1e6,
 			PUE:     smp.PUE,
 			Util:    smp.Utilization,
+			PartMW:  partMW(smp.PartPowerW),
 		}
 	}
 	return out

@@ -1,0 +1,64 @@
+package httpmw
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+}
+
+// TestRequireBearer covers the auth middleware's contract: empty token
+// pass-through, 401 with a WWW-Authenticate challenge for missing/wrong
+// credentials, 200 for the exact token.
+func TestRequireBearer(t *testing.T) {
+	open := httptest.NewServer(RequireBearer("", okHandler()))
+	defer open.Close()
+	resp, err := http.Get(open.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty token must disable auth, got %d", resp.StatusCode)
+	}
+
+	srv := httptest.NewServer(RequireBearer("s3cret", okHandler()))
+	defer srv.Close()
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"missing", "", http.StatusUnauthorized},
+		{"wrong scheme", "Basic s3cret", http.StatusUnauthorized},
+		{"wrong token", "Bearer nope", http.StatusUnauthorized},
+		{"prefix token", "Bearer s3cre", http.StatusUnauthorized},
+		{"correct", "Bearer s3cret", http.StatusOK},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.header != "" {
+			req.Header.Set("Authorization", tc.header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		if tc.want == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("%s: 401 without WWW-Authenticate challenge", tc.name)
+		}
+	}
+}

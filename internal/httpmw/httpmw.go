@@ -8,8 +8,10 @@
 package httpmw
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -66,6 +68,31 @@ func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(m.Snapshot())
+	})
+}
+
+// RequireBearer enforces an Authorization: Bearer token in front of h —
+// the opt-in auth layer for twin deployments exposed beyond localhost
+// (enable with `exadigit serve -token` or EXADIGIT_TOKEN). An empty
+// token disables enforcement and returns h unchanged, so unauthenticated
+// development setups keep working. Comparison is constant-time; a
+// missing or wrong token is a 401 JSON envelope with a WWW-Authenticate
+// challenge.
+func RequireBearer(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="exadigit"`)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "unauthorized"})
+			return
+		}
+		h.ServeHTTP(w, r)
 	})
 }
 

@@ -1,6 +1,5 @@
 package ode
 
-
 // Dormand–Prince 5(4) coefficients (the RK45 pair behind MATLAB's ode45
 // and SciPy's default solver). Seven stages; the 5th-order solution
 // propagates, the embedded 4th-order solution provides the error

@@ -21,30 +21,33 @@ type JobEnergy struct {
 	CostUSD float64
 }
 
-// trackJobEnergy accumulates per-job node-level energy each tick; called
-// from Tick with the current utilizations already applied. Under the
-// event engine the per-node power is already cached per job for the
-// current trace quantum, so the Eq. 3 re-evaluation is skipped.
-func (s *Simulation) trackJobEnergy(dt float64) {
-	if s.jobEnergyJ == nil {
-		s.jobEnergyJ = make(map[int]float64)
+// trackJobEnergy accumulates one partition's per-job node-level energy
+// each tick; called from Tick with the current utilizations already
+// applied. Under the event engine the per-node power is already cached
+// per job for the current trace quantum, so the Eq. 3 re-evaluation is
+// skipped.
+func (s *Simulation) trackJobEnergy(pt *partSim, dt float64) {
+	if pt.jobEnergyJ == nil {
+		pt.jobEnergyJ = make(map[int]float64)
 	}
-	for _, r := range s.sch.Running() {
+	for _, r := range pt.sch.Running() {
 		var p float64
-		if rs, ok := s.runStates[r.ID]; ok {
+		if rs, ok := pt.runStates[r.ID]; ok {
 			p = rs.nodeP * float64(r.NodeCount)
 		} else {
 			cu, gu := r.UtilAt(s.now - r.StartTime)
-			p = s.model.Spec.NodePower(cu, gu) * float64(r.NodeCount)
+			p = pt.model.Spec.NodePower(cu, gu) * float64(r.NodeCount)
 		}
-		s.jobEnergyJ[r.ID] += p * dt
+		pt.jobEnergyJ[r.ID] += p * dt
 	}
 }
 
-// JobEnergyReport returns every started job's attributed energy, sorted
-// by facility share descending. The facility multiplier is the run-wide
-// total energy divided by node-output energy, so per-job facility shares
-// sum to the total minus the idle floor.
+// JobEnergyReport returns every started job's attributed energy across
+// all partitions, sorted by facility share descending. The facility
+// multiplier is the run-wide total energy divided by node-output energy,
+// so per-job facility shares sum to the total minus the idle floor. Job
+// IDs are per-partition namespaces; the twin layer offsets generated IDs
+// so multi-partition reports stay unambiguous.
 func (s *Simulation) JobEnergyReport() []JobEnergy {
 	mult := 1.0
 	if s.nodeOutJ > 0 {
@@ -57,29 +60,35 @@ func (s *Simulation) JobEnergyReport() []JobEnergy {
 			ef = s.cfg.EmissionIntensity / 2204.6 / eta
 		}
 	}
-	byID := make(map[int]*JobEnergy)
-	add := func(id int, name string, nodes int) {
-		if joules, ok := s.jobEnergyJ[id]; ok {
-			mwh := joules / 3.6e9
-			fac := mwh * mult
-			byID[id] = &JobEnergy{
-				JobID: id, Name: name, NodeCount: nodes,
-				NodeEnergyMWh:     mwh,
-				FacilityEnergyMWh: fac,
-				CO2Tons:           fac * ef,
-				CostUSD:           fac * s.cfg.ElectricityUSDPerMWh,
+	var out []JobEnergy
+	for _, pt := range s.parts {
+		// Duplicate job IDs within a partition (replay datasets carry
+		// IDs verbatim) share one energy bucket; emit it once, not once
+		// per instance, so report rows still sum to the run total.
+		seen := make(map[int]bool, len(pt.jobEnergyJ))
+		add := func(id int, name string, nodes int) {
+			if seen[id] {
+				return
+			}
+			if joules, ok := pt.jobEnergyJ[id]; ok {
+				seen[id] = true
+				mwh := joules / 3.6e9
+				fac := mwh * mult
+				out = append(out, JobEnergy{
+					JobID: id, Name: name, NodeCount: nodes,
+					NodeEnergyMWh:     mwh,
+					FacilityEnergyMWh: fac,
+					CO2Tons:           fac * ef,
+					CostUSD:           fac * s.cfg.ElectricityUSDPerMWh,
+				})
 			}
 		}
-	}
-	for _, j := range s.completed {
-		add(j.ID, j.Name, j.NodeCount)
-	}
-	for _, j := range s.sch.Running() {
-		add(j.ID, j.Name, j.NodeCount)
-	}
-	out := make([]JobEnergy, 0, len(byID))
-	for _, je := range byID {
-		out = append(out, *je)
+		for _, j := range pt.completed {
+			add(j.ID, j.Name, j.NodeCount)
+		}
+		for _, j := range pt.sch.Running() {
+			add(j.ID, j.Name, j.NodeCount)
+		}
 	}
 	sort.Slice(out, func(i, k int) bool {
 		if out[i].FacilityEnergyMWh != out[k].FacilityEnergyMWh {

@@ -8,13 +8,23 @@
 // jobs completed, throughput, average power, energy, losses, CO₂
 // emissions (Eq. 6), and electricity cost.
 //
+// A Simulation couples one or more partitions (§V's multi-partition
+// generalization, Setonix-style): each partition owns its scheduler, job
+// stream, and power engine, while all partitions share the simulation
+// clock and feed their heat into the single cooling plant — partition
+// p's CDU loops occupy the contiguous index range after partition p-1's
+// in the plant coupling. Single-partition callers use New; NewMulti
+// takes the explicit partition list.
+//
 // Utilization is piecewise-constant — it changes only when a job starts,
 // ends, or crosses a 15 s trace quantum — so the default EngineEvent
 // evaluates power incrementally (power.Incremental dirty-chassis deltas)
 // and Run integrates the accumulators analytically across event-free tick
-// gaps instead of sweeping all nodes every tick. EngineDense keeps the
-// original dense sweep as the reference implementation; equivalence is
-// pinned by TestEventEngineMatchesDense.
+// gaps. A gap is only skippable when every partition is quiet: any
+// partition's arrival, completion, quantum crossing, or pinned start is
+// an event for the whole machine. EngineDense keeps the original dense
+// sweep as the reference implementation; equivalence is pinned by
+// TestEventEngineMatchesDense.
 package raps
 
 import (
@@ -92,7 +102,9 @@ type Config struct {
 	// series.
 	NoHistory bool
 	// RecordCDUHeat stores the per-CDU heat vector in each history
-	// sample (needed by the Fig. 7 cooling-validation experiment).
+	// sample (needed by the Fig. 7 cooling-validation experiment). In a
+	// multi-partition run the vector spans all partitions' CDUs in
+	// partition order.
 	RecordCDUHeat bool
 	// OnSample, when set, is invoked synchronously for every recorded
 	// history sample as it is taken — the hook streaming telemetry sinks
@@ -116,6 +128,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// Partition couples one partition's power model and job stream into a
+// simulation — the unit of §V's multi-partition generalization. The
+// Model must not be mutated after NewMulti (the event engine caches its
+// parameters); Jobs may arrive in any order.
+type Partition struct {
+	// Name labels the partition in reports and telemetry ("cpu",
+	// "gpu", ...); empty names are allowed for single-partition runs.
+	Name string
+	// Model is the partition's power model; its topology sizes the
+	// partition's scheduler and its CDU count claims the next contiguous
+	// range of the shared plant's loops.
+	Model *power.Model
+	// Jobs is the partition's workload.
+	Jobs []*job.Job
+}
+
 // Sample is one entry of the recorded history (Fig. 9's plotted series).
 type Sample struct {
 	TimeSec       float64
@@ -130,9 +158,24 @@ type Sample struct {
 	SecSupplyMaxC float64 // hottest CDU secondary supply; 0 if disabled
 	JobsRunning   int
 	JobsPending   int
-	// CDUHeatW is the per-CDU heat load fed to the cooling model; only
-	// populated when Config.RecordCDUHeat is set.
+	// PartPowerW is the per-partition input power, indexed like the
+	// simulation's partitions; nil on single-partition runs (whose
+	// telemetry predates the partition dimension and stays bit-stable).
+	PartPowerW []float64
+	// CDUHeatW is the per-CDU heat load fed to the cooling model (all
+	// partitions, in partition order); only populated when
+	// Config.RecordCDUHeat is set.
 	CDUHeatW []float64
+}
+
+// PartitionReport is one partition's share of a multi-partition run.
+type PartitionReport struct {
+	Name           string  `json:"name"`
+	JobsCompleted  int     `json:"jobs_completed"`
+	AvgPowerMW     float64 `json:"avg_power_mw"`
+	MaxPowerMW     float64 `json:"max_power_mw"`
+	EnergyMWh      float64 `json:"energy_mwh"`
+	AvgUtilization float64 `json:"avg_utilization"`
 }
 
 // Report is the §III-B5 end-of-run summary.
@@ -156,6 +199,9 @@ type Report struct {
 	AvgArrivalSec  float64
 	AvgNodesPerJob float64
 	AvgRuntimeMin  float64
+	// Partitions breaks the run down per partition; nil on
+	// single-partition runs (keeping their report JSON unchanged).
+	Partitions []PartitionReport `json:"Partitions,omitempty"`
 }
 
 // runState caches the event-engine view of one running job: its current
@@ -183,11 +229,49 @@ func (rs *runState) freezeAt(idx int) bool {
 	return idx >= rs.constFrom || rs.j.TraceFrozenAt(idx)
 }
 
+// partSim is the per-partition simulation state: scheduler, job stream,
+// power engine, and the partition's slice of the shared plant coupling.
+type partSim struct {
+	name  string
+	model *power.Model
+	sch   *sched.Scheduler
+
+	pending []*job.Job // future arrivals, sorted by submit time
+	nextArr int
+
+	// Dense-engine state: per-node utilization arrays rebuilt each tick.
+	nodeCPU []float64
+	nodeGPU []float64
+
+	// Event-engine state.
+	inc       *power.Incremental
+	runStates map[int]*runState
+
+	sp        *power.SystemPower
+	completed []*job.Job
+
+	// cduOff is the partition's first CDU index in the shared plant
+	// coupling (partitions occupy contiguous loop ranges in order).
+	cduOff int
+
+	jobEnergyJ map[int]float64
+
+	// Per-partition report accumulators (the aggregate accumulators on
+	// Simulation remain the authoritative, bit-stable report inputs).
+	energyJ   float64
+	utilSum   float64
+	maxPowerW float64
+}
+
+// util returns the partition's node utilization.
+func (pt *partSim) util() float64 {
+	return float64(pt.sch.Pool.InUse()) / float64(pt.sch.Pool.Total())
+}
+
 // Simulation is one RAPS run in progress.
 type Simulation struct {
 	cfg    Config
-	model  *power.Model
-	sch    *sched.Scheduler
+	parts  []*partSim
 	fmuGet []fmu.ValueRef
 
 	cool     *fmu.Instance
@@ -205,24 +289,17 @@ type Simulation struct {
 	coolVals []float64
 	fmuOut   []float64
 
-	pending []*job.Job // future arrivals, sorted by submit time
-	nextArr int
-
-	// Dense-engine state: per-node utilization arrays rebuilt each tick.
-	nodeCPU []float64
-	nodeGPU []float64
-
-	// Event-engine state.
-	inc       *power.Incremental
-	runStates map[int]*runState
-
 	now     float64
-	sp      *power.SystemPower
 	history []Sample
 
-	// Cached per-CDU heat derived from sp; invalidated whenever power
-	// changes so history sampling and cooling coupling never recompute
-	// (or reallocate) it redundantly.
+	// totalCDUs is the summed CDU count across partitions — the width of
+	// the shared plant coupling.
+	totalCDUs int
+
+	// Cached per-CDU heat (all partitions, partition order) derived from
+	// the partitions' power state; invalidated whenever power changes so
+	// history sampling and cooling coupling never recompute (or
+	// reallocate) it redundantly.
 	heatBuf   []float64
 	heatSum   float64
 	heatValid bool
@@ -240,23 +317,33 @@ type Simulation struct {
 	maxPowerW    float64
 	minPowerW    float64
 	maxLossW     float64
-	completed    []*job.Job
 	lastHistoryT float64
-	jobEnergyJ   map[int]float64
 	// weightedEIJ integrates P·EI·dt for time-varying-EI carbon
 	// accounting (J·lb/MWh).
 	weightedEIJ float64
 }
 
-// New builds a simulation over the given power model. jobs may arrive in
-// any order; they are sorted by submit time internally. The model must
-// not be mutated after New — the event engine caches its parameters.
+// New builds a single-partition simulation over the given power model —
+// the Frontier-shaped entry point. jobs may arrive in any order; they
+// are sorted by submit time internally. The model must not be mutated
+// after New — the event engine caches its parameters.
 func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
+	return NewMulti(cfg, []Partition{{Model: model, Jobs: jobs}})
+}
+
+// NewMulti builds a simulation over one or more partitions sharing the
+// simulation clock and the cooling plant. Partition p's CDU loops couple
+// to the plant's loops starting where partition p-1's end, so the plant
+// must expose at least the summed CDU count.
+func NewMulti(cfg Config, partitions []Partition) (*Simulation, error) {
 	if cfg.TickSec <= 0 {
 		return nil, fmt.Errorf("raps: TickSec must be positive")
 	}
 	if cfg.Engine != EngineEvent && cfg.Engine != EngineDense {
 		return nil, fmt.Errorf("raps: unknown engine %d", cfg.Engine)
+	}
+	if len(partitions) == 0 {
+		return nil, fmt.Errorf("raps: at least one partition required")
 	}
 	if cfg.CoolingDtSec <= 0 {
 		cfg.CoolingDtSec = 15
@@ -274,26 +361,38 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := model.Topo.Validate(); err != nil {
-		return nil, err
-	}
 	s := &Simulation{
 		cfg:       cfg,
-		model:     model,
-		sch:       sched.NewScheduler(model.Topo.NodesTotal, policy),
 		minPowerW: math.Inf(1),
 	}
-	if cfg.Engine == EngineDense {
-		s.nodeCPU = make([]float64, model.Topo.NodesTotal)
-		s.nodeGPU = make([]float64, model.Topo.NodesTotal)
-		s.sp = &power.SystemPower{}
-	} else {
-		s.inc = model.NewIncremental()
-		s.sp = s.inc.Power()
-		s.runStates = make(map[int]*runState)
+	for i := range partitions {
+		p := &partitions[i]
+		if p.Model == nil {
+			return nil, fmt.Errorf("raps: partition %d has no power model", i)
+		}
+		if err := p.Model.Topo.Validate(); err != nil {
+			return nil, err
+		}
+		pt := &partSim{
+			name:   p.Name,
+			model:  p.Model,
+			sch:    sched.NewScheduler(p.Model.Topo.NodesTotal, policy),
+			cduOff: s.totalCDUs,
+		}
+		if cfg.Engine == EngineDense {
+			pt.nodeCPU = make([]float64, p.Model.Topo.NodesTotal)
+			pt.nodeGPU = make([]float64, p.Model.Topo.NodesTotal)
+			pt.sp = &power.SystemPower{}
+		} else {
+			pt.inc = p.Model.NewIncremental()
+			pt.sp = pt.inc.Power()
+			pt.runStates = make(map[int]*runState)
+		}
+		pt.pending = append(pt.pending, p.Jobs...)
+		sortJobsBySubmit(pt.pending)
+		s.totalCDUs += p.Model.Topo.NumCDUs
+		s.parts = append(s.parts, pt)
 	}
-	s.pending = append(s.pending, jobs...)
-	sortJobsBySubmit(s.pending)
 
 	if cfg.EnableCooling {
 		design := cfg.CoolingDesign
@@ -311,7 +410,7 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 			return nil, err
 		}
 		d := inst.Description()
-		for i := 1; i <= model.Topo.NumCDUs; i++ {
+		for i := 1; i <= s.totalCDUs; i++ {
 			r, err := d.RefByName(fmt.Sprintf("cdu[%d].heat_w", i))
 			if err != nil {
 				return nil, err
@@ -333,7 +432,7 @@ func New(cfg Config, model *power.Model, jobs []*job.Job) (*Simulation, error) {
 			return nil, err
 		}
 		s.fmuGet = []fmu.ValueRef{ret, sup}
-		for i := 1; i <= model.Topo.NumCDUs; i++ {
+		for i := 1; i <= s.totalCDUs; i++ {
 			r, err := d.RefByName(fmt.Sprintf("cdu[%d].secondary_supply_temp_c", i))
 			if err != nil {
 				return nil, err
@@ -375,10 +474,44 @@ func (s *Simulation) QuietTicks() int { return s.quietTicks }
 // History returns the recorded series.
 func (s *Simulation) History() []Sample { return s.history }
 
+// Partitions returns how many partitions the simulation couples.
+func (s *Simulation) Partitions() int { return len(s.parts) }
+
+// PartitionNames returns the partition labels in coupling order.
+func (s *Simulation) PartitionNames() []string {
+	names := make([]string, len(s.parts))
+	for i, pt := range s.parts {
+		names[i] = pt.name
+	}
+	return names
+}
+
+// PartitionPowerW returns the current per-partition input power, indexed
+// like the partitions.
+func (s *Simulation) PartitionPowerW() []float64 {
+	out := make([]float64, len(s.parts))
+	for i, pt := range s.parts {
+		out[i] = pt.sp.TotalW
+	}
+	return out
+}
+
 // PerRackPowerW returns the most recent per-rack input power (the
-// §III-A heat-map channel). The slice is live simulation state; callers
-// must copy it if they retain it.
-func (s *Simulation) PerRackPowerW() []float64 { return s.sp.PerRackInputW }
+// §III-A heat-map channel), concatenated across partitions in partition
+// order. On a single partition the slice is live simulation state
+// (callers must copy it if they retain it); the multi-partition
+// concatenation is freshly allocated per call, so concurrent readers of
+// a settled run stay race-free.
+func (s *Simulation) PerRackPowerW() []float64 {
+	if len(s.parts) == 1 {
+		return s.parts[0].sp.PerRackInputW
+	}
+	var out []float64
+	for _, pt := range s.parts {
+		out = append(out, pt.sp.PerRackInputW...)
+	}
+	return out
+}
 
 // CoolingPlant exposes the coupled plant (nil when cooling is disabled).
 func (s *Simulation) CoolingPlant() *cooling.Plant {
@@ -401,8 +534,9 @@ func (s *Simulation) CoolingSolverStats() cooling.SolverStats {
 // Run advances the simulation for the given horizon (Algorithm 1's
 // RUNSIMULATION) and returns the end-of-run report. Under EngineEvent,
 // tick gaps containing no event — no arrival, completion, trace-quantum
-// crossing, pinned replay start, or cooling boundary — are integrated
-// analytically in one pass instead of being simulated tick by tick.
+// crossing, pinned replay start, or cooling boundary on any partition —
+// are integrated analytically in one pass instead of being simulated
+// tick by tick.
 func (s *Simulation) Run(horizonSec float64) (*Report, error) {
 	return s.RunContext(context.Background(), horizonSec)
 }
@@ -436,34 +570,39 @@ func (s *Simulation) RunContext(ctx context.Context, horizonSec float64) (*Repor
 	return s.ReportNow(), nil
 }
 
-// Tick advances one simulation tick (Algorithm 1's TICK).
+// Tick advances one simulation tick (Algorithm 1's TICK) across every
+// partition.
 func (s *Simulation) Tick() error {
 	dt := s.cfg.TickSec
 	s.now += dt
 
-	// Release completed jobs (lines 15-20); their nodes read as idle when
-	// utilizations are refreshed below.
-	done := s.sch.Reap(s.now)
-	s.completed = append(s.completed, done...)
+	for _, pt := range s.parts {
+		// Release completed jobs (lines 15-20); their nodes read as idle
+		// when utilizations are refreshed below.
+		done := pt.sch.Reap(s.now)
+		pt.completed = append(pt.completed, done...)
 
-	// Admit newly arrived jobs (line 8).
-	for s.nextArr < len(s.pending) && s.pending[s.nextArr].SubmitTime <= s.now {
-		s.sch.Submit(s.pending[s.nextArr])
-		s.nextArr++
-	}
-	// Schedule (line 9).
-	started := s.sch.Schedule(s.now)
+		// Admit newly arrived jobs (line 8).
+		for pt.nextArr < len(pt.pending) && pt.pending[pt.nextArr].SubmitTime <= s.now {
+			pt.sch.Submit(pt.pending[pt.nextArr])
+			pt.nextArr++
+		}
+		// Schedule (line 9).
+		started := pt.sch.Schedule(s.now)
 
-	// Recalculate power and apply losses (lines 21-22).
-	if s.inc != nil {
-		s.applyDeltas(done, started)
-	} else {
-		s.denseRefresh()
-		s.model.Compute(s.nodeCPU, s.nodeGPU, s.sp)
-		s.heatValid = false
+		// Recalculate power and apply losses (lines 21-22).
+		if pt.inc != nil {
+			s.applyDeltas(pt, done, started)
+		} else {
+			pt.denseRefresh(s.now)
+			pt.model.Compute(pt.nodeCPU, pt.nodeGPU, pt.sp)
+			s.heatValid = false
+		}
 	}
 	s.accumulate(dt)
-	s.trackJobEnergy(dt)
+	for _, pt := range s.parts {
+		s.trackJobEnergy(pt, dt)
+	}
 
 	// Couple the cooling model every 15 s (lines 23-26).
 	if s.cool != nil && s.onBoundary(s.cfg.CoolingDtSec) {
@@ -479,29 +618,29 @@ func (s *Simulation) Tick() error {
 	return nil
 }
 
-// denseRefresh rebuilds the per-node utilization arrays from the running
-// jobs' traces — the reference path's full sweep.
-func (s *Simulation) denseRefresh() {
-	for i := range s.nodeCPU {
-		s.nodeCPU[i] = 0
-		s.nodeGPU[i] = 0
+// denseRefresh rebuilds the partition's per-node utilization arrays from
+// the running jobs' traces — the reference path's full sweep.
+func (pt *partSim) denseRefresh(now float64) {
+	for i := range pt.nodeCPU {
+		pt.nodeCPU[i] = 0
+		pt.nodeGPU[i] = 0
 	}
-	for _, r := range s.sch.Running() {
-		cu, gu := r.UtilAt(s.now - r.StartTime)
+	for _, r := range pt.sch.Running() {
+		cu, gu := r.UtilAt(now - r.StartTime)
 		for _, n := range r.Nodes {
-			s.nodeCPU[n] = cu
-			s.nodeGPU[n] = gu
+			pt.nodeCPU[n] = cu
+			pt.nodeGPU[n] = gu
 		}
 	}
 }
 
-// applyDeltas feeds this tick's utilization changes — completions,
-// starts, and trace-quantum crossings — into the incremental engine.
-func (s *Simulation) applyDeltas(done, started []*job.Job) {
+// applyDeltas feeds one partition's utilization changes — completions,
+// starts, and trace-quantum crossings — into its incremental engine.
+func (s *Simulation) applyDeltas(pt *partSim, done, started []*job.Job) {
 	for _, j := range done {
-		if rs, ok := s.runStates[j.ID]; ok {
-			s.inc.SetNodesIdle(rs.nodes)
-			delete(s.runStates, j.ID)
+		if rs, ok := pt.runStates[j.ID]; ok {
+			pt.inc.SetNodesIdle(rs.nodes)
+			delete(pt.runStates, j.ID)
 		}
 	}
 	for _, j := range started {
@@ -510,15 +649,15 @@ func (s *Simulation) applyDeltas(done, started []*job.Job) {
 		cu, gu := j.UtilAt(t)
 		rs := &runState{
 			j: j, nodes: j.Nodes, idx: idx, cu: cu, gu: gu,
-			nodeP:     s.model.Spec.NodePower(cu, gu),
+			nodeP:     pt.model.Spec.NodePower(cu, gu),
 			constFrom: j.TraceConstSuffix(),
 		}
 		rs.frozen = rs.freezeAt(idx)
-		s.inc.SetNodes(rs.nodes, cu, gu)
-		s.runStates[j.ID] = rs
+		pt.inc.SetNodes(rs.nodes, cu, gu)
+		pt.runStates[j.ID] = rs
 	}
-	for _, j := range s.sch.Running() {
-		rs, ok := s.runStates[j.ID]
+	for _, j := range pt.sch.Running() {
+		rs, ok := pt.runStates[j.ID]
 		if !ok || rs.frozen {
 			continue
 		}
@@ -532,26 +671,27 @@ func (s *Simulation) applyDeltas(done, started []*job.Job) {
 		cu, gu := j.UtilAt(t)
 		if cu != rs.cu || gu != rs.gu {
 			rs.cu, rs.gu = cu, gu
-			rs.nodeP = s.model.Spec.NodePower(cu, gu)
-			s.inc.SetNodes(rs.nodes, cu, gu)
+			rs.nodeP = pt.model.Spec.NodePower(cu, gu)
+			pt.inc.SetNodes(rs.nodes, cu, gu)
 		}
 	}
-	if s.inc.Dirty() {
+	if pt.inc.Dirty() {
 		s.heatValid = false
 	}
-	s.inc.ComputeDelta()
+	pt.inc.ComputeDelta()
 }
 
 // skippableTicks returns how many upcoming ticks are guaranteed
 // event-free — no arrival, completion, trace-quantum crossing, pinned
-// replay start, or cooling boundary falls on them — and may therefore be
-// integrated analytically. Returns 0 under EngineDense (the reference
-// path simulates every tick) and 0 when the next tick may carry an
-// event. Scheduler state cannot change between events: queued jobs only
-// start when a completion or arrival frees resources, and EASY-backfill
-// eligibility (now + walltime ≤ shadow) only shrinks as time advances.
+// replay start, or cooling boundary falls on them, on any partition —
+// and may therefore be integrated analytically. Returns 0 under
+// EngineDense (the reference path simulates every tick) and 0 when the
+// next tick may carry an event. Scheduler state cannot change between
+// events: queued jobs only start when a completion or arrival frees
+// resources, and EASY-backfill eligibility (now + walltime ≤ shadow)
+// only shrinks as time advances.
 func (s *Simulation) skippableTicks(maxTicks int) int {
-	if s.inc == nil || maxTicks <= 0 {
+	if s.cfg.Engine == EngineDense || maxTicks <= 0 {
 		return 0
 	}
 	dt := s.cfg.TickSec
@@ -561,17 +701,19 @@ func (s *Simulation) skippableTicks(maxTicks int) int {
 			next = t
 		}
 	}
-	if s.nextArr < len(s.pending) {
-		consider(s.pending[s.nextArr].SubmitTime)
-	}
-	for _, rs := range s.runStates {
-		consider(rs.j.StartTime + rs.j.WallTimeSec)
-		if !rs.frozen {
-			consider(rs.j.StartTime + float64(rs.idx+1)*job.TraceQuantaSec)
+	for _, pt := range s.parts {
+		if pt.nextArr < len(pt.pending) {
+			consider(pt.pending[pt.nextArr].SubmitTime)
 		}
-	}
-	if t := s.sch.NextPinnedStart(s.now); t >= 0 {
-		consider(t)
+		for _, rs := range pt.runStates {
+			consider(rs.j.StartTime + rs.j.WallTimeSec)
+			if !rs.frozen {
+				consider(rs.j.StartTime + float64(rs.idx+1)*job.TraceQuantaSec)
+			}
+		}
+		if t := pt.sch.NextPinnedStart(s.now); t >= 0 {
+			consider(t)
+		}
 	}
 	if s.cool != nil {
 		period := s.cfg.CoolingDtSec
@@ -606,18 +748,17 @@ func (s *Simulation) skippableTicks(maxTicks int) int {
 }
 
 // advanceQuiet integrates k event-free ticks. Power, utilization, and
-// job state are constant across the gap, so the per-tick model sweep and
-// scheduler pass are elided; the accumulator arithmetic is kept
-// per-tick-identical to Tick so results match the dense path. History
-// samples falling inside the gap are still recorded at their exact times
-// (from the cached power state), and a time-varying emission intensity
-// is still sampled every tick.
+// job state are constant across the gap on every partition, so the
+// per-tick model sweep and scheduler pass are elided; the accumulator
+// arithmetic is kept per-tick-identical to Tick so results match the
+// dense path. History samples falling inside the gap are still recorded
+// at their exact times (from the cached power state), and a time-varying
+// emission intensity is still sampled every tick.
 func (s *Simulation) advanceQuiet(k int) {
 	dt := s.cfg.TickSec
-	p := s.sp.TotalW
-	loss := s.sp.LossW()
-	nodeOut := s.sp.NodeOutW
-	util := float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total())
+	a := s.aggregate()
+	p, loss, nodeOut := a.totalW, a.lossW(), a.nodeOutW
+	util := a.util()
 	ei := s.cfg.EmissionIntensity
 	fn := s.cfg.EmissionIntensityFn
 	pue := 0.0
@@ -656,15 +797,66 @@ func (s *Simulation) advanceQuiet(k int) {
 	if loss > s.maxLossW {
 		s.maxLossW = loss
 	}
-	if len(s.runStates) > 0 {
-		if s.jobEnergyJ == nil {
-			s.jobEnergyJ = make(map[int]float64)
+	gap := dt * float64(k)
+	for _, pt := range s.parts {
+		pt.energyJ += pt.sp.TotalW * gap
+		pt.utilSum += pt.util() * gap
+		if pt.sp.TotalW > pt.maxPowerW {
+			pt.maxPowerW = pt.sp.TotalW
 		}
-		gap := dt * float64(k)
-		for id, rs := range s.runStates {
-			s.jobEnergyJ[id] += rs.nodeP * float64(rs.j.NodeCount) * gap
+		if len(pt.runStates) > 0 {
+			if pt.jobEnergyJ == nil {
+				pt.jobEnergyJ = make(map[int]float64)
+			}
+			for id, rs := range pt.runStates {
+				pt.jobEnergyJ[id] += rs.nodeP * float64(rs.j.NodeCount) * gap
+			}
 		}
 	}
+}
+
+// agg is the cross-partition power/scheduler aggregate. Every summation
+// starts at zero and adds in partition order, so a single-partition
+// aggregate is bit-identical to that partition's own accounting — the
+// invariant the dense/event and tick/quiet-gap equivalences (and the
+// single-partition telemetry goldens) rest on. All four consumers
+// (accumulate, advanceQuiet, recordSample, stepCooling) share this one
+// implementation so the arithmetic cannot drift between them.
+type agg struct {
+	totalW, rectW, sivocW, nodeOutW float64
+	inUse, total                    int
+	running, pending                int
+}
+
+func (s *Simulation) aggregate() agg {
+	var a agg
+	for _, pt := range s.parts {
+		a.totalW += pt.sp.TotalW
+		a.rectW += pt.sp.RectLossW
+		a.sivocW += pt.sp.SivocLossW
+		a.nodeOutW += pt.sp.NodeOutW
+		a.inUse += pt.sch.Pool.InUse()
+		a.total += pt.sch.Pool.Total()
+		a.running += len(pt.sch.Running())
+		a.pending += pt.sch.Pending()
+	}
+	return a
+}
+
+// lossW mirrors power.SystemPower.LossW over the aggregate.
+func (a agg) lossW() float64 { return a.rectW + a.sivocW }
+
+// util is the machine-wide node utilization.
+func (a agg) util() float64 { return float64(a.inUse) / float64(a.total) }
+
+// etaSystem mirrors power.SystemPower.Efficiency (Eq. 1) over the
+// aggregate conversion chain, in the same summation order.
+func (a agg) etaSystem() float64 {
+	in := a.nodeOutW + a.rectW + a.sivocW
+	if in <= 0 {
+		return 0
+	}
+	return a.nodeOutW / in
 }
 
 // onBoundary reports whether the current time is a multiple of period.
@@ -673,11 +865,19 @@ func (s *Simulation) onBoundary(period float64) bool {
 	return m < s.cfg.TickSec-1e-9 || period-m < 1e-6
 }
 
-// cduHeat returns the cached per-CDU heat vector for the current power
-// state, recomputing it only after the power changed.
+// cduHeat returns the cached per-CDU heat vector — every partition's
+// CDUs concatenated in partition order — for the current power state,
+// recomputing it only after the power changed.
 func (s *Simulation) cduHeat() []float64 {
 	if !s.heatValid {
-		s.heatBuf = s.model.CDUHeatInto(s.sp, s.heatBuf)
+		if s.heatBuf == nil {
+			s.heatBuf = make([]float64, s.totalCDUs)
+		}
+		for _, pt := range s.parts {
+			n := pt.model.Topo.NumCDUs
+			seg := s.heatBuf[pt.cduOff : pt.cduOff+n : pt.cduOff+n]
+			pt.model.CDUHeatInto(pt.sp, seg)
+		}
 		s.heatSum = 0
 		for _, h := range s.heatBuf {
 			s.heatSum += h
@@ -714,7 +914,7 @@ func (s *Simulation) stepCooling() error {
 		wb = s.cfg.WetBulbC(s.now)
 	}
 	s.coolVals[n] = wb
-	s.coolVals[n+1] = s.sp.TotalW
+	s.coolVals[n+1] = s.aggregate().totalW
 	if err := s.cool.SetReal(s.coolRefs, s.coolVals); err != nil {
 		return err
 	}
@@ -726,19 +926,25 @@ func (s *Simulation) stepCooling() error {
 }
 
 func (s *Simulation) accumulate(dt float64) {
-	p := s.sp.TotalW
+	a := s.aggregate()
+	p, loss, nodeOut := a.totalW, a.lossW(), a.nodeOutW
+	for _, pt := range s.parts {
+		pt.energyJ += pt.sp.TotalW * dt
+		pt.utilSum += pt.util() * dt
+		if pt.sp.TotalW > pt.maxPowerW {
+			pt.maxPowerW = pt.sp.TotalW
+		}
+	}
 	s.energyJ += p * dt
 	ei := s.cfg.EmissionIntensity
 	if s.cfg.EmissionIntensityFn != nil {
 		ei = s.cfg.EmissionIntensityFn(s.now)
 	}
 	s.weightedEIJ += p * dt * ei
-	loss := s.sp.LossW()
 	s.lossJ += loss * dt
-	s.nodeOutJ += s.sp.NodeOutW * dt
-	s.convInJ += (s.sp.NodeOutW + loss) * dt
-	util := float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total())
-	s.utilSum += util * dt
+	s.nodeOutJ += nodeOut * dt
+	s.convInJ += (nodeOut + loss) * dt
+	s.utilSum += a.util() * dt
 	if p > s.maxPowerW {
 		s.maxPowerW = p
 	}
@@ -760,18 +966,26 @@ func (s *Simulation) recordSample() {
 	if s.cfg.NoHistory && s.cfg.OnSample == nil {
 		return // no consumer: skip building the sample entirely
 	}
+	a := s.aggregate()
+	p := a.totalW
 	smp := Sample{
 		TimeSec:     s.now,
-		PowerW:      s.sp.TotalW,
-		LossW:       s.sp.LossW(),
-		Utilization: float64(s.sch.Pool.InUse()) / float64(s.sch.Pool.Total()),
-		EtaSystem:   s.sp.Efficiency(),
-		JobsRunning: len(s.sch.Running()),
-		JobsPending: s.sch.Pending(),
+		PowerW:      p,
+		LossW:       a.lossW(),
+		Utilization: a.util(),
+		EtaSystem:   a.etaSystem(),
+		JobsRunning: a.running,
+		JobsPending: a.pending,
 	}
-	if s.sp.TotalW > 0 {
+	if len(s.parts) > 1 {
+		smp.PartPowerW = make([]float64, len(s.parts))
+		for i, pt := range s.parts {
+			smp.PartPowerW[i] = pt.sp.TotalW
+		}
+	}
+	if p > 0 {
 		s.cduHeat()
-		smp.EtaCooling = s.heatSum / s.sp.TotalW
+		smp.EtaCooling = s.heatSum / p
 	}
 	if s.cool != nil {
 		smp.PUE = s.cool.Plant().PUE()
@@ -798,8 +1012,12 @@ func (s *Simulation) recordSample() {
 
 // ReportNow summarizes the run so far (§III-B5's output statistics).
 func (s *Simulation) ReportNow() *Report {
+	completed := 0
+	for _, pt := range s.parts {
+		completed += len(pt.completed)
+	}
 	r := &Report{
-		JobsCompleted: len(s.completed),
+		JobsCompleted: completed,
 		SimSeconds:    s.now,
 	}
 	if s.now <= 0 {
@@ -833,36 +1051,73 @@ func (s *Simulation) ReportNow() *Report {
 	if s.pueCount > 0 {
 		r.AvgPUE = s.pueSum / float64(s.pueCount)
 	}
-	if n := len(s.completed); n > 0 {
-		var nodes, runtime float64
-		for _, j := range s.completed {
+	// Workload statistics. The arrival span uses the single partition's
+	// first/last completed job (completion order) exactly as before the
+	// partition refactor — bit-stable — while multi-partition runs take
+	// the global min/max submit time: partitions complete independently,
+	// so concatenation-order endpoints would compare unrelated streams
+	// (a later partition's t=0 job would zero the statistic).
+	var nodes, runtime float64
+	first, last := math.Inf(1), math.Inf(-1)
+	seen := 0
+	for _, pt := range s.parts {
+		for _, j := range pt.completed {
+			if j.SubmitTime < first {
+				first = j.SubmitTime
+			}
+			if j.SubmitTime > last {
+				last = j.SubmitTime
+			}
 			nodes += float64(j.NodeCount)
 			runtime += j.WallTimeSec
+			seen++
 		}
-		r.AvgNodesPerJob = nodes / float64(n)
-		r.AvgRuntimeMin = runtime / float64(n) / 60
-		if n > 1 {
-			first := s.completed[0].SubmitTime
-			last := s.completed[n-1].SubmitTime
-			if last > first {
-				r.AvgArrivalSec = (last - first) / float64(n-1)
+	}
+	if len(s.parts) == 1 && seen > 0 {
+		first = s.parts[0].completed[0].SubmitTime
+		last = s.parts[0].completed[seen-1].SubmitTime
+	}
+	if seen > 0 {
+		r.AvgNodesPerJob = nodes / float64(seen)
+		r.AvgRuntimeMin = runtime / float64(seen) / 60
+		if seen > 1 && last > first {
+			r.AvgArrivalSec = (last - first) / float64(seen-1)
+		}
+	}
+	if len(s.parts) > 1 {
+		r.Partitions = make([]PartitionReport, len(s.parts))
+		for i, pt := range s.parts {
+			r.Partitions[i] = PartitionReport{
+				Name:           pt.name,
+				JobsCompleted:  len(pt.completed),
+				AvgPowerMW:     units.WToMW(pt.energyJ / s.now),
+				MaxPowerMW:     units.WToMW(pt.maxPowerW),
+				EnergyMWh:      pt.energyJ / 3.6e9,
+				AvgUtilization: pt.utilSum / s.now,
 			}
 		}
 	}
 	return r
 }
 
-// ForEachJobRecord visits every job that has started (completed first,
-// then still running) as a Table II telemetry record — the shared
-// iteration behind ExportTelemetry and the streaming NDJSON sink, so
-// both emit identical records in identical order.
+// ForEachJobRecord visits every job that has started — all partitions'
+// completed jobs first (partition order), then still-running jobs — as a
+// Table II telemetry record, each converted with its own partition's
+// component power ranges. This is the shared iteration behind
+// ExportTelemetry and the streaming NDJSON sink, so both emit identical
+// records in identical order.
 func (s *Simulation) ForEachJobRecord(fn func(telemetry.JobRecord)) {
-	spec := s.model.Spec
-	for _, j := range s.completed {
-		fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	for _, pt := range s.parts {
+		spec := pt.model.Spec
+		for _, j := range pt.completed {
+			fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+		}
 	}
-	for _, j := range s.sch.Running() {
-		fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+	for _, pt := range s.parts {
+		spec := pt.model.Spec
+		for _, j := range pt.sch.Running() {
+			fn(telemetry.FromJob(j, spec.CPUIdle, spec.CPUMax, spec.GPUIdle, spec.GPUMax))
+		}
 	}
 }
 
@@ -876,6 +1131,7 @@ func (s *Simulation) SeriesPointAt(smp Sample) telemetry.SeriesPoint {
 	}
 	return telemetry.SeriesPoint{
 		TimeSec: smp.TimeSec, MeasuredPowerW: smp.PowerW, WetBulbC: wb,
+		PartPowerW: smp.PartPowerW,
 	}
 }
 

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"exadigit/internal/httpmw"
+)
+
+// TestSweepAPIBehindBearerAuth pins the serve-mode auth wiring: the
+// sweep API mounted behind httpmw.RequireBearer rejects tokenless and
+// wrong-token requests with 401 and serves authorized ones normally.
+func TestSweepAPIBehindBearerAuth(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	srv := httptest.NewServer(httpmw.RequireBearer("twin-token", svc.Handler()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless list = %d, want 401", resp.StatusCode)
+	}
+
+	body := `{"scenarios":[{"workload":"idle","horizon_sec":60,"tick_sec":15}]}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/sweeps", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token submit = %d, want 401", resp.StatusCode)
+	}
+
+	req, err = http.NewRequest(http.MethodPost, srv.URL+"/api/sweeps", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer twin-token")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("authorized submit = %d, want 202", resp.StatusCode)
+	}
+}

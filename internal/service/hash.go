@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"time"
 
-	"exadigit/internal/config"
 	"exadigit/internal/core"
 	"exadigit/internal/job"
 	"exadigit/internal/telemetry"
@@ -26,20 +25,27 @@ type scenarioPayload struct {
 	TickSec    float64           `json:"tick_sec"`
 	Policy     string            `json:"policy"`
 	Cooling    bool              `json:"cooling"`
-	// CoolingSpec is the scenario's plant override; omitted when the
-	// scenario cools with the system spec's own plant, so pre-override
-	// hashes are unchanged.
-	CoolingSpec      *config.CoolingSpec `json:"cooling_spec,omitempty"`
-	PowerMode        string              `json:"power_mode"`
-	Generator        job.GeneratorConfig `json:"generator"`
-	DatasetDigest    string              `json:"dataset_digest,omitempty"`
-	BenchmarkWallSec float64             `json:"benchmark_wall_sec"`
-	WetBulbC         float64             `json:"wetbulb_c"`
-	WeatherStart     time.Time           `json:"weather_start"`
-	WeatherSeed      int64               `json:"weather_seed"`
-	Engine           string              `json:"engine"`
-	NoExport         bool                `json:"no_export"`
-	NoHistory        bool                `json:"no_history"`
+	// CoolingSpecHash folds the scenario's plant override in by its
+	// canonical content hash (config.CoolingSpec.Hash), which also
+	// covers the content of runtime-registered presets — re-registering
+	// a plant under the same name changes override-scenario hashes too.
+	// Omitted when the scenario cools with the system spec's own plant,
+	// so pre-override hashes are unchanged.
+	CoolingSpecHash string              `json:"cooling_spec_hash,omitempty"`
+	PowerMode       string              `json:"power_mode"`
+	Generator       job.GeneratorConfig `json:"generator"`
+	// Partitions is the per-partition workload configuration of a
+	// multi-partition scenario; omitted when empty, so pre-partition
+	// scenario hashes are unchanged.
+	Partitions       []core.PartitionScenario `json:"partitions,omitempty"`
+	DatasetDigest    string                   `json:"dataset_digest,omitempty"`
+	BenchmarkWallSec float64                  `json:"benchmark_wall_sec"`
+	WetBulbC         float64                  `json:"wetbulb_c"`
+	WeatherStart     time.Time                `json:"weather_start"`
+	WeatherSeed      int64                    `json:"weather_seed"`
+	Engine           string                   `json:"engine"`
+	NoExport         bool                     `json:"no_export"`
+	NoHistory        bool                     `json:"no_history"`
 }
 
 // HashScenario returns the canonical content hash of a scenario — the
@@ -58,9 +64,9 @@ func HashScenario(sc core.Scenario) (string, error) {
 		// Cooling:true} — the library and HTTP spellings of the same run
 		// — hash identically and share one cache entry.
 		Cooling:          sc.Cooling || sc.CoolingSpec != nil,
-		CoolingSpec:      sc.CoolingSpec,
 		PowerMode:        sc.PowerMode,
 		Generator:        sc.Generator,
+		Partitions:       sc.Partitions,
 		BenchmarkWallSec: sc.BenchmarkWallSec,
 		WetBulbC:         sc.WetBulbC,
 		WeatherStart:     sc.WeatherStart,
@@ -69,7 +75,26 @@ func HashScenario(sc core.Scenario) (string, error) {
 		NoExport:         sc.NoExport,
 		NoHistory:        sc.NoHistory,
 	}
-	if sc.Dataset != nil {
+	if len(sc.Partitions) > 0 {
+		// An explicit per-partition list makes the twin ignore the
+		// scenario-level workload knobs (core.Twin.partitionWorkloads),
+		// so normalize them out of the hash — spellings differing only
+		// in an ignored field share one cache entry, matching the
+		// implied-cooling normalization above. The replay dataset is
+		// ignored too (replay is never per-partition), so its digest is
+		// skipped below.
+		p.Workload = ""
+		p.Generator = job.GeneratorConfig{}
+		p.BenchmarkWallSec = 0
+	}
+	if sc.CoolingSpec != nil {
+		h, err := sc.CoolingSpec.Hash()
+		if err != nil {
+			return "", fmt.Errorf("service: scenario hash: %w", err)
+		}
+		p.CoolingSpecHash = h
+	}
+	if sc.Dataset != nil && len(sc.Partitions) == 0 {
 		digest, err := datasetDigest(sc.Dataset)
 		if err != nil {
 			return "", err

@@ -42,6 +42,12 @@ type ScenarioRequest struct {
 	// unknown preset are a 400, not a worker failure.
 	CoolingSpec *config.CoolingSpec `json:"cooling_spec,omitempty"`
 	PowerMode   string              `json:"power_mode,omitempty"`
+	// Partitions configures each partition's workload individually for
+	// multi-partition specs (Setonix-style, §V): one entry per spec
+	// partition, each with its own workload kind, generator, benchmark
+	// wall time, and job cap. Omitted → the scenario-level workload is
+	// replicated onto every partition.
+	Partitions []core.PartitionScenario `json:"partitions,omitempty"`
 	// Generator tunes synthetic workloads; omitted → defaults.
 	Generator        *job.GeneratorConfig `json:"generator,omitempty"`
 	BenchmarkWallSec float64              `json:"benchmark_wall_sec,omitempty"`
@@ -68,6 +74,7 @@ func (r *ScenarioRequest) Scenario() core.Scenario {
 		Cooling:          r.Cooling || r.CoolingSpec != nil,
 		CoolingSpec:      r.CoolingSpec,
 		PowerMode:        r.PowerMode,
+		Partitions:       r.Partitions,
 		BenchmarkWallSec: r.BenchmarkWallSec,
 		WetBulbC:         r.WetBulbC,
 		WeatherStart:     r.WeatherStart,

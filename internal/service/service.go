@@ -31,6 +31,12 @@ type Options struct {
 	// CacheCap bounds the number of cached scenario results; the oldest
 	// completed entries are evicted first (0 → 1024).
 	CacheCap int
+	// CacheMaxBytes bounds the cache by approximate resident size —
+	// the primary production bound, since results vary from a bare
+	// report (~2 KB) to multi-day telemetry exports (megabytes). Each
+	// result's size is estimated at insert; the oldest completed entries
+	// are evicted until the total fits (0 → 256 MiB).
+	CacheMaxBytes int64
 	// MaxSweeps bounds how many finished sweeps are retained for status
 	// and result recall; beyond it the oldest finished sweeps (and the
 	// results they pin) are dropped so a long-running server's memory
@@ -72,6 +78,9 @@ func New(opts Options) *Service {
 	if opts.CacheCap <= 0 {
 		opts.CacheCap = 1024
 	}
+	if opts.CacheMaxBytes <= 0 {
+		opts.CacheMaxBytes = 256 << 20
+	}
 	if opts.MaxSweeps <= 0 {
 		opts.MaxSweeps = 256
 	}
@@ -79,7 +88,7 @@ func New(opts Options) *Service {
 		workers:   opts.Workers,
 		maxSweeps: opts.MaxSweeps,
 		slots:     make(chan struct{}, opts.Workers),
-		cache:     newResultCache(opts.CacheCap),
+		cache:     newResultCache(opts.CacheCap, opts.CacheMaxBytes),
 		metrics:   &httpmw.Metrics{},
 		specs:     make(map[string]*core.CompiledSpec),
 		sweeps:    make(map[string]*Sweep),
@@ -112,36 +121,42 @@ type CacheMetrics struct {
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
+	// Bytes is the approximate resident size of the cached results;
+	// CapacityBytes is the byte bound evictions enforce.
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
 }
 
 // CacheMetricsSnapshot returns the current result-cache counters.
 func (s *Service) CacheMetricsSnapshot() CacheMetrics {
-	ev, entries, capacity := s.cache.stats()
+	ev, entries, capacity, bytes, maxBytes := s.cache.stats()
 	return CacheMetrics{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: ev,
-		Entries:   entries,
-		Capacity:  capacity,
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Evictions:     ev,
+		Entries:       entries,
+		Capacity:      capacity,
+		Bytes:         bytes,
+		CapacityBytes: maxBytes,
 	}
 }
 
 // compiledFor returns the shared CompiledSpec for the spec, compiling it
 // on first submission. Sweeps of the same spec — byte-identical after
-// canonical JSON encoding — share one compiled instance.
+// canonical JSON encoding — share one compiled instance. The spec is
+// compiled before the registry lookup so the map key is the hash the
+// CompiledSpec itself carries (one hash computation, no second registry
+// read that a concurrent preset re-registration could skew).
 func (s *Service) compiledFor(spec config.SystemSpec) (*core.CompiledSpec, error) {
-	hash, err := spec.Hash()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cs, ok := s.specs[hash]; ok {
-		return cs, nil
-	}
 	cs, err := core.Compile(spec)
 	if err != nil {
 		return nil, err
+	}
+	hash := cs.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.specs[hash]; ok {
+		return existing, nil
 	}
 	s.specs[hash] = cs
 	s.specOrder = append(s.specOrder, hash)
@@ -247,6 +262,19 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	for i, sc := range scenarios {
 		if hashes[i], err = HashScenario(sc); err != nil {
 			return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+		}
+		// Per-partition workload lists must cover the spec's partitions,
+		// and replay — programmatic-only, never valid per partition — is
+		// knowable now; catching both here fails the submission instead
+		// of a worker mid-sweep.
+		if n := len(sc.Partitions); n != 0 && n != len(spec.Partitions) {
+			return nil, fmt.Errorf("service: scenario %d: %d partition workloads for a %d-partition spec",
+				i, n, len(spec.Partitions))
+		}
+		for p := range sc.Partitions {
+			if sc.Partitions[p].Workload == core.WorkloadReplay {
+				return nil, fmt.Errorf("service: scenario %d: partition %d: replay is not a per-partition workload", i, p)
+			}
 		}
 		// Resolve each cooled scenario's plant design up front (they are
 		// cached and shared with the run), so an invalid or infeasible
@@ -625,27 +653,66 @@ func (sw *Sweep) record(i int, res *core.Result, err error, cacheHit bool) {
 }
 
 // cacheEntry is one in-flight or completed scenario result. done is
-// closed once res/err are final.
+// closed once res/err are final; bytes is the entry's approximate
+// resident size, fixed at completion.
 type cacheEntry struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	done  chan struct{}
+	res   *core.Result
+	err   error
+	bytes int64
 }
 
 // resultCache is the content-addressed result store with single-flight
 // semantics: the first acquirer of a key leads (simulates); concurrent
 // acquirers wait on the same entry, so N identical submissions cost one
-// simulation.
+// simulation. It is bounded both by entry count and — the production
+// bound — by approximate resident bytes, since one result can be a bare
+// report or a multi-megabyte telemetry export.
 type resultCache struct {
 	mu        sync.Mutex
 	cap       int
+	maxBytes  int64
+	bytes     int64 // Σ entry bytes over completed entries
 	entries   map[string]*cacheEntry
 	order     []string // completed keys, oldest first, for eviction
-	evictions uint64   // completed entries dropped by the capacity bound
+	evictions uint64   // completed entries dropped by the capacity bounds
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+func newResultCache(capacity int, maxBytes int64) *resultCache {
+	return &resultCache{cap: capacity, maxBytes: maxBytes, entries: make(map[string]*cacheEntry)}
+}
+
+// approxResultBytes estimates a result's resident size at insert time.
+// It counts the dominant variable-size members — history samples and the
+// exported telemetry's series points and per-job power traces — plus a
+// fixed overhead for the report and bookkeeping. Precision is not the
+// point; the estimate keeps eviction pressure proportional to what the
+// cache actually pins.
+func approxResultBytes(res *core.Result) int64 {
+	const (
+		base       = int64(2 << 10) // report, scenario copy, headers
+		sampleSize = int64(14*8 + 2*24)
+		pointSize  = int64(3*8 + 24)
+		jobBase    = int64(256)
+	)
+	if res == nil {
+		return base
+	}
+	n := base
+	n += int64(len(res.History)) * sampleSize
+	for i := range res.History {
+		n += int64(len(res.History[i].CDUHeatW)+len(res.History[i].PartPowerW)) * 8
+	}
+	if d := res.Dataset; d != nil {
+		n += int64(len(d.Series)) * pointSize
+		for i := range d.Series {
+			n += int64(len(d.Series[i].PartPowerW)) * 8
+		}
+		for i := range d.Jobs {
+			n += jobBase + int64(len(d.Jobs[i].CPUPowerW)+len(d.Jobs[i].GPUPowerW))*8
+		}
+	}
+	return n
 }
 
 func (c *resultCache) len() int {
@@ -669,18 +736,30 @@ func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
 
 // complete publishes the leader's outcome. Failed and abandoned runs are
 // dropped from the cache (a later submission may retry); successes are
-// retained up to the cache cap, evicting oldest-completed first.
+// retained while they fit both the entry cap and the byte bound,
+// evicting oldest-completed first (a result larger than the whole byte
+// bound is published to its waiters but not retained).
 func (c *resultCache) complete(key string, e *cacheEntry, res *core.Result, err error) {
 	e.res, e.err = res, err
 	c.mu.Lock()
 	if err != nil {
 		delete(c.entries, key)
+	} else if e.bytes = approxResultBytes(res); e.bytes > c.maxBytes {
+		// Larger than the whole byte bound: evicting every other entry
+		// would not make it fit, so drop just this one instead of
+		// flushing a warm cache.
+		delete(c.entries, key)
+		c.evictions++
 	} else {
+		c.bytes += e.bytes
 		c.order = append(c.order, key)
-		for len(c.order) > c.cap {
+		for len(c.order) > 0 && (len(c.order) > c.cap || c.bytes > c.maxBytes) {
 			evict := c.order[0]
 			c.order = c.order[1:]
-			delete(c.entries, evict)
+			if old, ok := c.entries[evict]; ok {
+				c.bytes -= old.bytes
+				delete(c.entries, evict)
+			}
 			c.evictions++
 		}
 	}
@@ -688,9 +767,10 @@ func (c *resultCache) complete(key string, e *cacheEntry, res *core.Result, err 
 	close(e.done)
 }
 
-// stats returns the cache's eviction count, live entries, and capacity.
-func (c *resultCache) stats() (evictions uint64, entries, capacity int) {
+// stats returns the cache's eviction count, live entries, and the entry
+// and byte capacities.
+func (c *resultCache) stats() (evictions uint64, entries, capacity int, bytes, maxBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.evictions, len(c.entries), c.cap
+	return c.evictions, len(c.entries), c.cap, c.bytes, c.maxBytes
 }

@@ -51,6 +51,11 @@ type SeriesPoint struct {
 	TimeSec        float64 `json:"time_sec"`         // seconds from dataset epoch
 	MeasuredPowerW float64 `json:"measured_power_w"` // total system power ("measured power", 1 s in Table II)
 	WetBulbC       float64 `json:"wetbulb_c"`        // outdoor wet bulb (60 s in Table II)
+	// PartPowerW is the per-partition power split of a multi-partition
+	// system (§V), in spec partition order; omitted on single-partition
+	// captures so their NDJSON stays byte-identical to the pre-partition
+	// schema.
+	PartPowerW []float64 `json:"part_power_w,omitempty"`
 }
 
 // Dataset is a replayable telemetry capture.

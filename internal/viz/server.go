@@ -22,6 +22,10 @@ type Status struct {
 	PUE         float64 `json:"pue"`
 	JobsRunning int     `json:"jobs_running"`
 	JobsPending int     `json:"jobs_pending"`
+	// PartPowerMW is the per-partition power split of a multi-partition
+	// system, in spec partition order; omitted for single-partition
+	// twins.
+	PartPowerMW []float64 `json:"part_power_mw,omitempty"`
 }
 
 // SeriesPoint is one sample of the /api/series document.
@@ -30,6 +34,9 @@ type SeriesPoint struct {
 	PowerMW float64 `json:"power_mw"`
 	PUE     float64 `json:"pue"`
 	Util    float64 `json:"utilization"`
+	// PartMW is the per-partition power series of a multi-partition
+	// system; omitted for single-partition twins.
+	PartMW []float64 `json:"part_mw,omitempty"`
 }
 
 // Source supplies live data to the HTTP API. The core twin implements it.

@@ -1,12 +1,12 @@
 #!/usr/bin/env sh
 # Run the headline benchmarks and emit them as a JSON array so the perf
-# trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 4
-# adds the adaptive cooled day (BenchmarkTwinDayCooledAdaptive) with its
-# quiescent-fraction and solver-divergence fields.
+# trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 5
+# adds the multi-partition cooled day (BenchmarkTwinDaySetonix) with its
+# per-partition cpuMW/gpuMW power fields.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 
 go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x . |
 	awk '
