@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench-smoke bench-json bench-compare ci
+.PHONY: all build vet test test-short test-race chaos bench-smoke bench-json bench-compare ci
 
 all: build vet test
 
@@ -16,15 +16,28 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the concurrent layers (sweep service + durable
+# result store) — the packages whose invariants are all about shared
+# state under load.
+test-race:
+	$(GO) test -race ./internal/service/... ./internal/store/...
+
+# Fault-injection suite: panics mid-simulation, deadline overruns,
+# transient and permanent failures, corrupted/truncated store entries,
+# queue saturation, and kill-restart recovery — under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Restart|Corrupt|Truncated|Backpressure|CancelReleases' \
+		./internal/service/... ./internal/store/...
+
 # Quick perf smoke: the headline day-replay benchmarks (with the
 # dense-vs-event speedup metric) plus the multi-day fan-out.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR5.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR6.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR5.json
+	./scripts/bench_json.sh BENCH_PR6.json
 
 # Diff the two most recent BENCH_PR*.json series benchmark by benchmark
 # (ns/op old vs new and the speedup ratio).

@@ -260,6 +260,61 @@ func BenchmarkSweepService(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWarmRestart measures the durable-store restart path (the
+// PR 6 headline): a 16-scenario sweep is persisted once outside the
+// timed loop, then each iteration "kill-restarts" the service — a fresh
+// store.Open over the same directory plus a cold in-memory cache — and
+// re-serves the whole sweep from disk, reporting scenarios/sec for the
+// disk tier. Zero results are recomputed (the sweep must come back fully
+// cached) and zero power models are rebuilt.
+func BenchmarkSweepWarmRestart(b *testing.B) {
+	const n = 16
+	scenarios := make([]Scenario, n)
+	for i := range scenarios {
+		gen := DefaultGeneratorConfig()
+		gen.Seed = int64(6000 + i)
+		scenarios[i] = Scenario{
+			Name: "restart-bench", Workload: WorkloadSynthetic,
+			HorizonSec: 6 * 3600, TickSec: 15,
+			Generator: gen, NoExport: true,
+		}
+	}
+	spec := FrontierSpec()
+	dir := b.TempDir()
+	seedStore, err := OpenResultStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedSvc := NewSweepService(SweepServiceOptions{Store: seedStore})
+	sw, err := seedSvc.Submit(spec, scenarios, SweepOptions{Name: "seed"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-sw.Done()
+	if st := sw.Status(); st.Done != n {
+		b.Fatalf("seed sweep: %+v", st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := OpenResultStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := NewSweepService(SweepServiceOptions{Store: st})
+		start := time.Now()
+		sw, err := svc.Submit(spec, scenarios, SweepOptions{Name: "after-restart"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-sw.Done()
+		disk := time.Since(start).Seconds()
+		if status := sw.Status(); status.Cached != n {
+			b.Fatalf("restart sweep recomputed: %+v", status)
+		}
+		b.ReportMetric(float64(n)/disk, "disk_scen/s")
+	}
+}
+
 // BenchmarkCoolingVariantSweep measures spec-driven sweep throughput:
 // one sweep mixing three cooling plants (hand-calibrated preset, AutoCSM
 // synthesis, and a re-sized AutoCSM variant) across three workload

@@ -17,14 +17,20 @@
 //	exadigit serve [-addr :8080] [-workers N] [-cache 1024]
 //	               [-cache-bytes 268435456] [-spec spec.json] [-warm 15m]
 //	               [-presets plants.json] [-token SECRET]
+//	               [-store DIR] [-scenario-timeout 0] [-max-attempts 3]
+//	               [-max-pending 4096] [-drain 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"exadigit"
@@ -96,6 +102,11 @@ func serve(args []string) {
 		warm       = fs.Duration("warm", 15*time.Minute, "warm-up scenario horizon for the dashboard twin (0 skips)")
 		presets    = fs.String("presets", "", "cooling preset registry JSON ({\"name\": {plant config}}), resolved before built-ins")
 		token      = fs.String("token", "", "bearer token required on every request (default $EXADIGIT_TOKEN; empty disables auth)")
+		storeDir   = fs.String("store", "", "durable result-store directory: completed scenario results persist here and survive restarts (empty = memory-only)")
+		scenTO     = fs.Duration("scenario-timeout", 0, "per-scenario attempt deadline (0 = none); overrunning attempts are retried")
+		attempts   = fs.Int("max-attempts", 3, "simulation attempts per scenario before its failure is permanent")
+		maxPending = fs.Int("max-pending", 4096, "queued+running scenario bound; beyond it submissions get 429 + Retry-After")
+		drain      = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight sweeps before cancelling them")
 	)
 	_ = fs.Parse(args)
 	if *token == "" {
@@ -135,8 +146,18 @@ func serve(args []string) {
 		}
 	}
 
+	var resultStore *exadigit.ResultStore
+	if *storeDir != "" {
+		var err error
+		if resultStore, err = exadigit.OpenResultStore(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable result store at %s (%d entries indexed)", *storeDir, resultStore.Len())
+	}
 	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{
 		Workers: *workers, CacheCap: *cacheCap, CacheMaxBytes: *cacheBytes,
+		Store: resultStore, ScenarioTimeout: *scenTO,
+		MaxAttempts: *attempts, MaxPending: *maxPending,
 	})
 	svc.SetLogf(log.Printf)
 	dash := exadigit.NewDashboardServer(tw)
@@ -161,7 +182,59 @@ func serve(args []string) {
 	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued and in-flight work (aborts mid-day)")
 	log.Printf("  GET  /api/sweeps/metrics       — HTTP middleware counters")
 	log.Printf("  (dashboard endpoints /api/status, /api/series, /api/cooling, /api/run remain mounted)")
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		log.Fatal(err)
+
+	server := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-sigc:
+		log.Printf("received %v; draining in-flight sweeps (up to %v, signal again to cancel them)", sig, *drain)
 	}
+
+	// Shutdown sequence: stop admitting sweeps, drain what's running
+	// (a second signal cancels instead of waiting), then shut the
+	// listener down and flush the final metrics so the process's
+	// accounting isn't lost with it.
+	svc.Close()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	go func() {
+		<-sigc
+		log.Printf("second signal: cancelling in-flight sweeps")
+		svc.CancelAll()
+	}()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete (%v); cancelling remaining sweeps", err)
+		svc.CancelAll()
+		fallback, cancelFallback := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = svc.Drain(fallback)
+		cancelFallback()
+	}
+	cancelDrain()
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShut()
+	if err := server.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+
+	log.Printf("sweep http: %s", svc.Metrics().Summary())
+	log.Printf("dashboard http: %s", dash.Metrics().Summary())
+	hits, misses, entries := svc.CacheStats()
+	log.Printf("result cache: hits=%d misses=%d entries=%d", hits, misses, entries)
+	fm := svc.FailureMetricsSnapshot()
+	log.Printf("failures: retries=%d panics_recovered=%d timeouts=%d queue_rejections=%d",
+		fm.Retries, fm.PanicsRecovered, fm.Timeouts, fm.QueueRejections)
+	if sm, ok := svc.StoreMetricsSnapshot(); ok {
+		log.Printf("store: hits=%d misses=%d puts=%d put_errors=%d corrupt=%d entries=%d bytes=%d",
+			sm.Hits, sm.Misses, sm.Puts, sm.PutErrors, sm.CorruptQuarantined, sm.Entries, sm.Bytes)
+	}
+	log.Printf("shutdown complete")
 }

@@ -50,6 +50,7 @@ import (
 	"exadigit/internal/optimize"
 	"exadigit/internal/raps"
 	"exadigit/internal/service"
+	"exadigit/internal/store"
 	"exadigit/internal/surrogate"
 	"exadigit/internal/telemetry"
 	"exadigit/internal/uq"
@@ -170,7 +171,21 @@ type (
 	// CompiledSpec shares per-spec power models and the cooling FMU
 	// design read-only across scenario runs.
 	CompiledSpec = core.CompiledSpec
+	// ResultStore is the durable content-addressed result store layered
+	// under the sweep service's in-memory cache: completed scenario
+	// results persist to disk keyed by (spec hash, scenario hash) and
+	// survive process restarts (`exadigit serve -store DIR`).
+	ResultStore = store.Store
+	// ResultStoreMetrics is the store's observability snapshot (hits,
+	// misses, puts, quarantined-corrupt entries, resident bytes).
+	ResultStoreMetrics = store.Metrics
 )
+
+// OpenResultStore opens (or creates) a durable result store rooted at
+// dir, rebuilding its index by scanning existing entries. Truncated or
+// unreadable entries are quarantined, never served. Pass the store to
+// SweepServiceOptions.Store to make a sweep service crash-safe.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
 
 // NewSweepService builds the scenario-sweep server. Mount its Handler()
 // under /api/sweeps (see cmd/exadigit serve) or drive it directly with

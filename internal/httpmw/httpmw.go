@@ -10,6 +10,7 @@ package httpmw
 import (
 	"crypto/subtle"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -60,6 +61,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.AvgMs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e6
 	}
 	return s
+}
+
+// Summary renders the snapshot as one log line — the final metrics
+// flush a graceful shutdown emits so a server's request accounting is
+// not lost with the process (`exadigit serve` logs it after draining).
+func (m *Metrics) Summary() string {
+	s := m.Snapshot()
+	return fmt.Sprintf("requests=%d in_flight=%d 2xx=%d 3xx=%d 4xx=%d 5xx=%d panics=%d avg_ms=%.2f",
+		s.Requests, s.InFlight, s.Status2xx, s.Status3xx, s.Status4xx, s.Status5xx, s.Panics, s.AvgMs)
 }
 
 // Handler serves the snapshot as JSON — mount it as the stack's

@@ -101,3 +101,27 @@ func TestWrapPreservesFlusher(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSummaryLine: the shutdown flush line carries the counters a server
+// would otherwise lose at exit.
+func TestSummaryLine(t *testing.T) {
+	m := &Metrics{}
+	h := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+		}
+	}), nil, m)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, p := range []string{"/", "/missing"} {
+		if _, err := srv.Client().Get(srv.URL + p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := m.Summary()
+	for _, want := range []string{"requests=2", "2xx=1", "4xx=1", "panics=0"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+}

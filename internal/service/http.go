@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"exadigit/internal/config"
@@ -103,7 +104,14 @@ type SubmitRequest struct {
 	SpecName      string             `json:"spec_name,omitempty"`
 	Spec          *config.SystemSpec `json:"spec,omitempty"`
 	MaxConcurrent int                `json:"max_concurrent,omitempty"`
-	Scenarios     []ScenarioRequest  `json:"scenarios"`
+	// TimeoutSec bounds each scenario attempt's wall time for this sweep
+	// (0 → the server's -scenario-timeout default). Overrunning attempts
+	// are retried; a scenario that keeps overrunning is reported failed,
+	// not left running forever.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// MaxAttempts overrides the server's retry budget for this sweep.
+	MaxAttempts int               `json:"max_attempts,omitempty"`
+	Scenarios   []ScenarioRequest `json:"scenarios"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -167,13 +175,33 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, body)
 }
 
+// retryAfterSec estimates when the saturated queue will likely have
+// room: pending scenarios per worker, clamped to a sane header range.
+func (s *Service) retryAfterSec() int {
+	sec := int(s.pending.Load()) / s.workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
 // handleMetrics serves the shared HTTP middleware counters together with
-// the result-cache accounting (hits/misses/evictions/entries/capacity).
+// the result-cache accounting, the failure/recovery counters (retries,
+// panics recovered, timeouts, queue rejections), and — when a durable
+// store is configured — the store's hit/miss/byte accounting.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"http":  s.metrics.Snapshot(),
-		"cache": s.CacheMetricsSnapshot(),
-	})
+	body := map[string]any{
+		"http":     s.metrics.Snapshot(),
+		"cache":    s.CacheMetricsSnapshot(),
+		"failures": s.FailureMetricsSnapshot(),
+	}
+	if sm, ok := s.StoreMetricsSnapshot(); ok {
+		body["store"] = sm
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -198,9 +226,24 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Scenarios {
 		scenarios[i] = req.Scenarios[i].Scenario()
 	}
-	sw, err := s.Submit(spec, scenarios, SweepOptions{Name: req.Name, MaxConcurrent: req.MaxConcurrent})
+	sw, err := s.Submit(spec, scenarios, SweepOptions{
+		Name:            req.Name,
+		MaxConcurrent:   req.MaxConcurrent,
+		ScenarioTimeout: time.Duration(req.TimeoutSec * float64(time.Second)),
+		MaxAttempts:     req.MaxAttempts,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, ErrSaturated):
+			// Backpressure, not failure: tell the client when the queue
+			// is likely to have room again.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
@@ -284,7 +327,7 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	sent := make([]bool, len(sw.scenarios))
+	sent := make([]bool, len(sw.hashes))
 	for {
 		changed := sw.changed()
 		st := sw.Status()

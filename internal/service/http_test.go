@@ -3,16 +3,19 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"exadigit/internal/config"
 	"exadigit/internal/core"
 	"exadigit/internal/fmu"
 	"exadigit/internal/job"
+	"exadigit/internal/store"
 )
 
 func postSweep(t *testing.T, url string, req SubmitRequest) SubmitResponse {
@@ -286,5 +289,101 @@ func TestMetricsReportsCacheEvictions(t *testing.T) {
 	}
 	if got.Cache.Misses < 4 {
 		t.Errorf("misses = %d, want ≥ 4", got.Cache.Misses)
+	}
+}
+
+// TestHTTPBackpressure429: an HTTP submission against a saturated queue
+// is a 429 with a Retry-After header and the JSON error envelope; once
+// capacity frees, the same submission is accepted.
+func TestHTTPBackpressure429(t *testing.T) {
+	gate := make(chan struct{})
+	svc := New(Options{Workers: 1, MaxPending: 1, RetryBaseDelay: time.Millisecond})
+	svc.SetFaultInjector(&FaultInjector{
+		BeforeRun: func(ctx context.Context, f Fault) error {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	req := SubmitRequest{Scenarios: []ScenarioRequest{{
+		Workload: "synthetic", HorizonSec: 900, TickSec: 15,
+	}}}
+	ack := postSweep(t, srv.URL, req)
+
+	body, _ := json.Marshal(SubmitRequest{Scenarios: []ScenarioRequest{{
+		Workload: "synthetic", HorizonSec: 1800, TickSec: 15,
+	}}})
+	resp, err := http.Post(srv.URL+"/api/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Fatalf("429 body not the JSON error envelope: %v %+v", err, eb)
+	}
+
+	close(gate)
+	sw, _ := svc.Sweep(ack.ID)
+	waitSweep(t, sw)
+	postSweep(t, srv.URL, SubmitRequest{Scenarios: []ScenarioRequest{{
+		Workload: "synthetic", HorizonSec: 1800, TickSec: 15,
+	}}})
+}
+
+// TestHTTPMetricsFailureAndStoreSections: /api/sweeps/metrics reports
+// the failure/recovery counters and, when a store is configured, the
+// durable-store accounting.
+func TestHTTPMetricsFailureAndStoreSections(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Options{Workers: 2, Store: st, MaxAttempts: 2, RetryBaseDelay: time.Millisecond})
+	svc.SetFaultInjector(&FaultInjector{
+		BeforeRun: func(ctx context.Context, f Fault) error {
+			if f.Attempt == 1 {
+				panic("metrics: injected panic")
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	ack := postSweep(t, srv.URL, SubmitRequest{Scenarios: []ScenarioRequest{{
+		Workload: "synthetic", HorizonSec: 900, TickSec: 15,
+	}}})
+	sw, _ := svc.Sweep(ack.ID)
+	waitSweep(t, sw)
+
+	resp, err := http.Get(srv.URL + "/api/sweeps/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Failures FailureMetrics `json:"failures"`
+		Store    *store.Metrics `json:"store"`
+		Cache    CacheMetrics   `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures.PanicsRecovered != 1 || m.Failures.Retries != 1 {
+		t.Fatalf("failure section: %+v", m.Failures)
+	}
+	if m.Store == nil || m.Store.Puts != 1 || m.Store.Bytes <= 0 {
+		t.Fatalf("store section: %+v", m.Store)
 	}
 }

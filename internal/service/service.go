@@ -21,6 +21,7 @@ import (
 	"exadigit/internal/config"
 	"exadigit/internal/core"
 	"exadigit/internal/httpmw"
+	"exadigit/internal/store"
 )
 
 // Options configures a Service.
@@ -42,6 +43,31 @@ type Options struct {
 	// results they pin) are dropped so a long-running server's memory
 	// stays bounded (0 → 256).
 	MaxSweeps int
+	// Store layers a durable on-disk result store under the in-memory
+	// cache: lookups go memory → disk → compute (single-flight preserved
+	// across all tiers), and every computed result is persisted, so a
+	// killed-and-restarted service re-serves finished sweeps mostly warm.
+	// nil keeps the service memory-only.
+	Store *store.Store
+	// ScenarioTimeout bounds each scenario attempt's wall time, enforced
+	// via context so a runaway attempt aborts at its next tick boundary
+	// (0 → no deadline). Overridable per sweep.
+	ScenarioTimeout time.Duration
+	// MaxAttempts is how many times a failing scenario is tried before
+	// its failure is reported as permanent. Panics, deadline overruns,
+	// and simulation errors all retry with capped exponential backoff +
+	// jitter; sweep cancellation never retries (0 → 3).
+	MaxAttempts int
+	// RetryBaseDelay and RetryMaxDelay shape the backoff between
+	// attempts: base doubles per attempt, capped at max, ±50% jitter
+	// (0 → 100ms and 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// MaxPending bounds the queued+running scenario count across all
+	// sweeps — the admission control that makes an overloaded service
+	// refuse work (Submit returns ErrSaturated, HTTP 429 + Retry-After)
+	// instead of accepting sweeps it will never finish (0 → 4096).
+	MaxPending int
 }
 
 // Service is the sweep server. Create with New; it has no background
@@ -51,12 +77,31 @@ type Service struct {
 	maxSweeps int
 	slots     chan struct{} // global simulation-worker pool
 	cache     *resultCache
+	store     *store.Store // durable tier; nil → memory-only
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	logf      httpmw.Logf
 	metrics   *httpmw.Metrics
 
+	// Failure-domain configuration (service-wide defaults; sweeps may
+	// override timeout and attempts).
+	scenarioTimeout time.Duration
+	maxAttempts     int
+	retryBase       time.Duration
+	retryMax        time.Duration
+	maxPending      int
+
+	// Failure/recovery accounting (FailureMetricsSnapshot).
+	retries    atomic.Uint64
+	panics     atomic.Uint64
+	timeouts   atomic.Uint64
+	rejections atomic.Uint64
+	pending    atomic.Int64 // queued+running scenarios across all sweeps
+
+	faults faultHolder // test-only chaos hook
+
 	mu        sync.Mutex
+	closed    bool
 	specs     map[string]*core.CompiledSpec // spec hash → shared compiled spec
 	specOrder []string                      // spec hashes, oldest first
 	sweeps    map[string]*Sweep
@@ -84,15 +129,45 @@ func New(opts Options) *Service {
 	if opts.MaxSweeps <= 0 {
 		opts.MaxSweeps = 256
 	}
-	return &Service{
-		workers:   opts.Workers,
-		maxSweeps: opts.MaxSweeps,
-		slots:     make(chan struct{}, opts.Workers),
-		cache:     newResultCache(opts.CacheCap, opts.CacheMaxBytes),
-		metrics:   &httpmw.Metrics{},
-		specs:     make(map[string]*core.CompiledSpec),
-		sweeps:    make(map[string]*Sweep),
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
 	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 5 * time.Second
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = 4096
+	}
+	return &Service{
+		workers:         opts.Workers,
+		maxSweeps:       opts.MaxSweeps,
+		slots:           make(chan struct{}, opts.Workers),
+		cache:           newResultCache(opts.CacheCap, opts.CacheMaxBytes),
+		store:           opts.Store,
+		metrics:         &httpmw.Metrics{},
+		scenarioTimeout: opts.ScenarioTimeout,
+		maxAttempts:     opts.MaxAttempts,
+		retryBase:       opts.RetryBaseDelay,
+		retryMax:        opts.RetryMaxDelay,
+		maxPending:      opts.MaxPending,
+		specs:           make(map[string]*core.CompiledSpec),
+		sweeps:          make(map[string]*Sweep),
+	}
+}
+
+// Store returns the durable result store, or nil when memory-only.
+func (s *Service) Store() *store.Store { return s.store }
+
+// StoreMetricsSnapshot returns the durable store's counters; the second
+// return is false when no store is configured.
+func (s *Service) StoreMetricsSnapshot() (store.Metrics, bool) {
+	if s.store == nil {
+		return store.Metrics{}, false
+	}
+	return s.store.Stats(), true
 }
 
 // Workers returns the pool capacity.
@@ -174,6 +249,12 @@ type SweepOptions struct {
 	// MaxConcurrent caps this sweep's in-flight scenarios on top of the
 	// global pool (0 → no per-sweep cap).
 	MaxConcurrent int
+	// ScenarioTimeout overrides the service's per-attempt deadline for
+	// this sweep (0 → Options.ScenarioTimeout).
+	ScenarioTimeout time.Duration
+	// MaxAttempts overrides the service's retry budget for this sweep
+	// (0 → Options.MaxAttempts).
+	MaxAttempts int
 }
 
 // ScenarioState is the lifecycle of one scenario within a sweep.
@@ -198,6 +279,10 @@ type ScenarioStatus struct {
 	Error    string        `json:"error,omitempty"`
 	WallSec  float64       `json:"wall_sec,omitempty"`
 	CacheHit bool          `json:"cache_hit,omitempty"`
+	// Attempts is how many simulation attempts the scenario consumed
+	// (>1 means transient failures were retried; 0 for scenarios served
+	// from a cache tier or never dispatched).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Terminal reports whether the scenario has reached a final state.
@@ -232,10 +317,13 @@ type Sweep struct {
 	name      string
 	specHash  string
 	createdAt time.Time
-	compiled  *core.CompiledSpec
-	scenarios []core.Scenario
+	compiled  *core.CompiledSpec // released when the sweep finishes
+	scenarios []core.Scenario    // released when the sweep finishes
 	hashes    []string
 	svc       *Service
+
+	timeout     time.Duration // per-attempt deadline (0 → none)
+	maxAttempts int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -292,21 +380,38 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 			}
 		}
 	}
+	// Admission control: an overloaded queue refuses the sweep up front
+	// (ErrSaturated → HTTP 429) rather than accepting scenarios it will
+	// not reach for a long time. The reservation is released per scenario
+	// as each reaches a terminal state.
+	if err := s.admit(len(scenarios)); err != nil {
+		return nil, err
+	}
+	timeout := opts.ScenarioTimeout
+	if timeout <= 0 {
+		timeout = s.scenarioTimeout
+	}
+	attempts := opts.MaxAttempts
+	if attempts <= 0 {
+		attempts = s.maxAttempts
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sw := &Sweep{
-		name:      opts.Name,
-		specHash:  compiled.Hash(),
-		createdAt: time.Now(),
-		compiled:  compiled,
-		scenarios: scenarios,
-		hashes:    hashes,
-		svc:       s,
-		ctx:       ctx,
-		cancel:    cancel,
-		statuses:  make([]ScenarioStatus, len(scenarios)),
-		results:   make([]*core.Result, len(scenarios)),
-		notify:    make(chan struct{}),
-		done:      make(chan struct{}),
+		name:        opts.Name,
+		specHash:    compiled.Hash(),
+		createdAt:   time.Now(),
+		compiled:    compiled,
+		scenarios:   scenarios,
+		hashes:      hashes,
+		svc:         s,
+		timeout:     timeout,
+		maxAttempts: attempts,
+		ctx:         ctx,
+		cancel:      cancel,
+		statuses:    make([]ScenarioStatus, len(scenarios)),
+		results:     make([]*core.Result, len(scenarios)),
+		notify:      make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	for i := range sw.statuses {
 		name := scenarios[i].Name
@@ -355,6 +460,77 @@ func (s *Service) pruneLocked() {
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// admit reserves queue capacity for n scenarios, refusing when the
+// service is closed or the reservation would exceed MaxPending.
+func (s *Service) admit(n int) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for {
+		cur := s.pending.Load()
+		if int(cur)+n > s.maxPending {
+			s.rejections.Add(1)
+			return fmt.Errorf("%w: %d pending + %d submitted exceeds %d",
+				ErrSaturated, cur, n, s.maxPending)
+		}
+		if s.pending.CompareAndSwap(cur, cur+int64(n)) {
+			return nil
+		}
+	}
+}
+
+// release returns n scenarios' worth of queue capacity.
+func (s *Service) release(n int) { s.pending.Add(-int64(n)) }
+
+// Close stops admitting new sweeps (Submit returns ErrClosed). Already
+// submitted sweeps keep working; pair with Drain or CancelAll for the
+// graceful-shutdown sequence. Safe to call repeatedly.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Drain blocks until every submitted sweep reaches a terminal state or
+// ctx expires — the shutdown step that lets in-flight sweeps finish (and
+// streaming clients receive their final lines) before the HTTP server
+// goes away. Call Close first so the set of sweeps being waited on
+// cannot grow.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	s.mu.Unlock()
+	for _, sw := range sweeps {
+		select {
+		case <-sw.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// CancelAll aborts every sweep — the impatient half of shutdown (second
+// SIGINT): queued scenarios become cancelled and running simulations
+// stop at their next tick boundary.
+func (s *Service) CancelAll() {
+	s.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	s.mu.Unlock()
+	for _, sw := range sweeps {
+		sw.Cancel()
+	}
 }
 
 // Remove drops a finished sweep from the registry, releasing the
@@ -532,14 +708,28 @@ loop:
 	}
 	wg.Wait()
 	// Anything never dispatched (cancel hit the dispatch loop) is
-	// cancelled in place.
+	// cancelled in place; each released scenario returns its queue
+	// reservation.
+	undispatched := 0
 	sw.update(func() {
 		for i := range sw.statuses {
 			if !sw.statuses[i].Terminal() && sw.statuses[i].State == StateQueued {
 				sw.statuses[i].State = StateCancelled
+				undispatched++
 			}
 		}
 	})
+	sw.svc.release(undispatched)
+	// Release per-sweep resources promptly: the scenario slice can pin
+	// multi-gigabyte replay datasets and the compiled spec pins power
+	// models — neither is needed once every scenario is terminal (status
+	// and results live in their own slices). Without this, a cancelled
+	// sweep kept its inputs pinned until the registry pruned it, which on
+	// a long-running server could be process lifetime.
+	sw.cancel()
+	sw.mu.Lock()
+	sw.scenarios, sw.compiled = nil, nil
+	sw.mu.Unlock()
 	close(sw.done)
 }
 
@@ -586,22 +776,70 @@ func (sw *Sweep) runOne(i int) {
 // producing a result; waiters retry leadership instead of failing.
 var errAbandoned = errors.New("service: scenario abandoned by cancelled sweep")
 
-// simulate acquires a pool slot and runs scenario i — the single run
-// sequence shared by the cached and direct paths. ran is false when the
-// sweep was cancelled before a slot freed (err then carries ctx.Err()).
-// The sweep context is threaded through the run, so a cancel aborts an
-// in-flight simulation at its next tick boundary (mid-day) instead of
-// waiting for the day to play out.
+// simulate drives scenario i through the retry loop: each attempt runs
+// inside the panic-isolation and deadline scope, transient failures —
+// recovered panics, deadline overruns, simulation errors — retry with
+// capped exponential backoff + jitter up to the sweep's attempt budget,
+// and what survives is wrapped in a *ScenarioError so callers see the
+// scenario's identity, attempt count, and cause. Sweep cancellation is
+// never retried; ran is false when the sweep was cancelled before a pool
+// slot freed.
 func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
+	for attempt := 1; ; attempt++ {
+		res, ran, err = sw.attempt(i, attempt)
+		if err == nil || !ran {
+			return res, ran, err
+		}
+		if sw.ctx.Err() != nil {
+			// The sweep itself was cancelled (possibly mid-attempt);
+			// report the cancellation, not the attempt's error.
+			return nil, ran, sw.ctx.Err()
+		}
+		if attempt >= sw.maxAttempts {
+			return nil, true, &ScenarioError{
+				ScenarioHash: sw.hashes[i], Index: i, Attempts: attempt, Cause: err,
+			}
+		}
+		sw.svc.retries.Add(1)
+		if !sleepBackoff(sw.ctx, sw.svc.retryBase, sw.svc.retryMax, attempt) {
+			return nil, true, sw.ctx.Err()
+		}
+	}
+}
+
+// attempt acquires a pool slot and runs scenario i once — the single run
+// sequence shared by the cached and direct paths. The sweep context is
+// threaded through the run, so a cancel aborts an in-flight simulation
+// at its next tick boundary (mid-day); the per-attempt deadline, when
+// configured, is layered on top and reported as a timeout rather than a
+// cancellation.
+func (sw *Sweep) attempt(i, attempt int) (res *core.Result, ran bool, err error) {
 	select {
 	case sw.svc.slots <- struct{}{}:
 	case <-sw.ctx.Done():
 		return nil, false, sw.ctx.Err()
 	}
 	defer func() { <-sw.svc.slots }()
-	sw.update(func() { sw.statuses[i].State = StateRunning })
+	sw.update(func() {
+		sw.statuses[i].State = StateRunning
+		sw.statuses[i].Attempts = attempt
+	})
 	sw.svc.misses.Add(1)
-	res, err = sw.compiled.Twin().RunContext(sw.ctx, sw.scenarios[i])
+	ctx := sw.ctx
+	if sw.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sw.timeout)
+		defer cancel()
+	}
+	res, err = sw.runRecovered(ctx, i, attempt)
+	if err != nil && ctx.Err() == context.DeadlineExceeded && sw.ctx.Err() == nil {
+		// The attempt's own deadline expired (not a sweep cancel):
+		// normalize whatever surfaced — the context error itself or a
+		// mid-tick wrap of it — into a typed, retriable timeout.
+		sw.svc.timeouts.Add(1)
+		err = fmt.Errorf("service: scenario deadline %v exceeded: %w",
+			sw.timeout, context.DeadlineExceeded)
+	}
 	return res, true, err
 }
 
@@ -613,8 +851,23 @@ func (sw *Sweep) runDirect(i int) {
 	sw.record(i, res, err, false)
 }
 
-// lead simulates the scenario and publishes the result to the cache.
+// lead resolves the scenario for every waiter on its cache key: disk
+// first (the durable tier — a restart-surviving hit costs one file read
+// and zero model builds), then simulation. Because only the key's leader
+// reaches the store, single-flight semantics extend across all three
+// tiers: N concurrent submissions of one scenario cost at most one disk
+// read plus one simulation.
 func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
+	if st := sw.svc.store; st != nil && sw.ctx.Err() == nil {
+		if res, err := st.Get(sw.specHash, sw.hashes[i]); err == nil {
+			sw.svc.hits.Add(1)
+			sw.svc.cache.complete(key, entry, res, nil)
+			sw.record(i, res, nil, true)
+			return
+		}
+		// ErrNotFound and ErrCorrupt (quarantined) both mean compute; the
+		// recomputed result re-persists below, healing corrupt entries.
+	}
 	res, ran, err := sw.simulate(i)
 	if !ran || errors.Is(err, context.Canceled) {
 		// Never got a slot, or this sweep's cancel aborted the run
@@ -625,11 +878,24 @@ func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 		return
 	}
 	sw.svc.cache.complete(key, entry, res, err)
+	if err == nil {
+		if st := sw.svc.store; st != nil {
+			// Persist after publishing so waiters are never delayed by
+			// disk I/O. A failed Put is an observability event (store
+			// put_errors), not a scenario failure — the result is already
+			// served from memory.
+			if perr := st.Put(sw.specHash, sw.hashes[i], res); perr != nil && sw.svc.logf != nil {
+				sw.svc.logf("service: store put %s/%s: %v", sw.specHash, sw.hashes[i], perr)
+			}
+		}
+	}
 	sw.record(i, res, err, false)
 }
 
-// record finalizes one scenario's status.
+// record finalizes one scenario's status and returns its queue
+// reservation. It is called exactly once per dispatched scenario.
 func (sw *Sweep) record(i int, res *core.Result, err error, cacheHit bool) {
+	defer sw.svc.release(1)
 	sw.update(func() {
 		st := &sw.statuses[i]
 		st.CacheHit = cacheHit

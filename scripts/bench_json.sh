@@ -1,14 +1,14 @@
 #!/usr/bin/env sh
 # Run the headline benchmarks and emit them as a JSON array so the perf
-# trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 5
-# adds the multi-partition cooled day (BenchmarkTwinDaySetonix) with its
-# per-partition cpuMW/gpuMW power fields.
+# trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 6
+# adds the durable-store restart path (BenchmarkSweepWarmRestart) with
+# its disk-tier disk_scen/s rate.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR6.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|CoolingVariantSweep|MidDayCancel' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1
