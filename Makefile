@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench-smoke bench-json bench-compare ci
+.PHONY: all build vet test test-short test-race chaos check metrics-lint bench-smoke bench-json bench-compare ci
 
 all: build vet test
 
@@ -16,11 +16,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrent layers (sweep service + durable
-# result store) — the packages whose invariants are all about shared
-# state under load.
+# Race-detector pass over the concurrent layers (sweep service, durable
+# result store, metric registry/tracer) — the packages whose invariants
+# are all about shared state under load.
 test-race:
-	$(GO) test -race ./internal/service/... ./internal/store/...
+	$(GO) test -race ./internal/service/... ./internal/store/... ./internal/obs/...
 
 # Fault-injection suite: panics mid-simulation, deadline overruns,
 # transient and permanent failures, corrupted/truncated store entries,
@@ -29,19 +29,28 @@ chaos:
 	$(GO) test -race -run 'Chaos|Restart|Corrupt|Truncated|Backpressure|CancelReleases' \
 		./internal/service/... ./internal/store/...
 
-# Quick perf smoke: the headline day-replay benchmarks (with the
-# dense-vs-event speedup metric) plus the multi-day fan-out.
-bench-smoke:
-	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel' -benchtime 1x .
+# Lint the live /metrics exposition of a fully wired server against the
+# strict format parser and the naming conventions.
+metrics-lint:
+	./scripts/metrics_lint.sh
 
-# Emit the benchmark series as JSON (BENCH_PR6.json) so the perf
+# Static and runtime conformance: vet plus the exposition lint.
+check: vet metrics-lint
+
+# Quick perf smoke: the headline day-replay benchmarks (with the
+# dense-vs-event speedup metric), the multi-day fan-out, and the
+# /metrics scrape cost under load.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad' -benchtime 1x .
+
+# Emit the benchmark series as JSON (BENCH_PR7.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR6.json
+	./scripts/bench_json.sh BENCH_PR7.json
 
 # Diff the two most recent BENCH_PR*.json series benchmark by benchmark
 # (ns/op old vs new and the speedup ratio).
 bench-compare:
 	./scripts/bench_compare.sh
 
-ci: build vet test bench-smoke
+ci: build vet test check bench-smoke

@@ -7,6 +7,7 @@ package exadigit
 
 import (
 	"math"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -499,6 +500,57 @@ var (
 	fixedCooledMWh      float64
 	fixedCooledPUE      float64
 )
+
+// BenchmarkMetricsScrapeUnderLoad measures the /metrics exposition cost
+// while the sweep service is mid-sweep with a saturated worker pool —
+// the cost a Prometheus scrape interval imposes on a busy server. Each
+// iteration is one full scrape through the real HTTP handler; the last
+// response is re-parsed under the strict validator outside the timed
+// loop and its family/series/byte sizes ride along.
+func BenchmarkMetricsScrapeUnderLoad(b *testing.B) {
+	svc := NewSweepService(SweepServiceOptions{Workers: runtime.NumCPU()})
+	reg := svc.Registry()
+	RegisterGoMetrics(reg)
+	scenarios := make([]Scenario, 32)
+	for i := range scenarios {
+		gen := DefaultGeneratorConfig()
+		gen.Seed = int64(8000 + i)
+		scenarios[i] = Scenario{
+			Name: "scrape-load", Workload: WorkloadSynthetic,
+			HorizonSec: 6 * 3600, TickSec: 15,
+			Generator: gen, NoExport: true, NoHistory: true,
+		}
+	}
+	sw, err := svc.Submit(FrontierSpec(), scenarios, SweepOptions{Name: "scrape-load"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := reg.Handler()
+	var last []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			b.Fatalf("/metrics status = %d", rec.Code)
+		}
+		last = rec.Body.Bytes()
+	}
+	b.StopTimer()
+	e, err := ParseMetricsExposition(last)
+	if err != nil {
+		b.Fatalf("scrape under load failed strict validation: %v", err)
+	}
+	series := 0
+	for _, name := range e.FamilyNames() {
+		series += len(e.Families[name].Series)
+	}
+	b.ReportMetric(float64(len(e.FamilyNames())), "families")
+	b.ReportMetric(float64(series), "series")
+	b.ReportMetric(float64(len(last)), "bytes")
+	sw.Cancel()
+	<-sw.Done()
+}
 
 // Ablation benchmarks for the design choices DESIGN.md calls out.
 

@@ -18,7 +18,10 @@
 //	               [-cache-bytes 268435456] [-spec spec.json] [-warm 15m]
 //	               [-presets plants.json] [-token SECRET]
 //	               [-store DIR] [-scenario-timeout 0] [-max-attempts 3]
-//	               [-max-pending 4096] [-drain 30s]
+//	               [-max-pending 4096] [-drain 30s] [-trace FILE]
+//	               [-metrics-log-every 60s] [-pprof]
+//	exadigit metrics-dump   print the fully wired /metrics exposition
+//	exadigit metrics-lint   validate it (format + naming conventions)
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,9 +45,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("exadigit: ")
 
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serve(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serve(os.Args[2:])
+			return
+		case "metrics-dump":
+			metricsExposition(true)
+			return
+		case "metrics-lint":
+			metricsExposition(false)
+			return
+		}
 	}
 
 	var (
@@ -107,6 +121,9 @@ func serve(args []string) {
 		attempts   = fs.Int("max-attempts", 3, "simulation attempts per scenario before its failure is permanent")
 		maxPending = fs.Int("max-pending", 4096, "queued+running scenario bound; beyond it submissions get 429 + Retry-After")
 		drain      = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight sweeps before cancelling them")
+		traceFile  = fs.String("trace", "", "append every scenario lifecycle span to FILE as NDJSON (the /api/sweeps/trace ring persisted)")
+		logEvery   = fs.Duration("metrics-log-every", time.Minute, "period of the metrics heartbeat log line (0 disables; final flush still happens at shutdown)")
+		pprofOn    = fs.Bool("pprof", true, "mount /debug/pprof profiling endpoints (behind the bearer token when one is set)")
 	)
 	_ = fs.Parse(args)
 	if *token == "" {
@@ -162,14 +179,61 @@ func serve(args []string) {
 	svc.SetLogf(log.Printf)
 	dash := exadigit.NewDashboardServer(tw)
 	dash.SetLogf(log.Printf)
+
+	// One registry serves every subsystem: the sweep service registered
+	// its families at construction; the dashboard stack, the live twin's
+	// gauges, and the Go runtime join it here.
+	reg := svc.Registry()
+	dash.RegisterMetrics(reg)
+	exadigit.RegisterTwinMetrics(reg, tw)
+	exadigit.RegisterGoMetrics(reg)
+
+	var traceSink *os.File
+	if *traceFile != "" {
+		var err error
+		traceSink, err = os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.Tracer().SetSink(traceSink)
+		log.Printf("appending scenario lifecycle spans to %s", *traceFile)
+	}
+
 	mux := http.NewServeMux()
 	sweepAPI := svc.Handler()
 	mux.Handle("/api/sweeps", sweepAPI)
 	mux.Handle("/api/sweeps/", sweepAPI)
+	mux.Handle("GET /metrics", reg.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", dash.Handler())
 	handler := exadigit.RequireBearerToken(*token, mux)
 	if *token != "" {
 		log.Printf("bearer-token auth enabled (every request needs Authorization: Bearer <token>)")
+	}
+
+	// Periodic metrics heartbeat: the counters appear in the log on a
+	// cadence, not only at shutdown, so a wedged or killed -9 process
+	// still leaves recent accounting behind.
+	heartbeatDone := make(chan struct{})
+	if *logEvery > 0 {
+		go func() {
+			t := time.NewTicker(*logEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					log.Printf("metrics: sweeps %s | http %s", svc.Summary(), svc.Metrics().Summary())
+				case <-heartbeatDone:
+					return
+				}
+			}
+		}()
 	}
 
 	log.Printf("serving twin-as-a-service on %s (%d workers, cache %d entries / %d MiB)",
@@ -180,7 +244,12 @@ func serve(args []string) {
 	log.Printf("  GET  /api/sweeps/{id}/results  — completed results")
 	log.Printf("  GET  /api/sweeps/{id}/stream   — NDJSON results as they complete")
 	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued and in-flight work (aborts mid-day)")
-	log.Printf("  GET  /api/sweeps/metrics       — HTTP middleware counters")
+	log.Printf("  GET  /api/sweeps/metrics       — JSON metrics snapshot (http/cache/failures/store)")
+	log.Printf("  GET  /api/sweeps/trace         — NDJSON scenario lifecycle spans (?limit=N)")
+	log.Printf("  GET  /metrics                  — Prometheus text exposition")
+	if *pprofOn {
+		log.Printf("  GET  /debug/pprof/             — runtime profiling (heap, cpu, goroutines)")
+	}
 	log.Printf("  (dashboard endpoints /api/status, /api/series, /api/cooling, /api/run remain mounted)")
 
 	server := &http.Server{Addr: *addr, Handler: handler}
@@ -225,8 +294,16 @@ func serve(args []string) {
 		log.Printf("http shutdown: %v", err)
 	}
 
+	close(heartbeatDone)
 	log.Printf("sweep http: %s", svc.Metrics().Summary())
 	log.Printf("dashboard http: %s", dash.Metrics().Summary())
+	log.Printf("sweeps: %s", svc.Summary())
+	if traceSink != nil {
+		if err := svc.Tracer().SinkErr(); err != nil {
+			log.Printf("trace sink detached after write error: %v", err)
+		}
+		_ = traceSink.Close()
+	}
 	hits, misses, entries := svc.CacheStats()
 	log.Printf("result cache: hits=%d misses=%d entries=%d", hits, misses, entries)
 	fm := svc.FailureMetricsSnapshot()
@@ -237,4 +314,63 @@ func serve(args []string) {
 			sm.Hits, sm.Misses, sm.Puts, sm.PutErrors, sm.CorruptQuarantined, sm.Entries, sm.Bytes)
 	}
 	log.Printf("shutdown complete")
+}
+
+// metricsExposition wires the full serve-mode registry (sweep service,
+// dashboard stack, twin gauges, Go runtime), exercises it with one tiny
+// sweep and a couple of requests so the labeled families carry series,
+// and either prints the exposition (dump=true) or runs the strict
+// format validator plus the naming-convention lint over it — the engine
+// behind scripts/metrics_lint.sh and `make check`.
+func metricsExposition(dump bool) {
+	tw, err := exadigit.NewFrontierTwin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{Workers: 2})
+	reg := svc.Registry()
+	dash := exadigit.NewDashboardServer(tw)
+	dash.RegisterMetrics(reg)
+	exadigit.RegisterTwinMetrics(reg, tw)
+	exadigit.RegisterGoMetrics(reg)
+
+	sw, err := svc.Submit(exadigit.FrontierSpec(), []exadigit.Scenario{
+		{Workload: exadigit.WorkloadSynthetic, HorizonSec: 60, TickSec: 15, NoExport: true, NoHistory: true},
+	}, exadigit.SweepOptions{Name: "metrics-lint"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := sw.Wait(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for _, target := range []struct {
+		h    http.Handler
+		path string
+	}{
+		{svc.Handler(), "/api/sweeps"},
+		{svc.Handler(), "/api/sweeps/" + sw.ID()},
+		{dash.Handler(), "/api/status"},
+	} {
+		rec := httptest.NewRecorder()
+		target.h.ServeHTTP(rec, httptest.NewRequest("GET", target.path, nil))
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.Bytes()
+	if dump {
+		os.Stdout.Write(body)
+		return
+	}
+	e, err := exadigit.ParseMetricsExposition(body)
+	if err != nil {
+		log.Fatalf("metrics-lint: exposition invalid: %v", err)
+	}
+	if err := exadigit.ValidateMetricsConventions(e, "exadigit_"); err != nil {
+		log.Fatalf("metrics-lint: naming conventions violated: %v", err)
+	}
+	fmt.Printf("metrics-lint ok: %d families, %d series, %d bytes\n",
+		len(e.FamilyNames()), len(e.Series()), len(body))
 }

@@ -47,6 +47,7 @@ import (
 	"exadigit/internal/fmu"
 	"exadigit/internal/httpmw"
 	"exadigit/internal/job"
+	"exadigit/internal/obs"
 	"exadigit/internal/optimize"
 	"exadigit/internal/raps"
 	"exadigit/internal/service"
@@ -252,6 +253,53 @@ func RegisterCoolingPresetsFromJSON(data []byte) ([]string, error) {
 // at startup.
 func RegisterCoolingPresetsFromFile(path string) ([]string, error) {
 	return cooling.RegisterPresetsFromFile(path)
+}
+
+// Observability types: the unified metric registry behind the
+// Prometheus-format /metrics exposition and the per-scenario lifecycle
+// tracer behind /api/sweeps/trace (`exadigit serve` wires both).
+type (
+	// MetricsRegistry is the dependency-free metric registry. The sweep
+	// service reports into one (SweepServiceOptions.Registry, or a
+	// private one reachable via SweepService.Registry()); mount its
+	// Handler() as /metrics.
+	MetricsRegistry = obs.Registry
+	// ScenarioTracer is the bounded ring buffer of scenario lifecycle
+	// spans (SweepService.Tracer()); SetSink attaches an NDJSON file.
+	ScenarioTracer = obs.Tracer
+	// ScenarioSpan is one scenario's recorded lifecycle: queue wait,
+	// per-attempt wait/run/outcome, cache tier, and terminal state.
+	ScenarioSpan = obs.Span
+	// MetricsExposition is a parsed Prometheus text exposition — the
+	// strict validator behind scripts/metrics_lint.sh.
+	MetricsExposition = obs.Exposition
+)
+
+// NewMetricsRegistry builds an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RegisterGoMetrics attaches Go runtime series (goroutines, heap/stack
+// bytes, GC cycles and pause time) to the registry.
+func RegisterGoMetrics(reg *MetricsRegistry) { obs.RegisterGoCollector(reg) }
+
+// RegisterTwinMetrics attaches the live twin's last-run gauges (power,
+// per-partition power, PUE, utilization, queue depth, cooling-solver
+// work) to the registry — collected at scrape time, zero cost on the
+// simulation tick path.
+func RegisterTwinMetrics(reg *MetricsRegistry, tw *Twin) { core.RegisterTwinMetrics(reg, tw) }
+
+// ParseMetricsExposition runs the strict text-exposition validator:
+// HELP/TYPE discipline, family contiguity, duplicate-series and
+// counter-monotonicity checks, histogram bucket invariants.
+func ParseMetricsExposition(data []byte) (*MetricsExposition, error) {
+	return obs.ParseExposition(data)
+}
+
+// ValidateMetricsConventions enforces the repo's metric naming rules on
+// a parsed exposition: every family carries the prefix, counters end in
+// _total, histograms in _seconds or _bytes.
+func ValidateMetricsConventions(e *MetricsExposition, prefix string) error {
+	return obs.ValidateConventions(e, prefix)
 }
 
 // RequireBearerToken wraps an HTTP handler with bearer-token auth

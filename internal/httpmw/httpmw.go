@@ -3,8 +3,13 @@
 // hand-rolled their endpoints with no recovery or observability; this
 // package gives them one stack: panic recovery (a crashing handler
 // returns 500 instead of killing the connection), optional request
-// logging, and basic request metrics (totals, in-flight, status classes,
-// panics, cumulative handler time).
+// logging, and request metrics (per-route status-class counters, an
+// in-flight gauge, panics, and a request-duration histogram).
+//
+// The counters live in one place: Metrics is both the JSON snapshot
+// the /api/metrics endpoints serve and — once attached to an
+// obs.Registry via Register — the storage behind the Prometheus
+// /metrics series, so the two views cannot drift.
 package httpmw
 
 import (
@@ -13,25 +18,137 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"exadigit/internal/obs"
 )
 
 // Logf is the logging hook (log.Printf-shaped). nil disables logging.
 type Logf func(format string, args ...any)
 
-// Metrics holds the counters one middleware stack accumulates. All
-// methods are safe for concurrent use.
-type Metrics struct {
+// statusClasses are the response classes tracked per route.
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// routeMetrics is one route's counters.
+type routeMetrics struct {
 	requests atomic.Uint64
+	classes  [4]atomic.Uint64 // 2xx, 3xx, 4xx, 5xx
+}
+
+// maxRoutes bounds the per-route map so a path scan cannot grow it (and
+// the exposition's cardinality) without bound; overflow lands in the
+// "other" route.
+const maxRoutes = 64
+
+// Metrics holds the counters one middleware stack accumulates. All
+// methods are safe for concurrent use; the zero value is ready.
+type Metrics struct {
 	inFlight atomic.Int64
 	panics   atomic.Uint64
-	status2x atomic.Uint64
-	status3x atomic.Uint64
-	status4x atomic.Uint64
-	status5x atomic.Uint64
-	// totalNs accumulates handler wall time for a cheap mean latency.
-	totalNs atomic.Int64
+
+	latOnce sync.Once
+	latency *obs.Histogram
+
+	mu     sync.RWMutex
+	routes map[string]*routeMetrics
+}
+
+// hist lazily initializes the request-duration histogram so the zero
+// value stays usable.
+func (m *Metrics) hist() *obs.Histogram {
+	m.latOnce.Do(func() { m.latency = obs.NewHistogram(obs.DefBuckets) })
+	return m.latency
+}
+
+// route returns (creating on first use) the counters for the
+// normalized route of path.
+func (m *Metrics) route(path string) *routeMetrics {
+	key := RouteLabel(path)
+	m.mu.RLock()
+	rt := m.routes[key]
+	m.mu.RUnlock()
+	if rt != nil {
+		return rt
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.routes == nil {
+		m.routes = make(map[string]*routeMetrics)
+	}
+	if rt := m.routes[key]; rt != nil {
+		return rt
+	}
+	if len(m.routes) >= maxRoutes {
+		key = "other"
+		if rt := m.routes[key]; rt != nil {
+			return rt
+		}
+	}
+	rt = &routeMetrics{}
+	m.routes[key] = rt
+	return rt
+}
+
+// RouteLabel normalizes a request path into a bounded-cardinality route
+// label: sweep ids and content hashes become "{id}", so
+// /api/sweeps/sw-12/results and /api/sweeps/sw-97/results are one
+// route.
+func RouteLabel(path string) string {
+	if path == "" || path == "/" {
+		return "/"
+	}
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if isIDSegment(s) {
+			segs[i] = "{id}"
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// isIDSegment reports whether a path segment looks like a generated
+// identifier: a sweep id (sw-N), a pure number, or a content hash
+// (≥16 hex chars).
+func isIDSegment(s string) bool {
+	if rest, ok := strings.CutPrefix(s, "sw-"); ok && allDigits(rest) && rest != "" {
+		return true
+	}
+	if s != "" && allDigits(s) {
+		return true
+	}
+	if len(s) >= 16 && allHex(s) {
+		return true
+	}
+	return false
+}
+
+func allDigits(s string) bool {
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func allHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteSnapshot is one route's JSON view.
+type RouteSnapshot struct {
+	Requests  uint64 `json:"requests"`
+	Status2xx uint64 `json:"status_2xx"`
+	Status3xx uint64 `json:"status_3xx"`
+	Status4xx uint64 `json:"status_4xx"`
+	Status5xx uint64 `json:"status_5xx"`
 }
 
 // MetricsSnapshot is the JSON-serializable view of the counters.
@@ -44,28 +161,86 @@ type MetricsSnapshot struct {
 	Status4xx uint64  `json:"status_4xx"`
 	Status5xx uint64  `json:"status_5xx"`
 	AvgMs     float64 `json:"avg_ms"`
+	// Routes breaks the totals down by normalized route.
+	Routes map[string]RouteSnapshot `json:"routes,omitempty"`
 }
 
-// Snapshot returns a point-in-time copy of the counters.
+// Snapshot returns a point-in-time copy of the counters. Totals are the
+// sums over routes, so the JSON view and the per-route registry series
+// always reconcile.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:  m.requests.Load(),
-		InFlight:  m.inFlight.Load(),
-		Panics:    m.panics.Load(),
-		Status2xx: m.status2x.Load(),
-		Status3xx: m.status3x.Load(),
-		Status4xx: m.status4x.Load(),
-		Status5xx: m.status5x.Load(),
+		InFlight: m.inFlight.Load(),
+		Panics:   m.panics.Load(),
 	}
-	if s.Requests > 0 {
-		s.AvgMs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e6
+	m.mu.RLock()
+	if len(m.routes) > 0 {
+		s.Routes = make(map[string]RouteSnapshot, len(m.routes))
+	}
+	for route, rt := range m.routes {
+		rs := RouteSnapshot{
+			Requests:  rt.requests.Load(),
+			Status2xx: rt.classes[0].Load(),
+			Status3xx: rt.classes[1].Load(),
+			Status4xx: rt.classes[2].Load(),
+			Status5xx: rt.classes[3].Load(),
+		}
+		s.Routes[route] = rs
+		s.Requests += rs.Requests
+		s.Status2xx += rs.Status2xx
+		s.Status3xx += rs.Status3xx
+		s.Status4xx += rs.Status4xx
+		s.Status5xx += rs.Status5xx
+	}
+	m.mu.RUnlock()
+	h := m.hist().Snapshot()
+	if h.Count > 0 {
+		s.AvgMs = h.Sum / float64(h.Count) * 1e3
 	}
 	return s
 }
 
-// Summary renders the snapshot as one log line — the final metrics
-// flush a graceful shutdown emits so a server's request accounting is
-// not lost with the process (`exadigit serve` logs it after draining).
+// Register attaches the stack's counters to a metrics registry under
+// the given server label (e.g. "sweeps", "dashboard"). The registry
+// reads the same storage Snapshot does — registration adds a view, not
+// a second set of counters. Several stacks may share one registry; each
+// contributes its own server="..." series to the shared families.
+func (m *Metrics) Register(reg *obs.Registry, server string) {
+	reg.VecFunc(obs.KindCounter, "exadigit_http_requests_total",
+		"HTTP requests completed, by server, normalized route, and status class.",
+		[]string{"server", "route", "code"},
+		func(emit func([]string, float64)) {
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			for route, rt := range m.routes {
+				for i, class := range statusClasses {
+					emit([]string{server, route, class}, float64(rt.classes[i].Load()))
+				}
+			}
+		})
+	reg.VecFunc(obs.KindGauge, "exadigit_http_in_flight_requests",
+		"HTTP requests currently being handled.",
+		[]string{"server"},
+		func(emit func([]string, float64)) {
+			emit([]string{server}, float64(m.inFlight.Load()))
+		})
+	reg.VecFunc(obs.KindCounter, "exadigit_http_panics_total",
+		"Handler panics recovered by the middleware.",
+		[]string{"server"},
+		func(emit func([]string, float64)) {
+			emit([]string{server}, float64(m.panics.Load()))
+		})
+	reg.HistogramFunc("exadigit_http_request_duration_seconds",
+		"HTTP request handling time.",
+		[]string{"server"}, obs.DefBuckets,
+		func(emit func([]string, obs.HistogramSnapshot)) {
+			emit([]string{server}, m.hist().Snapshot())
+		})
+}
+
+// Summary renders the snapshot as one log line — the periodic metrics
+// heartbeat and the final flush a graceful shutdown emits so a server's
+// request accounting is not lost with the process.
 func (m *Metrics) Summary() string {
 	s := m.Snapshot()
 	return fmt.Sprintf("requests=%d in_flight=%d 2xx=%d 3xx=%d 4xx=%d 5xx=%d panics=%d avg_ms=%.2f",
@@ -140,25 +315,41 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
+// classIndex maps a status code to its class counter slot.
+func classIndex(code int) int {
+	switch {
+	case code >= 500:
+		return 3
+	case code >= 400:
+		return 2
+	case code >= 300:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Wrap layers panic recovery, metrics accounting, and (when logf is
 // non-nil) request logging around h. m may be nil to skip metrics.
 func Wrap(h http.Handler, logf Logf, m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w}
+		var rt *routeMetrics
 		if m != nil {
-			m.requests.Add(1)
+			rt = m.route(r.URL.Path)
+			rt.requests.Add(1)
 			m.inFlight.Add(1)
 		}
 		defer func() {
 			if m != nil {
 				m.inFlight.Add(-1)
-				m.totalNs.Add(int64(time.Since(start)))
+				m.hist().Observe(time.Since(start).Seconds())
 			}
 			if rec := recover(); rec != nil {
 				if m != nil {
 					m.panics.Add(1)
-					m.status5x.Add(1)
+					rt.classes[3].Add(1)
 				}
 				if !sr.wrote {
 					http.Error(w, "internal server error", http.StatusInternalServerError)
@@ -173,16 +364,7 @@ func Wrap(h http.Handler, logf Logf, m *Metrics) http.Handler {
 				code = http.StatusOK
 			}
 			if m != nil {
-				switch {
-				case code >= 500:
-					m.status5x.Add(1)
-				case code >= 400:
-					m.status4x.Add(1)
-				case code >= 300:
-					m.status3x.Add(1)
-				default:
-					m.status2x.Add(1)
-				}
+				rt.classes[classIndex(code)].Add(1)
 			}
 			if logf != nil {
 				logf("http: %s %s -> %d (%s)", r.Method, r.URL.Path, code,

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"exadigit/internal/obs"
 )
 
 func TestWrapRecoversPanicsAndCounts(t *testing.T) {
@@ -123,5 +125,135 @@ func TestSummaryLine(t *testing.T) {
 		if !strings.Contains(sum, want) {
 			t.Errorf("summary %q missing %q", sum, want)
 		}
+	}
+}
+
+// TestRouteLabel pins the cardinality-bounding normalization: generated
+// identifiers collapse to {id}, everything else passes through.
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"":                          "/",
+		"/":                         "/",
+		"/api/sweeps":               "/api/sweeps",
+		"/api/sweeps/sw-12":         "/api/sweeps/{id}",
+		"/api/sweeps/sw-97/results": "/api/sweeps/{id}/results",
+		"/api/sweeps/sw-/results":   "/api/sweeps/sw-/results", // not an id
+		"/api/experiments/42":       "/api/experiments/{id}",
+		"/api/run/deadbeefdeadbeef": "/api/run/{id}",     // 16 hex chars
+		"/api/run/deadbeef":         "/api/run/deadbeef", // too short for a hash
+		"/metrics":                  "/metrics",
+	}
+	for path, want := range cases {
+		if got := RouteLabel(path); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestPerRouteSnapshot: the snapshot breaks totals down by normalized
+// route and the totals are exactly the per-route sums.
+func TestPerRouteSnapshot(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("GET /api/sweeps", func(w http.ResponseWriter, r *http.Request) {})
+	m := &Metrics{}
+	srv := httptest.NewServer(Wrap(mux, nil, m))
+	defer srv.Close()
+
+	for _, p := range []string{"/api/sweeps/sw-1", "/api/sweeps/sw-2", "/api/sweeps", "/nope"} {
+		resp, err := srv.Client().Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	s := m.Snapshot()
+	if s.Requests != 4 || s.Status2xx != 3 || s.Status4xx != 1 {
+		t.Fatalf("snapshot totals = %+v", s)
+	}
+	if rt := s.Routes["/api/sweeps/{id}"]; rt.Requests != 2 || rt.Status2xx != 2 {
+		t.Fatalf("/api/sweeps/{id} route = %+v", rt)
+	}
+	if rt := s.Routes["/api/sweeps"]; rt.Requests != 1 {
+		t.Fatalf("/api/sweeps route = %+v", rt)
+	}
+	if rt := s.Routes["/nope"]; rt.Status4xx != 1 {
+		t.Fatalf("/nope route = %+v", rt)
+	}
+	var sum uint64
+	for _, rt := range s.Routes {
+		sum += rt.Requests
+	}
+	if sum != s.Requests {
+		t.Fatalf("route sum %d != total %d", sum, s.Requests)
+	}
+}
+
+// TestRouteOverflowLandsInOther: the per-route map is bounded; a path
+// scan past the cap accumulates under "other" instead of growing the
+// exposition's cardinality without bound.
+func TestRouteOverflowLandsInOther(t *testing.T) {
+	m := &Metrics{}
+	h := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), nil, m)
+	for i := 0; i < maxRoutes+10; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/scan/path-%c%d", 'a'+i%26, i), nil))
+	}
+	s := m.Snapshot()
+	if len(s.Routes) > maxRoutes+1 {
+		t.Fatalf("route map grew to %d entries (cap %d + other)", len(s.Routes), maxRoutes)
+	}
+	other, ok := s.Routes["other"]
+	if !ok || other.Requests == 0 {
+		t.Fatalf("overflow routes not folded into other: %+v", s.Routes["other"])
+	}
+	if s.Requests != maxRoutes+10 {
+		t.Fatalf("total %d, want %d", s.Requests, maxRoutes+10)
+	}
+}
+
+// TestRegisterExposesSeries: Register is a view over the same storage
+// Snapshot reads — the exposition's per-route series sum to the JSON
+// totals, and two stacks share one family under distinct server labels.
+func TestRegisterExposesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	ma, mb := &Metrics{}, &Metrics{}
+	ma.Register(reg, "sweeps")
+	mb.Register(reg, "dashboard")
+
+	ha := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), nil, ma)
+	hb := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}), nil, mb)
+	for i := 0; i < 3; i++ {
+		ha.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/api/sweeps", nil))
+	}
+	hb.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/api/status", nil))
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	e, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	series := e.Series()
+	get := func(name string, labels map[string]string) float64 {
+		return series[obs.ExpoSeries{Name: name, Labels: labels}.ID()]
+	}
+	if got := get("exadigit_http_requests_total",
+		map[string]string{"server": "sweeps", "route": "/api/sweeps", "code": "2xx"}); got != 3 {
+		t.Errorf("sweeps 2xx series = %v, want 3", got)
+	}
+	if got := get("exadigit_http_requests_total",
+		map[string]string{"server": "dashboard", "route": "/api/status", "code": "4xx"}); got != 1 {
+		t.Errorf("dashboard 4xx series = %v, want 1", got)
+	}
+	if got := get("exadigit_http_request_duration_seconds_count",
+		map[string]string{"server": "sweeps"}); got != 3 {
+		t.Errorf("sweeps duration count = %v, want 3", got)
+	}
+	if got := get("exadigit_http_in_flight_requests",
+		map[string]string{"server": "dashboard"}); got != 0 {
+		t.Errorf("dashboard in-flight = %v, want 0", got)
 	}
 }

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in Prometheus text exposition format
+// 0.0.4: per family one # HELP and one # TYPE line followed by its
+// series in sorted label order, with label values escaped and float
+// values in shortest-round-trip form. The strict validator in lint.go
+// parses exactly what this writer produces — the format tests run the
+// two against each other.
+
+// expoSample is one rendered series line's worth of data.
+type expoSample struct {
+	labelValues []string
+	value       float64
+	hist        *HistogramSnapshot
+}
+
+// Write renders the full exposition. Families are emitted in name
+// order; series within a family in label-value order. Collector funcs
+// run inside the family lock, so a collector must not re-enter the
+// registry.
+func (r *Registry) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		samples := f.gather()
+		if len(samples) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for i := range samples {
+			if f.kind == KindHistogram {
+				writeHistogram(bw, f, &samples[i])
+			} else {
+				writeSeries(bw, f.name, f.labelNames, samples[i].labelValues, "", samples[i].value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// gather snapshots the family's series — instrument-backed first, then
+// collector emissions — sorted by label values for a stable exposition.
+func (f *family) gather() []expoSample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []expoSample
+	for _, s := range f.series {
+		smp := expoSample{labelValues: s.labelValues}
+		switch {
+		case s.counter != nil:
+			smp.value = s.counter.sampleValue()
+		case s.gauge != nil:
+			smp.value = s.gauge.sampleValue()
+		case s.hist != nil:
+			h := s.hist.Snapshot()
+			smp.hist = &h
+		}
+		out = append(out, smp)
+	}
+	for _, collect := range f.collectors {
+		collect(func(labelValues []string, v float64) {
+			out = append(out, expoSample{labelValues: append([]string(nil), labelValues...), value: v})
+		})
+	}
+	for _, collect := range f.histCols {
+		collect(func(labelValues []string, h HistogramSnapshot) {
+			hc := h
+			out = append(out, expoSample{labelValues: append([]string(nil), labelValues...), hist: &hc})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return seriesKey(out[i].labelValues) < seriesKey(out[j].labelValues)
+	})
+	return out
+}
+
+// writeSeries renders one sample line:
+// name{label="value",...,extraName="extraValue"} 42
+func writeSeries(bw *bufio.Writer, name string, labelNames, labelValues []string, extra string, v float64) {
+	bw.WriteString(name)
+	if len(labelNames) > 0 || extra != "" {
+		bw.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labelValues[i]))
+			bw.WriteByte('"')
+		}
+		if extra != "" {
+			if len(labelNames) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram renders the _bucket/_sum/_count triplet for one
+// histogram series.
+func writeHistogram(bw *bufio.Writer, f *family, s *expoSample) {
+	h := s.hist
+	for i, b := range h.Bounds {
+		writeSeries(bw, f.name+"_bucket", f.labelNames, s.labelValues,
+			`le="`+formatValue(b)+`"`, float64(h.Counts[i]))
+	}
+	writeSeries(bw, f.name+"_bucket", f.labelNames, s.labelValues, `le="+Inf"`, float64(h.Count))
+	writeSeries(bw, f.name+"_sum", f.labelNames, s.labelValues, "", h.Sum)
+	writeSeries(bw, f.name+"_count", f.labelNames, s.labelValues, "", float64(h.Count))
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with the special values spelled +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the strict exposition validator: a line-format parser
+// for the Prometheus text format that rejects anything a picky scraper
+// could choke on — HELP/TYPE ordering violations, interleaved families,
+// duplicate series, malformed label escaping, non-cumulative histogram
+// buckets — plus the repo's naming conventions (exadigit_ prefix,
+// _total/_seconds/_bytes suffixes). The exposition tests run every
+// scrape through it, and scripts/metrics_lint.sh runs it against the
+// fully wired registry via `exadigit metrics-lint`.
+
+// ExpoSeries is one parsed sample line.
+type ExpoSeries struct {
+	Name   string            // full sample name (may carry _bucket/_sum/_count)
+	Labels map[string]string // parsed label set
+	Value  float64
+}
+
+// ID renders the canonical series identity (name plus sorted labels) —
+// the key duplicate detection and cross-scrape comparison use.
+func (s ExpoSeries) ID() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ExpoFamily is one parsed metric family.
+type ExpoFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Series []ExpoSeries
+}
+
+// Exposition is a fully parsed and format-validated scrape.
+type Exposition struct {
+	Families map[string]*ExpoFamily
+	order    []string
+}
+
+// FamilyNames returns the family names in exposition order.
+func (e *Exposition) FamilyNames() []string { return append([]string(nil), e.order...) }
+
+// Series returns a flat map of every sample keyed by ID — the shape the
+// monotonicity test diffs across two scrapes.
+func (e *Exposition) Series() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range e.Families {
+		for _, s := range f.Series {
+			out[s.ID()] = s.Value
+		}
+	}
+	return out
+}
+
+// baseName strips a histogram sample suffix back to its family name.
+func baseName(sample string, families map[string]*ExpoFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(sample, suf); ok {
+			if f, exists := families[b]; exists && f.Type == "histogram" {
+				return b
+			}
+		}
+	}
+	return sample
+}
+
+// ParseExposition parses and strictly validates a text-format scrape.
+// Beyond being parseable, it requires: every family introduced by a
+// HELP line immediately followed by its TYPE line, each family's
+// samples contiguous, no duplicate series, histogram buckets cumulative
+// with a terminal +Inf equal to _count, and counter values finite and
+// non-negative.
+func ParseExposition(data []byte) (*Exposition, error) {
+	e := &Exposition{Families: make(map[string]*ExpoFamily)}
+	var cur *ExpoFamily
+	var pendingHelp string
+	havePendingHelp := false
+	closed := make(map[string]bool) // families whose sample block ended
+	seen := make(map[string]bool)   // duplicate-series detection
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if havePendingHelp {
+				return nil, fmt.Errorf("line %d: HELP not followed by TYPE", lineNo)
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP line", lineNo)
+			}
+			pendingHelp = name
+			havePendingHelp = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			if !havePendingHelp || pendingHelp != name {
+				return nil, fmt.Errorf("line %d: TYPE %s without immediately preceding HELP", lineNo, name)
+			}
+			havePendingHelp = false
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			if _, dup := e.Families[name]; dup {
+				return nil, fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			cur = &ExpoFamily{Name: name, Type: typ}
+			e.Families[name] = cur
+			e.order = append(e.order, name)
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			if havePendingHelp {
+				return nil, fmt.Errorf("line %d: HELP not followed by TYPE", lineNo)
+			}
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			fam := baseName(s.Name, e.Families)
+			f, ok := e.Families[fam]
+			if !ok {
+				return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, s.Name)
+			}
+			if cur == nil || cur.Name != fam {
+				// The sample belongs to an earlier family: interleaving.
+				if closed[fam] {
+					return nil, fmt.Errorf("line %d: samples for %s are not contiguous", lineNo, fam)
+				}
+				return nil, fmt.Errorf("line %d: sample %s under family %s block", lineNo, s.Name, familyName(cur))
+			}
+			if id := s.ID(); seen[id] {
+				return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, id)
+			} else {
+				seen[id] = true
+			}
+			if f.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0)) {
+				return nil, fmt.Errorf("line %d: counter %s has invalid value %v", lineNo, s.Name, s.Value)
+			}
+			f.Series = append(f.Series, s)
+		}
+		// A family's sample block closes when the next family opens.
+		if cur != nil && len(e.order) > 1 {
+			for _, n := range e.order[:len(e.order)-1] {
+				closed[n] = true
+			}
+		}
+	}
+	if havePendingHelp {
+		return nil, fmt.Errorf("trailing HELP %s without TYPE", pendingHelp)
+	}
+	for _, f := range e.Families {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+func familyName(f *ExpoFamily) string {
+	if f == nil {
+		return "(none)"
+	}
+	return f.Name
+}
+
+// validateHistogram checks each label set's buckets are cumulative in
+// ascending le order, terminated by +Inf, and consistent with _count.
+func validateHistogram(f *ExpoFamily) error {
+	type group struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	groups := make(map[string]*group)
+	keyOf := func(s ExpoSeries) string {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		return ExpoSeries{Name: f.Name, Labels: labels}.ID()
+	}
+	for _, s := range f.Series {
+		g := groups[keyOf(s)]
+		if g == nil {
+			g = &group{}
+			groups[keyOf(s)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: %s_bucket without le label", f.Name)
+			}
+			le, err := parseLe(leStr)
+			if err != nil {
+				return fmt.Errorf("obs: %s: %w", f.Name, err)
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+		case f.Name + "_count":
+			g.count, g.hasCnt = s.Value, true
+		default:
+			return fmt.Errorf("obs: unexpected sample %s in histogram %s", s.Name, f.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("obs: histogram series %s has no buckets", key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("obs: histogram %s buckets not in ascending le order", key)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("obs: histogram %s buckets not cumulative", key)
+			}
+		}
+		if !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("obs: histogram %s missing le=\"+Inf\" bucket", key)
+		}
+		if !g.hasCnt {
+			return fmt.Errorf("obs: histogram %s missing _count", key)
+		}
+		if g.counts[len(g.counts)-1] != g.count {
+			return fmt.Errorf("obs: histogram %s +Inf bucket %v != count %v",
+				key, g.counts[len(g.counts)-1], g.count)
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return v, nil
+}
+
+// parseSample parses `name{label="value",...} 1.5` with full label
+// unescaping.
+func parseSample(line string) (ExpoSeries, error) {
+	s := ExpoSeries{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i]) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j]) {
+				j++
+			}
+			if j == i || j >= len(line) || line[j] != '=' || j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			name := line[i:j]
+			val, next, err := parseQuoted(line, j+1)
+			if err != nil {
+				return s, err
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %s in %q", name, line)
+			}
+			s.Labels[name] = val
+			i = next
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	valStr := strings.TrimSpace(line[i+1:])
+	switch valStr {
+	case "+Inf":
+		s.Value = math.Inf(1)
+	case "-Inf":
+		s.Value = math.Inf(-1)
+	case "NaN":
+		s.Value = math.NaN()
+	default:
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad value %q in %q", valStr, line)
+		}
+		s.Value = v
+	}
+	return s, nil
+}
+
+// parseQuoted parses a double-quoted, backslash-escaped label value
+// starting at the opening quote line[start]; it returns the unescaped
+// value and the index just past the closing quote.
+func parseQuoted(line string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(line) {
+		switch line[i] {
+		case '\\':
+			if i+1 >= len(line) {
+				return "", 0, fmt.Errorf("dangling escape in %q", line)
+			}
+			switch line[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in %q", line[i+1], line)
+			}
+			i += 2
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(line[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", line)
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// ValidateConventions enforces the repo's naming rules over a parsed
+// exposition: every family name carries the prefix and the kind's unit
+// suffix (CheckName's rules).
+func ValidateConventions(e *Exposition, prefix string) error {
+	for _, name := range e.order {
+		f := e.Families[name]
+		if !strings.HasPrefix(name, prefix) {
+			return fmt.Errorf("obs: metric %s lacks the %s prefix", name, prefix)
+		}
+		var kind Kind
+		switch f.Type {
+		case "counter":
+			kind = KindCounter
+		case "gauge":
+			kind = KindGauge
+		case "histogram":
+			kind = KindHistogram
+		}
+		if err := CheckName(kind, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "runtime"
+
+// RegisterGoCollector registers the Go runtime gauges — goroutine
+// count, heap sizes, GC cycle and pause accounting — read at scrape
+// time. One runtime.ReadMemStats per scrape (the collectors share a
+// single read via the emit closure), which is negligible at scrape
+// cadence.
+func RegisterGoCollector(r *Registry) {
+	r.GaugeFunc("exadigit_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.VecFunc(KindGauge, "exadigit_go_memstats_bytes",
+		"Go runtime memory accounting by area (heap_alloc, heap_sys, stack_sys).",
+		[]string{"area"},
+		func(emit func([]string, float64)) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			emit([]string{"heap_alloc"}, float64(ms.HeapAlloc))
+			emit([]string{"heap_sys"}, float64(ms.HeapSys))
+			emit([]string{"stack_sys"}, float64(ms.StackSys))
+		})
+	r.CounterFunc("exadigit_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.CounterFunc("exadigit_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

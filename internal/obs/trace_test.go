@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func span(i int) Span {
+	return Span{
+		Time:         time.Unix(int64(i), 0).UTC(),
+		Sweep:        "sw-1",
+		Index:        i,
+		ScenarioHash: fmt.Sprintf("%04x", i),
+		State:        "done",
+		CacheTier:    "compute",
+		TotalSec:     float64(i),
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(span(i))
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Index != 6+i {
+			t.Errorf("span %d has index %d, want %d (oldest-first order)", i, s.Index, 6+i)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d", tr.Total())
+	}
+}
+
+func TestTracerSinkNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2)
+	tr.SetSink(&buf)
+	for i := 0; i < 5; i++ {
+		tr.Emit(span(i))
+	}
+	// Every span reaches the sink even though the ring only holds 2.
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("sink line %d: %v", n, err)
+		}
+		if s.Index != n {
+			t.Errorf("sink line %d has index %d", n, s.Index)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("sink received %d lines, want 5", n)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTracerSinkErrorDetaches(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetSink(failWriter{})
+	tr.Emit(span(0))
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error not recorded")
+	}
+	// Emission keeps working without the sink.
+	tr.Emit(span(1))
+	if len(tr.Snapshot()) != 2 {
+		t.Error("emission stopped after sink failure")
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 6; i++ {
+		tr.Emit(span(i))
+	}
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "?limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []Span
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, s)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d spans, want 3", len(lines))
+	}
+	if lines[0].Index != 3 || lines[2].Index != 5 {
+		t.Errorf("limit did not keep the most recent spans: %+v", lines)
+	}
+}

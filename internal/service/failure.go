@@ -157,10 +157,10 @@ type FailureMetrics struct {
 // FailureMetricsSnapshot returns the current failure/recovery counters.
 func (s *Service) FailureMetricsSnapshot() FailureMetrics {
 	return FailureMetrics{
-		Retries:         s.retries.Load(),
-		PanicsRecovered: s.panics.Load(),
-		Timeouts:        s.timeouts.Load(),
-		QueueRejections: s.rejections.Load(),
+		Retries:         s.retries.Value(),
+		PanicsRecovered: s.panics.Value(),
+		Timeouts:        s.timeouts.Value(),
+		QueueRejections: s.rejections.Value(),
 		Pending:         s.pending.Load(),
 		MaxPending:      s.maxPending,
 	}
@@ -174,7 +174,7 @@ func (s *Service) FailureMetricsSnapshot() FailureMetrics {
 func (sw *Sweep) runRecovered(ctx context.Context, i, attempt int) (res *core.Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			sw.svc.panics.Add(1)
+			sw.svc.panics.Inc()
 			res, err = nil, &PanicError{Value: rec, Stack: string(debug.Stack())}
 		}
 	}()

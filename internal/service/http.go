@@ -140,6 +140,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /api/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /api/sweeps", s.handleList)
 	mux.HandleFunc("GET /api/sweeps/metrics", s.handleMetrics)
+	mux.Handle("GET /api/sweeps/trace", s.tracer.Handler())
 	mux.HandleFunc("GET /api/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/sweeps/{id}/stream", s.handleStream)

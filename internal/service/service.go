@@ -20,7 +20,9 @@ import (
 
 	"exadigit/internal/config"
 	"exadigit/internal/core"
+	"exadigit/internal/fmu"
 	"exadigit/internal/httpmw"
+	"exadigit/internal/obs"
 	"exadigit/internal/store"
 )
 
@@ -68,6 +70,15 @@ type Options struct {
 	// refuse work (Submit returns ErrSaturated, HTTP 429 + Retry-After)
 	// instead of accepting sweeps it will never finish (0 → 4096).
 	MaxPending int
+	// Registry receives the service's metric families (cache, failure,
+	// store, HTTP, model/FMU build counters) for the Prometheus /metrics
+	// exposition. nil → a private registry, still reachable via
+	// Service.Registry(). One Service per registry: the service owns the
+	// exadigit_sweep_*/exadigit_cache_* family names it registers.
+	Registry *obs.Registry
+	// TraceCap bounds the per-scenario lifecycle span ring buffer served
+	// at /api/sweeps/trace (0 → 1024).
+	TraceCap int
 }
 
 // Service is the sweep server. Create with New; it has no background
@@ -78,10 +89,10 @@ type Service struct {
 	slots     chan struct{} // global simulation-worker pool
 	cache     *resultCache
 	store     *store.Store // durable tier; nil → memory-only
-	hits      atomic.Uint64
-	misses    atomic.Uint64
 	logf      httpmw.Logf
 	metrics   *httpmw.Metrics
+	reg       *obs.Registry
+	tracer    *obs.Tracer
 
 	// Failure-domain configuration (service-wide defaults; sweeps may
 	// override timeout and attempts).
@@ -91,12 +102,17 @@ type Service struct {
 	retryMax        time.Duration
 	maxPending      int
 
-	// Failure/recovery accounting (FailureMetricsSnapshot).
-	retries    atomic.Uint64
-	panics     atomic.Uint64
-	timeouts   atomic.Uint64
-	rejections atomic.Uint64
-	pending    atomic.Int64 // queued+running scenarios across all sweeps
+	// Cache and failure/recovery accounting. These registry instruments
+	// ARE the counters — FailureMetricsSnapshot, CacheMetricsSnapshot,
+	// and the /metrics exposition all read the same storage.
+	hits       *obs.Counter
+	misses     *obs.Counter
+	retries    *obs.Counter
+	panics     *obs.Counter
+	timeouts   *obs.Counter
+	rejections *obs.Counter
+	scenRate   *obs.Gauge   // scenarios/sec of the most recently finished sweep
+	pending    atomic.Int64 // queued+running scenarios across all sweeps (CAS admission)
 
 	faults faultHolder // test-only chaos hook
 
@@ -141,13 +157,19 @@ func New(opts Options) *Service {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = 4096
 	}
-	return &Service{
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Service{
 		workers:         opts.Workers,
 		maxSweeps:       opts.MaxSweeps,
 		slots:           make(chan struct{}, opts.Workers),
 		cache:           newResultCache(opts.CacheCap, opts.CacheMaxBytes),
 		store:           opts.Store,
 		metrics:         &httpmw.Metrics{},
+		reg:             reg,
+		tracer:          obs.NewTracer(opts.TraceCap),
 		scenarioTimeout: opts.ScenarioTimeout,
 		maxAttempts:     opts.MaxAttempts,
 		retryBase:       opts.RetryBaseDelay,
@@ -156,6 +178,109 @@ func New(opts Options) *Service {
 		specs:           make(map[string]*core.CompiledSpec),
 		sweeps:          make(map[string]*Sweep),
 	}
+	s.registerMetrics()
+	return s
+}
+
+// registerMetrics attaches every service counter to the registry. The
+// hot-path counters (cache hits/misses, retries, panics, timeouts,
+// rejections) are registry instruments written directly by the workers;
+// owner-held state (pending, cache occupancy, store counters, global
+// model-build counters) is collected at scrape time. The JSON snapshot
+// endpoints read the same storage, so the two views cannot drift.
+func (s *Service) registerMetrics() {
+	reg := s.reg
+	s.hits = reg.Counter("exadigit_cache_hits_total",
+		"Scenarios served from a cache tier (memory or durable store).")
+	s.misses = reg.Counter("exadigit_cache_misses_total",
+		"Scenario simulation attempts started (cache misses).")
+	s.retries = reg.Counter("exadigit_sweep_retries_total",
+		"Scenario re-attempts after a transient failure.")
+	s.panics = reg.Counter("exadigit_sweep_panics_recovered_total",
+		"Worker panics recovered into per-scenario failures.")
+	s.timeouts = reg.Counter("exadigit_sweep_timeouts_total",
+		"Scenario attempts that exceeded their deadline.")
+	s.rejections = reg.Counter("exadigit_sweep_queue_rejections_total",
+		"Sweep submissions refused because the queue was saturated.")
+	s.scenRate = reg.Gauge("exadigit_sweep_scenarios_per_second",
+		"Throughput of the most recently finished sweep.")
+	reg.GaugeFunc("exadigit_sweep_pending_scenarios",
+		"Queued+running scenarios across all sweeps.",
+		func() float64 { return float64(s.pending.Load()) })
+	reg.GaugeFunc("exadigit_sweep_max_pending",
+		"Admission bound on pending scenarios.",
+		func() float64 { return float64(s.maxPending) })
+	reg.GaugeFunc("exadigit_sweep_workers",
+		"Simulation worker-pool capacity.",
+		func() float64 { return float64(s.workers) })
+	reg.CounterFunc("exadigit_cache_evictions_total",
+		"Completed results dropped by the cache capacity bounds.",
+		func() float64 {
+			ev, _, _, _, _ := s.cache.stats()
+			return float64(ev)
+		})
+	reg.GaugeFunc("exadigit_cache_entries",
+		"Live result-cache entries.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("exadigit_cache_bytes",
+		"Approximate resident size of cached results.",
+		func() float64 {
+			_, _, _, bytes, _ := s.cache.stats()
+			return float64(bytes)
+		})
+	reg.GaugeFunc("exadigit_cache_capacity_bytes",
+		"Byte bound the cache evicts against.",
+		func() float64 {
+			_, _, _, _, maxBytes := s.cache.stats()
+			return float64(maxBytes)
+		})
+	reg.CounterFunc("exadigit_model_builds_total",
+		"Partition power models built process-wide (spec compilations).",
+		func() float64 { return float64(config.ModelBuilds()) })
+	reg.CounterFunc("exadigit_fmu_description_builds_total",
+		"Cooling FMU model descriptions built process-wide.",
+		func() float64 { return float64(fmu.DescriptionBuilds()) })
+	reg.CounterFunc("exadigit_trace_spans_total",
+		"Scenario lifecycle spans emitted.",
+		func() float64 { return float64(s.tracer.Total()) })
+	if st := s.store; st != nil {
+		reg.VecFunc(obs.KindCounter, "exadigit_store_ops_total",
+			"Durable result-store operations by kind.",
+			[]string{"op"},
+			func(emit func([]string, float64)) {
+				m := st.Stats()
+				emit([]string{"hit"}, float64(m.Hits))
+				emit([]string{"miss"}, float64(m.Misses))
+				emit([]string{"put"}, float64(m.Puts))
+				emit([]string{"put_error"}, float64(m.PutErrors))
+				emit([]string{"corrupt_quarantined"}, float64(m.CorruptQuarantined))
+			})
+		reg.GaugeFunc("exadigit_store_entries",
+			"Results resident in the durable store.",
+			func() float64 { return float64(st.Stats().Entries) })
+		reg.GaugeFunc("exadigit_store_bytes",
+			"Bytes resident in the durable store.",
+			func() float64 { return float64(st.Stats().Bytes) })
+	}
+	s.metrics.Register(reg, "sweeps")
+}
+
+// Registry returns the metric registry the service reports into — mount
+// Registry().Handler() as /metrics.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the per-scenario lifecycle tracer (served at
+// /api/sweeps/trace; attach an NDJSON file sink via Tracer().SetSink).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// Summary renders the service counters as one log line — the periodic
+// metrics heartbeat the server emits alongside the HTTP summary.
+func (s *Service) Summary() string {
+	f := s.FailureMetricsSnapshot()
+	c := s.CacheMetricsSnapshot()
+	return fmt.Sprintf("pending=%d hits=%d misses=%d evictions=%d cache_entries=%d cache_mb=%.1f retries=%d panics=%d timeouts=%d rejections=%d spans=%d",
+		f.Pending, c.Hits, c.Misses, c.Evictions, c.Entries, float64(c.Bytes)/(1<<20),
+		f.Retries, f.PanicsRecovered, f.Timeouts, f.QueueRejections, s.tracer.Total())
 }
 
 // Store returns the durable result store, or nil when memory-only.
@@ -183,7 +308,7 @@ func (s *Service) Metrics() *httpmw.Metrics { return s.metrics }
 // CacheStats reports result-cache effectiveness: served-from-cache
 // scenario count, simulated count, and live cached entries.
 func (s *Service) CacheStats() (hits, misses uint64, entries int) {
-	return s.hits.Load(), s.misses.Load(), s.cache.len()
+	return s.hits.Value(), s.misses.Value(), s.cache.len()
 }
 
 // CacheMetrics is the full result-cache accounting served on
@@ -206,8 +331,8 @@ type CacheMetrics struct {
 func (s *Service) CacheMetricsSnapshot() CacheMetrics {
 	ev, entries, capacity, bytes, maxBytes := s.cache.stats()
 	return CacheMetrics{
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
+		Hits:          s.hits.Value(),
+		Misses:        s.misses.Value(),
 		Evictions:     ev,
 		Entries:       entries,
 		Capacity:      capacity,
@@ -313,14 +438,16 @@ type SweepStatus struct {
 
 // Sweep is one submitted battery of scenarios working through the pool.
 type Sweep struct {
-	id        string
-	name      string
-	specHash  string
-	createdAt time.Time
-	compiled  *core.CompiledSpec // released when the sweep finishes
-	scenarios []core.Scenario    // released when the sweep finishes
-	hashes    []string
-	svc       *Service
+	id         string
+	name       string
+	specHash   string
+	createdAt  time.Time
+	compileSec float64            // spec-compile wall time, stamped on every span
+	compiled   *core.CompiledSpec // released when the sweep finishes
+	scenarios  []core.Scenario    // released when the sweep finishes
+	hashes     []string
+	spans      []spanState // per-scenario lifecycle accounting
+	svc        *Service
 
 	timeout     time.Duration // per-attempt deadline (0 → none)
 	maxAttempts int
@@ -335,6 +462,75 @@ type Sweep struct {
 	done     chan struct{} // closed when every scenario is terminal
 }
 
+// Cache tiers a scenario span reports (obs.Span.CacheTier).
+const (
+	tierMemory  = "memory"
+	tierDisk    = "disk"
+	tierCompute = "compute"
+	tierNone    = "none"
+)
+
+// spanState accumulates one scenario's lifecycle timings until the
+// terminal state emits them as an obs.Span.
+type spanState struct {
+	mu       sync.Mutex
+	queued   bool    // queueSec recorded (first attempt got a slot)
+	queueSec float64 // submit → first worker slot
+	storeSec float64 // durable-store persist time (leader only)
+	attempts []obs.AttemptSpan
+}
+
+// firstSlot records the submit→first-slot queue wait once.
+func (sp *spanState) firstSlot(since time.Time) {
+	sp.mu.Lock()
+	if !sp.queued {
+		sp.queued = true
+		sp.queueSec = time.Since(since).Seconds()
+	}
+	sp.mu.Unlock()
+}
+
+func (sp *spanState) addAttempt(a obs.AttemptSpan) {
+	sp.mu.Lock()
+	sp.attempts = append(sp.attempts, a)
+	sp.mu.Unlock()
+}
+
+func (sp *spanState) setStoreSec(sec float64) {
+	sp.mu.Lock()
+	sp.storeSec = sec
+	sp.mu.Unlock()
+}
+
+// emitSpan publishes scenario i's lifecycle span to the service tracer.
+// Called exactly once per scenario, at its terminal state.
+func (sw *Sweep) emitSpan(i int, st ScenarioStatus, tier string) {
+	sp := &sw.spans[i]
+	sp.mu.Lock()
+	span := obs.Span{
+		Time:          time.Now(),
+		Sweep:         sw.id,
+		Index:         i,
+		Scenario:      st.Name,
+		SpecHash:      sw.specHash,
+		ScenarioHash:  st.Hash,
+		State:         string(st.State),
+		CacheTier:     tier,
+		Error:         st.Error,
+		CompileSec:    sw.compileSec,
+		QueueSec:      sp.queueSec,
+		TotalSec:      time.Since(sw.createdAt).Seconds(),
+		StoreWriteSec: sp.storeSec,
+		Attempts:      sp.attempts,
+	}
+	if !sp.queued {
+		// No attempt ever got a slot: the whole lifetime was queueing.
+		span.QueueSec = span.TotalSec
+	}
+	sp.mu.Unlock()
+	sw.svc.tracer.Emit(span)
+}
+
 // Submit registers a sweep and starts working it asynchronously through
 // the pool. The returned Sweep is immediately observable via Status,
 // Results, and Done.
@@ -342,10 +538,12 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("service: sweep needs at least one scenario")
 	}
+	compileStart := time.Now()
 	compiled, err := s.compiledFor(spec)
 	if err != nil {
 		return nil, err
 	}
+	compileSec := time.Since(compileStart).Seconds()
 	hashes := make([]string, len(scenarios))
 	for i, sc := range scenarios {
 		if hashes[i], err = HashScenario(sc); err != nil {
@@ -400,9 +598,11 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 		name:        opts.Name,
 		specHash:    compiled.Hash(),
 		createdAt:   time.Now(),
+		compileSec:  compileSec,
 		compiled:    compiled,
 		scenarios:   scenarios,
 		hashes:      hashes,
+		spans:       make([]spanState, len(scenarios)),
 		svc:         s,
 		timeout:     timeout,
 		maxAttempts: attempts,
@@ -474,7 +674,7 @@ func (s *Service) admit(n int) error {
 	for {
 		cur := s.pending.Load()
 		if int(cur)+n > s.maxPending {
-			s.rejections.Add(1)
+			s.rejections.Inc()
 			return fmt.Errorf("%w: %d pending + %d submitted exceeds %d",
 				ErrSaturated, cur, n, s.maxPending)
 		}
@@ -709,17 +909,24 @@ loop:
 	wg.Wait()
 	// Anything never dispatched (cancel hit the dispatch loop) is
 	// cancelled in place; each released scenario returns its queue
-	// reservation.
-	undispatched := 0
+	// reservation and still emits its lifecycle span (state=cancelled,
+	// tier=none, no attempts).
+	var undispatched []ScenarioStatus
 	sw.update(func() {
 		for i := range sw.statuses {
 			if !sw.statuses[i].Terminal() && sw.statuses[i].State == StateQueued {
 				sw.statuses[i].State = StateCancelled
-				undispatched++
+				undispatched = append(undispatched, sw.statuses[i])
 			}
 		}
 	})
-	sw.svc.release(undispatched)
+	sw.svc.release(len(undispatched))
+	for _, st := range undispatched {
+		sw.emitSpan(st.Index, st, tierNone)
+	}
+	if elapsed := time.Since(sw.createdAt).Seconds(); elapsed > 0 {
+		sw.svc.scenRate.Set(float64(len(sw.statuses)) / elapsed)
+	}
 	// Release per-sweep resources promptly: the scenario slice can pin
 	// multi-gigabyte replay datasets and the compiled spec pins power
 	// models — neither is needed once every scenario is terminal (status
@@ -754,7 +961,7 @@ func (sw *Sweep) runOne(i int) {
 		select {
 		case <-entry.done:
 		case <-sw.ctx.Done():
-			sw.record(i, nil, sw.ctx.Err(), false)
+			sw.record(i, nil, sw.ctx.Err(), tierNone)
 			return
 		}
 		if errors.Is(entry.err, errAbandoned) {
@@ -763,11 +970,11 @@ func (sw *Sweep) runOne(i int) {
 		if entry.err != nil {
 			// The leader simulated and failed; failures are not cached
 			// (complete() dropped the entry), so this is not a hit.
-			sw.record(i, nil, entry.err, false)
+			sw.record(i, nil, entry.err, tierNone)
 			return
 		}
-		sw.svc.hits.Add(1)
-		sw.record(i, entry.res, nil, true)
+		sw.svc.hits.Inc()
+		sw.record(i, entry.res, nil, tierMemory)
 		return
 	}
 }
@@ -800,7 +1007,7 @@ func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
 				ScenarioHash: sw.hashes[i], Index: i, Attempts: attempt, Cause: err,
 			}
 		}
-		sw.svc.retries.Add(1)
+		sw.svc.retries.Inc()
 		if !sleepBackoff(sw.ctx, sw.svc.retryBase, sw.svc.retryMax, attempt) {
 			return nil, true, sw.ctx.Err()
 		}
@@ -814,32 +1021,60 @@ func (sw *Sweep) simulate(i int) (res *core.Result, ran bool, err error) {
 // configured, is layered on top and reported as a timeout rather than a
 // cancellation.
 func (sw *Sweep) attempt(i, attempt int) (res *core.Result, ran bool, err error) {
+	waitStart := time.Now()
 	select {
 	case sw.svc.slots <- struct{}{}:
 	case <-sw.ctx.Done():
 		return nil, false, sw.ctx.Err()
 	}
 	defer func() { <-sw.svc.slots }()
+	waitSec := time.Since(waitStart).Seconds()
+	sw.spans[i].firstSlot(sw.createdAt)
 	sw.update(func() {
 		sw.statuses[i].State = StateRunning
 		sw.statuses[i].Attempts = attempt
 	})
-	sw.svc.misses.Add(1)
+	sw.svc.misses.Inc()
 	ctx := sw.ctx
 	if sw.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, sw.timeout)
 		defer cancel()
 	}
+	runStart := time.Now()
 	res, err = sw.runRecovered(ctx, i, attempt)
+	runSec := time.Since(runStart).Seconds()
+	// Outcome classification shares its branches with the failure
+	// counters — one increment per "timeout"/"panic" attempt span, so
+	// the trace and FailureMetrics reconcile exactly.
+	outcome := ""
 	if err != nil && ctx.Err() == context.DeadlineExceeded && sw.ctx.Err() == nil {
 		// The attempt's own deadline expired (not a sweep cancel):
 		// normalize whatever surfaced — the context error itself or a
 		// mid-tick wrap of it — into a typed, retriable timeout.
-		sw.svc.timeouts.Add(1)
+		sw.svc.timeouts.Inc()
+		outcome = "timeout"
 		err = fmt.Errorf("service: scenario deadline %v exceeded: %w",
 			sw.timeout, context.DeadlineExceeded)
 	}
+	if outcome == "" {
+		var pe *PanicError
+		switch {
+		case err == nil:
+			outcome = "ok"
+		case errors.As(err, &pe):
+			outcome = "panic"
+		case errors.Is(err, context.Canceled):
+			outcome = "cancelled"
+		default:
+			outcome = "error"
+		}
+	}
+	span := obs.AttemptSpan{Attempt: attempt, WaitSec: waitSec, RunSec: runSec, Outcome: outcome}
+	if err != nil {
+		span.Error = err.Error()
+	}
+	sw.spans[i].addAttempt(span)
 	return res, true, err
 }
 
@@ -848,7 +1083,11 @@ func (sw *Sweep) attempt(i, attempt int) (res *core.Result, ran bool, err error)
 // not reproduce).
 func (sw *Sweep) runDirect(i int) {
 	res, _, err := sw.simulate(i)
-	sw.record(i, res, err, false)
+	tier := tierCompute
+	if err != nil {
+		tier = tierNone
+	}
+	sw.record(i, res, err, tier)
 }
 
 // lead resolves the scenario for every waiter on its cache key: disk
@@ -860,9 +1099,9 @@ func (sw *Sweep) runDirect(i int) {
 func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 	if st := sw.svc.store; st != nil && sw.ctx.Err() == nil {
 		if res, err := st.Get(sw.specHash, sw.hashes[i]); err == nil {
-			sw.svc.hits.Add(1)
+			sw.svc.hits.Inc()
 			sw.svc.cache.complete(key, entry, res, nil)
-			sw.record(i, res, nil, true)
+			sw.record(i, res, nil, tierDisk)
 			return
 		}
 		// ErrNotFound and ErrCorrupt (quarantined) both mean compute; the
@@ -874,7 +1113,7 @@ func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 		// mid-day: release the key so another submitter can take over,
 		// rather than publishing the cancellation to unrelated waiters.
 		sw.svc.cache.complete(key, entry, nil, errAbandoned)
-		sw.record(i, nil, err, false)
+		sw.record(i, nil, err, tierNone)
 		return
 	}
 	sw.svc.cache.complete(key, entry, res, err)
@@ -884,18 +1123,29 @@ func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 			// disk I/O. A failed Put is an observability event (store
 			// put_errors), not a scenario failure — the result is already
 			// served from memory.
-			if perr := st.Put(sw.specHash, sw.hashes[i], res); perr != nil && sw.svc.logf != nil {
+			putStart := time.Now()
+			perr := st.Put(sw.specHash, sw.hashes[i], res)
+			sw.spans[i].setStoreSec(time.Since(putStart).Seconds())
+			if perr != nil && sw.svc.logf != nil {
 				sw.svc.logf("service: store put %s/%s: %v", sw.specHash, sw.hashes[i], perr)
 			}
 		}
 	}
-	sw.record(i, res, err, false)
+	tier := tierCompute
+	if err != nil {
+		tier = tierNone
+	}
+	sw.record(i, res, err, tier)
 }
 
-// record finalizes one scenario's status and returns its queue
-// reservation. It is called exactly once per dispatched scenario.
-func (sw *Sweep) record(i int, res *core.Result, err error, cacheHit bool) {
+// record finalizes one scenario's status, returns its queue
+// reservation, and emits the scenario's lifecycle span. tier is the
+// cache tier that resolved it (tierMemory/tierDisk count as cache
+// hits). It is called exactly once per dispatched scenario.
+func (sw *Sweep) record(i int, res *core.Result, err error, tier string) {
 	defer sw.svc.release(1)
+	cacheHit := tier == tierMemory || tier == tierDisk
+	var final ScenarioStatus
 	sw.update(func() {
 		st := &sw.statuses[i]
 		st.CacheHit = cacheHit
@@ -915,7 +1165,9 @@ func (sw *Sweep) record(i int, res *core.Result, err error, cacheHit bool) {
 		if res != nil {
 			st.WallSec = res.WallSec
 		}
+		final = *st
 	})
+	sw.emitSpan(i, final, tier)
 }
 
 // cacheEntry is one in-flight or completed scenario result. done is

@@ -11,6 +11,7 @@ import (
 
 	"exadigit/internal/config"
 	"exadigit/internal/httpmw"
+	"exadigit/internal/obs"
 )
 
 // Status is the JSON document served at /api/status.
@@ -84,6 +85,13 @@ func (s *Server) SetLogf(logf httpmw.Logf) { s.logf = logf }
 
 // Metrics exposes the middleware counters.
 func (s *Server) Metrics() *httpmw.Metrics { return s.metrics }
+
+// RegisterMetrics attaches the dashboard's HTTP counters to a metrics
+// registry under server="dashboard" — the same families the sweep
+// service's stack reports into, each stack with its own label.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	s.metrics.Register(reg, "dashboard")
+}
 
 // Handler returns the HTTP handler exposing the API, wrapped in the
 // shared middleware stack (panic recovery, metrics, optional logging).

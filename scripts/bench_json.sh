@@ -2,13 +2,14 @@
 # Run the headline benchmarks and emit them as a JSON array so the perf
 # trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 6
 # adds the durable-store restart path (BenchmarkSweepWarmRestart) with
-# its disk-tier disk_scen/s rate.
+# its disk-tier disk_scen/s rate; PR 7 adds the /metrics scrape cost
+# under a saturated sweep (BenchmarkMetricsScrapeUnderLoad).
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1

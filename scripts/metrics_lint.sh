@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Lint the /metrics exposition of a fully wired server: boot the twin +
+# sweep service + dashboard with every collector registered, run one
+# synthetic scenario, scrape the registry, and hold the output to the
+# strict text-format parser and the repo naming conventions (exadigit_
+# prefix, _total/_seconds/_bytes suffixes). Any violation — a malformed
+# sample, a non-monotone histogram, a counter without _total — fails the
+# build. Wired into `make check`.
+set -e
+cd "$(dirname "$0")/.."
+go run ./cmd/exadigit metrics-lint
