@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos check metrics-lint bench-smoke bench-json bench-compare ci
+.PHONY: all build vet test test-short test-race cluster-test chaos check metrics-lint bench-smoke bench-json bench-compare ci
 
 all: build vet test
 
@@ -17,17 +17,27 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over the concurrent layers (sweep service, durable
-# result store, metric registry/tracer) — the packages whose invariants
-# are all about shared state under load.
+# result store, cluster coordinator, metric registry/tracer) — the
+# packages whose invariants are all about shared state under load.
 test-race:
-	$(GO) test -race ./internal/service/... ./internal/store/... ./internal/obs/...
+	$(GO) test -race ./internal/service/... ./internal/store/... \
+		./internal/cluster/... ./internal/obs/...
+
+# Distributed-sweep fabric suite under the race detector: wire
+# round-trip hash stability, rendezvous sharding, worker health and
+# re-dispatch, 429 backpressure honoring, and the multi-node chaos
+# tests (worker death, cross-node lease single-flight).
+cluster-test:
+	$(GO) test -race ./internal/cluster/...
 
 # Fault-injection suite: panics mid-simulation, deadline overruns,
 # transient and permanent failures, corrupted/truncated store entries,
-# queue saturation, and kill-restart recovery — under the race detector.
+# queue saturation, kill-restart recovery, and the multi-node chaos
+# pair (worker killed mid-sweep, lease single-flight across nodes) —
+# under the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos|Restart|Corrupt|Truncated|Backpressure|CancelReleases' \
-		./internal/service/... ./internal/store/...
+		./internal/service/... ./internal/store/... ./internal/cluster/...
 
 # Lint the live /metrics exposition of a fully wired server against the
 # strict format parser and the naming conventions.
@@ -41,12 +51,12 @@ check: vet metrics-lint
 # dense-vs-event speedup metric), the multi-day fan-out, and the
 # /metrics scrape cost under load.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR7.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR8.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR7.json
+	./scripts/bench_json.sh BENCH_PR8.json
 
 # Diff the two most recent BENCH_PR*.json series benchmark by benchmark
 # (ns/op old vs new and the speedup ratio).

@@ -6,6 +6,7 @@ package exadigit
 // full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 
 	"exadigit/internal/exp"
 	"exadigit/internal/power"
+	"exadigit/internal/service"
 )
 
 // BenchmarkTableI regenerates the Frontier component overview.
@@ -550,6 +552,88 @@ func BenchmarkMetricsScrapeUnderLoad(b *testing.B) {
 	b.ReportMetric(float64(len(last)), "bytes")
 	sw.Cancel()
 	<-sw.Done()
+}
+
+// BenchmarkCoordinatorSweep measures the distributed sweep fabric (the
+// PR 8 headline): a coordinator fans one cold sweep out to in-process
+// worker serve instances over real HTTP, at 1 worker node vs 3. Each
+// scenario's service time is pinned to a 450 ms floor (an injected wait
+// dominating the few ms of actual simulation), so the measured scaling
+// isolates what the fabric adds — sharding, HTTP submit/stream,
+// result collection — rather than raw simulation CPU, which a
+// single-CPU CI host cannot scale anyway. Reported: cold scenarios/sec
+// at both topologies, the 3-vs-1 scaling ratio, and parallel
+// efficiency (ratio / 3).
+func BenchmarkCoordinatorSweep(b *testing.B) {
+	const (
+		n           = 36
+		serviceTime = 450 * time.Millisecond
+		slotsPer    = 2 // per-node concurrent simulations, both topologies
+	)
+	spec := FrontierSpec()
+	runTopology := func(nodes int, seedBase int64) float64 {
+		var cleanups []func()
+		defer func() {
+			for i := len(cleanups) - 1; i >= 0; i-- {
+				cleanups[i]()
+			}
+		}()
+		urls := make([]string, nodes)
+		for w := range urls {
+			wsvc := NewSweepService(SweepServiceOptions{Workers: slotsPer})
+			wsvc.SetFaultInjector(&service.FaultInjector{
+				BeforeRun: func(ctx context.Context, f service.Fault) error {
+					t := time.NewTimer(serviceTime)
+					defer t.Stop()
+					select {
+					case <-t.C:
+						return nil
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				},
+			})
+			srv := httptest.NewServer(wsvc.Handler())
+			cleanups = append(cleanups, srv.Close, wsvc.CancelAll)
+			urls[w] = srv.URL
+		}
+		pool, err := NewClusterPool(ClusterOptions{Workers: urls})
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord := NewSweepService(SweepServiceOptions{Workers: 16, Runner: pool})
+		cleanups = append(cleanups, coord.CancelAll)
+		scenarios := make([]Scenario, n)
+		for i := range scenarios {
+			gen := DefaultGeneratorConfig()
+			gen.Seed = seedBase + int64(i) // fresh keys: every round is cold
+			scenarios[i] = Scenario{
+				Name: "coord-bench", Workload: WorkloadSynthetic,
+				HorizonSec: 60, TickSec: 15,
+				Generator: gen, NoExport: true, NoHistory: true,
+			}
+		}
+		start := time.Now()
+		sw, err := coord.Submit(spec, scenarios, SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-sw.Done()
+		elapsed := time.Since(start).Seconds()
+		if st := sw.Status(); st.Done != n {
+			b.Fatalf("%d-node sweep: %+v", nodes, st)
+		}
+		return float64(n) / elapsed
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1 := runTopology(1, int64(100000+i*10000))
+		r3 := runTopology(3, int64(200000+i*10000))
+		b.ReportMetric(r1, "cold_1w_scen/s")
+		b.ReportMetric(r3, "cold_3w_scen/s")
+		b.ReportMetric(r3/r1, "scaling_x")
+		b.ReportMetric(r3/r1/3*100, "efficiency%")
+	}
 }
 
 // Ablation benchmarks for the design choices DESIGN.md calls out.

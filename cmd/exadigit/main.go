@@ -8,18 +8,21 @@
 // The serve subcommand starts the twin-as-a-service backend instead: the
 // concurrent scenario-sweep API (submit/status/cancel, content-addressed
 // result cache, NDJSON result streaming) mounted alongside the dashboard
-// endpoints.
+// endpoints. Passing worker URLs instead of a worker count turns the
+// instance into a cluster coordinator that fans sweeps out to those
+// workers over the same API (see README "Distributed sweeps").
 //
 // Usage:
 //
 //	exadigit [-addr :8080] [-workload synthetic] [-horizon 2h]
 //	         [-cooling] [-once]
-//	exadigit serve [-addr :8080] [-workers N] [-cache 1024]
+//	exadigit serve [-addr :8080] [-workers N|url,url,...] [-cache 1024]
 //	               [-cache-bytes 268435456] [-spec spec.json] [-warm 15m]
 //	               [-presets plants.json] [-token SECRET]
-//	               [-store DIR] [-scenario-timeout 0] [-max-attempts 3]
-//	               [-max-pending 4096] [-drain 30s] [-trace FILE]
-//	               [-metrics-log-every 60s] [-pprof]
+//	               [-store DIR] [-lease-ttl 0] [-quarantine-ttl 0]
+//	               [-shard-stall 2m] [-scenario-timeout 0]
+//	               [-max-attempts 3] [-max-pending 4096] [-drain 30s]
+//	               [-trace FILE] [-metrics-log-every 60s] [-pprof]
 //	exadigit metrics-dump   print the fully wired /metrics exposition
 //	exadigit metrics-lint   validate it (format + naming conventions)
 package main
@@ -35,6 +38,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -109,7 +114,7 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "HTTP listen address")
-		workers    = fs.Int("workers", 0, "concurrent simulations across all sweeps (0 = all CPUs)")
+		workers    = fs.String("workers", "0", "an integer bounds concurrent local simulations (0 = all CPUs); comma-separated base URLs (http://host:8080,...) switch to coordinator mode, fanning sweeps out to those worker serve instances")
 		cacheCap   = fs.Int("cache", 1024, "result-cache capacity (scenario results)")
 		cacheBytes = fs.Int64("cache-bytes", 256<<20, "result-cache byte bound (approximate resident size)")
 		specPath   = fs.String("spec", "", "system spec JSON for the dashboard twin (default: built-in Frontier)")
@@ -117,6 +122,9 @@ func serve(args []string) {
 		presets    = fs.String("presets", "", "cooling preset registry JSON ({\"name\": {plant config}}), resolved before built-ins")
 		token      = fs.String("token", "", "bearer token required on every request (default $EXADIGIT_TOKEN; empty disables auth)")
 		storeDir   = fs.String("store", "", "durable result-store directory: completed scenario results persist here and survive restarts (empty = memory-only)")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "cross-node single-flight: lease each store key this long before computing it, so nodes sharing -store never duplicate a run; size for worst-case scenario compute (0 disables; ignored in coordinator mode)")
+		quarTTL    = fs.Duration("quarantine-ttl", 0, "delete *.corrupt quarantine files older than this from -store at startup (0 keeps them forever)")
+		shardStall = fs.Duration("shard-stall", 2*time.Minute, "coordinator mode: one shard's submit+stream bound on one worker before it is re-dispatched elsewhere (0 = no per-worker bound)")
 		scenTO     = fs.Duration("scenario-timeout", 0, "per-scenario attempt deadline (0 = none); overrunning attempts are retried")
 		attempts   = fs.Int("max-attempts", 3, "simulation attempts per scenario before its failure is permanent")
 		maxPending = fs.Int("max-pending", 4096, "queued+running scenario bound; beyond it submissions get 429 + Retry-After")
@@ -130,6 +138,24 @@ func serve(args []string) {
 		// Read the env fallback after parsing rather than as the flag
 		// default, so usage/error output never prints the secret.
 		*token = os.Getenv("EXADIGIT_TOKEN")
+	}
+
+	// -workers dual-parses: an integer keeps the historical meaning
+	// (local simulation pool size); anything else is a comma-separated
+	// worker URL list that switches this instance into coordinator mode.
+	localWorkers := 0
+	var workerURLs []string
+	if n, err := strconv.Atoi(strings.TrimSpace(*workers)); err == nil {
+		localWorkers = n
+	} else {
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, u)
+			}
+		}
+		if len(workerURLs) == 0 {
+			log.Fatalf("-workers %q: not an integer and no worker URLs", *workers)
+		}
 	}
 
 	if *presets != "" {
@@ -166,24 +192,46 @@ func serve(args []string) {
 	var resultStore *exadigit.ResultStore
 	if *storeDir != "" {
 		var err error
-		if resultStore, err = exadigit.OpenResultStore(*storeDir); err != nil {
+		resultStore, err = exadigit.OpenResultStoreOptions(*storeDir,
+			exadigit.ResultStoreOptions{QuarantineTTL: *quarTTL})
+		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("durable result store at %s (%d entries indexed)", *storeDir, resultStore.Len())
 	}
-	svc := exadigit.NewSweepService(exadigit.SweepServiceOptions{
-		Workers: *workers, CacheCap: *cacheCap, CacheMaxBytes: *cacheBytes,
+
+	// One registry serves every subsystem: the sweep service, the
+	// coordinator pool (when present), the dashboard stack, the live
+	// twin's gauges, and the Go runtime.
+	reg := exadigit.NewMetricsRegistry()
+
+	svcOpts := exadigit.SweepServiceOptions{
+		Workers: localWorkers, CacheCap: *cacheCap, CacheMaxBytes: *cacheBytes,
 		Store: resultStore, ScenarioTimeout: *scenTO,
 		MaxAttempts: *attempts, MaxPending: *maxPending,
-	})
+		LeaseTTL: *leaseTTL, Registry: reg,
+	}
+	if len(workerURLs) > 0 {
+		pool, err := exadigit.NewClusterPool(exadigit.ClusterOptions{
+			Workers: workerURLs, Token: *token, Registry: reg,
+			Store: resultStore, StallTimeout: *shardStall, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svcOpts.Runner = pool
+		if localWorkers == 0 {
+			// Dispatch slots only wait on worker HTTP, so size the pool
+			// well past the CPU count: keep every worker's queue fed.
+			svcOpts.Workers = 8 * len(workerURLs)
+		}
+		log.Printf("coordinator mode: dispatching to %d worker(s) %v (shard stall bound %v)",
+			len(workerURLs), workerURLs, *shardStall)
+	}
+	svc := exadigit.NewSweepService(svcOpts)
 	svc.SetLogf(log.Printf)
 	dash := exadigit.NewDashboardServer(tw)
 	dash.SetLogf(log.Printf)
-
-	// One registry serves every subsystem: the sweep service registered
-	// its families at construction; the dashboard stack, the live twin's
-	// gauges, and the Go runtime join it here.
-	reg := svc.Registry()
 	dash.RegisterMetrics(reg)
 	exadigit.RegisterTwinMetrics(reg, tw)
 	exadigit.RegisterGoMetrics(reg)
@@ -355,6 +403,26 @@ func metricsExposition(dump bool) {
 	} {
 		rec := httptest.NewRecorder()
 		target.h.ServeHTTP(rec, httptest.NewRequest("GET", target.path, nil))
+	}
+
+	// Coordinator families: run one shard through an in-process worker
+	// so the exadigit_cluster_* series exist and get linted too.
+	wsvc := exadigit.NewSweepService(exadigit.SweepServiceOptions{Workers: 1})
+	wsrv := httptest.NewServer(wsvc.Handler())
+	defer wsrv.Close()
+	pool, err := exadigit.NewClusterPool(exadigit.ClusterOptions{Workers: []string{wsrv.URL}, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := exadigit.NewSweepService(exadigit.SweepServiceOptions{Workers: 2, Runner: pool})
+	csw, err := coord.Submit(exadigit.FrontierSpec(), []exadigit.Scenario{
+		{Workload: exadigit.WorkloadIdle, HorizonSec: 60, TickSec: 15, NoExport: true, NoHistory: true},
+	}, exadigit.SweepOptions{Name: "metrics-lint-cluster"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := csw.Wait(ctx); err != nil {
+		log.Fatal(err)
 	}
 
 	rec := httptest.NewRecorder()

@@ -41,6 +41,7 @@ import (
 
 	"exadigit/internal/anomaly"
 	"exadigit/internal/autocsm"
+	"exadigit/internal/cluster"
 	"exadigit/internal/config"
 	"exadigit/internal/cooling"
 	"exadigit/internal/core"
@@ -187,6 +188,36 @@ type (
 // unreadable entries are quarantined, never served. Pass the store to
 // SweepServiceOptions.Store to make a sweep service crash-safe.
 func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// ResultStoreOptions tunes OpenResultStoreOptions: QuarantineTTL ages
+// out *.corrupt quarantine files at open.
+type ResultStoreOptions = store.Options
+
+// OpenResultStoreOptions is OpenResultStore with maintenance options —
+// `exadigit serve -quarantine-ttl` routes here so corrupt-entry
+// forensics don't accumulate forever on long-lived nodes.
+func OpenResultStoreOptions(dir string, opts ResultStoreOptions) (*ResultStore, error) {
+	return store.OpenOptions(dir, opts)
+}
+
+// Distributed sweep fabric (the coordinator side): a ClusterPool fans a
+// sweep's scenarios out to remote worker `exadigit serve` instances over
+// the same /api/sweeps API and streams results back. Install one as
+// SweepServiceOptions.Runner to turn a sweep service into a coordinator;
+// exactly-once compute across nodes comes from the shared store's leases
+// (SweepServiceOptions.LeaseTTL on the workers), not from the pool.
+type (
+	// ClusterPool is the coordinator's worker client pool; it implements
+	// the sweep service's ScenarioRunner dispatch seam.
+	ClusterPool = cluster.Pool
+	// ClusterOptions configures a ClusterPool (worker URLs, bearer
+	// token, health probing, backpressure bounds).
+	ClusterOptions = cluster.Options
+)
+
+// NewClusterPool builds the coordinator's worker client pool from the
+// worker base URLs in opts. At least one worker is required.
+func NewClusterPool(opts ClusterOptions) (*ClusterPool, error) { return cluster.New(opts) }
 
 // NewSweepService builds the scenario-sweep server. Mount its Handler()
 // under /api/sweeps (see cmd/exadigit serve) or drive it directly with

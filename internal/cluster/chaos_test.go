@@ -1,0 +1,290 @@
+package cluster
+
+// Multi-node chaos suite (`make chaos`): kill a worker mid-sweep and
+// prove the fabric's two load-bearing claims — the sweep still finishes
+// with exact counts, and no (spec, scenario) key is computed twice
+// anywhere in the cluster. Duplicate-compute is asserted the only way
+// that cannot lie: the sum of Put counters across every node's store
+// view (each key persists exactly once) plus config.ModelBuilds deltas
+// (a resubmit after the chaos compiles and simulates nothing).
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+	"exadigit/internal/obs"
+	"exadigit/internal/service"
+	"exadigit/internal/store"
+)
+
+// slowInjector makes every scenario attempt take at least d of wall
+// time (respecting the attempt deadline), so a mid-sweep kill lands
+// while work is genuinely in flight.
+func slowInjector(d time.Duration) *service.FaultInjector {
+	return &service.FaultInjector{BeforeRun: func(ctx context.Context, f service.Fault) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}}
+}
+
+// counterSum adds up every series of one counter family.
+func counterSum(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var sum float64
+	for _, s := range exposition(t, reg, name) {
+		sum += s.Value
+	}
+	return sum
+}
+
+func exposition(t *testing.T, reg *obs.Registry, name string) []obs.ExpoSeries {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo, err := obs.ParseExposition([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, ok := expo.Families[name]
+	if !ok {
+		return nil
+	}
+	return fam.Series
+}
+
+// TestChaosWorkerDeathMidSweepNoDuplicateCompute is the cluster kill
+// test: three workers share one store directory, a coordinator fans a
+// sweep across them, and one worker is killed mid-sweep (connections
+// severed, in-flight work cancelled, admission closed). The sweep must
+// finish with every scenario accounted for, the dead worker's shards
+// must have been re-dispatched, and — the exactly-once claim — the sum
+// of store Puts across all nodes must equal the scenario count: every
+// key computed and persisted exactly once despite the re-dispatch.
+func TestChaosWorkerDeathMidSweepNoDuplicateCompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos test")
+	}
+	const n = 36
+	dir := t.TempDir()
+
+	var (
+		workers []*service.Service
+		stores  []*store.Store
+		urls    []string
+		severs  []func()
+	)
+	for i := 0; i < 3; i++ {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsvc, srv := newWorker(t, service.Options{
+			Workers:        2,
+			Store:          st,
+			LeaseTTL:       2 * time.Second,
+			MaxAttempts:    3,
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  50 * time.Millisecond,
+		})
+		wsvc.SetFaultInjector(slowInjector(25 * time.Millisecond))
+		workers = append(workers, wsvc)
+		stores = append(stores, st)
+		urls = append(urls, srv.URL)
+		severs = append(severs, srv.CloseClientConnections)
+	}
+
+	cst, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pool, err := New(Options{
+		Workers:      urls,
+		Registry:     reg,
+		Store:        cst,
+		ProbeAfter:   200 * time.Millisecond,
+		StallTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{
+		Workers:        12,
+		Runner:         pool,
+		MaxAttempts:    8,
+		RetryBaseDelay: 10 * time.Millisecond,
+		RetryMaxDelay:  100 * time.Millisecond,
+	})
+	t.Cleanup(coord.CancelAll)
+
+	scenarios := make([]core.Scenario, n)
+	for i := range scenarios {
+		scenarios[i] = synthScenario(int64(1000+i), 60)
+	}
+	sw, err := coord.Submit(config.Frontier(), scenarios, service.SweepOptions{Name: "chaos-kill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the sweep get properly under way, then kill worker 1: sever
+	// its client connections (breaks in-flight submits and result
+	// streams), cancel everything it is computing, and close admission
+	// so re-probes keep failing.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := sw.Status()
+		if st.Done+st.Cached >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never got under way: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	severs[1]()
+	workers[1].CancelAll()
+	workers[1].Close()
+	t.Logf("killed worker 1 (%s) mid-sweep", urls[1])
+
+	st := waitSweep(t, sw)
+	if st.Failed != 0 || st.Cancelled != 0 || st.Done+st.Cached != n {
+		t.Fatalf("sweep counts after worker death: %+v", st)
+	}
+	if got := counterSum(t, reg, "exadigit_cluster_redispatched_total"); got < 1 {
+		t.Fatalf("worker died mid-sweep but redispatched=%v, want >= 1", got)
+	}
+
+	// Exactly-once compute: every one of the n distinct keys was
+	// persisted exactly once somewhere in the cluster, and the
+	// coordinator itself never wrote (workers own persistence).
+	var puts uint64
+	for i, s := range stores {
+		m := s.Stats()
+		t.Logf("worker %d store: puts=%d hits=%d lease_waits=%d lease_steals=%d",
+			i, m.Puts, m.Hits, m.LeaseWaits, m.LeaseSteals)
+		puts += m.Puts
+	}
+	if cm := cst.Stats(); cm.Puts != 0 {
+		t.Fatalf("coordinator store wrote %d entries; runner mode must not Put", cm.Puts)
+	}
+	if puts != n {
+		t.Fatalf("cluster-wide store puts = %d, want exactly %d (duplicate or lost compute)", puts, n)
+	}
+
+	// Resubmitting the identical sweep must touch nothing: every result
+	// comes from the coordinator's memory cache — no model builds, no
+	// dispatches, no store writes.
+	builds0 := config.ModelBuilds()
+	dispatched0 := counterSum(t, reg, "exadigit_cluster_dispatched_total")
+	sw2, err := coord.Submit(config.Frontier(), scenarios, service.SweepOptions{Name: "chaos-kill-replay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitSweep(t, sw2)
+	if st2.Cached != n || st2.Failed != 0 {
+		t.Fatalf("resubmit not fully cached: %+v", st2)
+	}
+	if d := config.ModelBuilds() - builds0; d != 0 {
+		t.Fatalf("resubmit rebuilt %d power models, want 0", d)
+	}
+	if d := counterSum(t, reg, "exadigit_cluster_dispatched_total") - dispatched0; d != 0 {
+		t.Fatalf("resubmit dispatched %v shards, want 0", d)
+	}
+	var puts2 uint64
+	for _, s := range stores {
+		puts2 += s.Stats().Puts
+	}
+	if puts2 != puts {
+		t.Fatalf("resubmit grew store puts %d -> %d", puts, puts2)
+	}
+}
+
+// TestChaosLeaseSingleFlightAcrossNodes pins the cross-node dedup
+// primitive in isolation: two independent services (separate Store
+// instances, one shared directory, no cluster in between) are handed
+// the same scenario at the same moment. The store lease must elect one
+// computer; the other waits and serves the holder's Put from disk —
+// exactly one Put across both nodes.
+func TestChaosLeaseSingleFlightAcrossNodes(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*service.Service, *store.Store) {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(service.Options{
+			Workers:  1,
+			Store:    st,
+			LeaseTTL: 5 * time.Second,
+		})
+		svc.SetFaultInjector(slowInjector(300 * time.Millisecond))
+		t.Cleanup(svc.CancelAll)
+		return svc, st
+	}
+	a, ast := mk()
+	b, bst := mk()
+
+	// Pre-warm both services with distinct scenarios so the contested
+	// submission below isn't skewed by first-compile latency.
+	for i, svc := range []*service.Service{a, b} {
+		sw, err := svc.Submit(config.Frontier(),
+			[]core.Scenario{synthScenario(int64(50+i), 60)}, service.SweepOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitSweep(t, sw)
+	}
+	putsWarm := ast.Stats().Puts + bst.Stats().Puts
+
+	contested := synthScenario(99, 60)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	sweeps := make([]*service.Sweep, 2)
+	for i, svc := range []*service.Service{a, b} {
+		wg.Add(1)
+		go func(i int, svc *service.Service) {
+			defer wg.Done()
+			<-start
+			sw, err := svc.Submit(config.Frontier(), []core.Scenario{contested}, service.SweepOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sweeps[i] = sw
+		}(i, svc)
+	}
+	close(start)
+	wg.Wait()
+	for _, sw := range sweeps {
+		if sw == nil {
+			t.Fatal("submit failed")
+		}
+		if st := waitSweep(t, sw); st.Done+st.Cached != 1 || st.Failed != 0 {
+			t.Fatalf("contested scenario did not complete cleanly: %+v", st)
+		}
+	}
+
+	am, bm := ast.Stats(), bst.Stats()
+	if d := am.Puts + bm.Puts - putsWarm; d != 1 {
+		t.Fatalf("contested key persisted %d times across nodes, want exactly 1 (a: %+v, b: %+v)",
+			d, am, bm)
+	}
+	if am.LeaseWaits+bm.LeaseWaits == 0 {
+		t.Fatalf("no node ever waited on the other's lease — single-flight never engaged (a: %+v, b: %+v)",
+			am, bm)
+	}
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+	"exadigit/internal/job"
+	"exadigit/internal/obs"
+	"exadigit/internal/service"
+)
+
+func synthScenario(seed int64, horizon float64) core.Scenario {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = seed
+	return core.Scenario{
+		Name:       "synth",
+		Workload:   core.WorkloadSynthetic,
+		HorizonSec: horizon,
+		TickSec:    15,
+		Generator:  gen,
+		NoExport:   true,
+		NoHistory:  true,
+	}
+}
+
+// newWorker spins up one worker serve instance behind an HTTP test
+// server, closed at test end.
+func newWorker(t *testing.T, opts service.Options) (*service.Service, *httptest.Server) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	svc := service.New(opts)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		svc.CancelAll()
+		srv.Close()
+	})
+	return svc, srv
+}
+
+func waitSweep(t *testing.T, sw *service.Sweep) service.SweepStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := sw.Wait(ctx); err != nil {
+		t.Fatalf("sweep %s did not finish: %v", sw.ID(), err)
+	}
+	return sw.Status()
+}
+
+// TestWireRoundTripPreservesHash pins the invariant the whole fabric
+// rests on: converting a scenario to its wire form and back must not
+// change its content hash, or the shared store's cluster-wide dedup key
+// would silently diverge between coordinator and worker.
+func TestWireRoundTripPreservesHash(t *testing.T) {
+	gen := job.DefaultGeneratorConfig()
+	gen.Seed = 7
+	auto := &config.CoolingSpec{Preset: "frontier"}
+	cases := []core.Scenario{
+		synthScenario(1, 3600),
+		{Name: "idle", Workload: core.WorkloadIdle, HorizonSec: 600, TickSec: 15},
+		{Name: "bench", Workload: core.WorkloadHPL, HorizonSec: 7200, TickSec: 15,
+			BenchmarkWallSec: 1800, Policy: "sjf", PowerMode: "dc380", Engine: "dense"},
+		{Name: "cooled", Workload: core.WorkloadSynthetic, HorizonSec: 3600, TickSec: 15,
+			Cooling: true, Generator: gen, WetBulbC: 21.5},
+		{Name: "plant-override", Workload: core.WorkloadSynthetic, HorizonSec: 3600, TickSec: 15,
+			CoolingSpec: auto, Generator: gen,
+			WeatherStart: time.Date(2024, 7, 1, 0, 0, 0, 0, time.UTC), WeatherSeed: 42},
+		{Name: "per-partition", HorizonSec: 1800, TickSec: 15,
+			Partitions: []core.PartitionScenario{
+				{Workload: core.WorkloadSynthetic, Generator: gen},
+				{Workload: core.WorkloadIdle},
+			}},
+		{Name: "export", Workload: core.WorkloadSynthetic, HorizonSec: 900, TickSec: 15,
+			Generator: gen, NoExport: false, NoHistory: false},
+	}
+	for _, sc := range cases {
+		want, err := service.HashScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: hash: %v", sc.Name, err)
+		}
+		wire, err := ScenarioRequestFromForTest(sc)
+		if err != nil {
+			t.Fatalf("%s: to wire: %v", sc.Name, err)
+		}
+		got, err := service.HashScenario(wire.Scenario())
+		if err != nil {
+			t.Fatalf("%s: hash after round trip: %v", sc.Name, err)
+		}
+		if got != want {
+			t.Errorf("%s: wire round trip changed hash: %s -> %s", sc.Name, want, got)
+		}
+	}
+}
+
+// ScenarioRequestFromForTest keeps the test readable; the conversion
+// under test lives in the service package next to its inverse.
+func ScenarioRequestFromForTest(sc core.Scenario) (service.ScenarioRequest, error) {
+	return service.ScenarioRequestFrom(sc)
+}
+
+// TestWireRejectsReplayAndWriters: scenarios that cannot cross the wire
+// are refused at conversion, not shipped broken.
+func TestWireRejectsReplayAndWriters(t *testing.T) {
+	if _, err := service.ScenarioRequestFrom(core.Scenario{Workload: core.WorkloadReplay}); err == nil {
+		t.Error("replay scenario crossed the wire")
+	}
+	if _, err := service.ScenarioRequestFrom(core.Scenario{
+		Workload: core.WorkloadIdle, TelemetryTo: &strings.Builder{},
+	}); err == nil {
+		t.Error("telemetry-writer scenario crossed the wire")
+	}
+}
+
+// TestCoordinatorSweepAcrossWorkers is the basic fabric test: a
+// coordinator Service with the Pool as its runner completes a sweep
+// across two real worker serve instances, every result carries a
+// report, and the dispatch accounting adds up.
+func TestCoordinatorSweepAcrossWorkers(t *testing.T) {
+	_, srvA := newWorker(t, service.Options{})
+	_, srvB := newWorker(t, service.Options{})
+	reg := obs.NewRegistry()
+	pool, err := New(Options{
+		Workers:  []string{srvA.URL, srvB.URL},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 8, Runner: pool})
+	const n = 8
+	scens := make([]core.Scenario, n)
+	for i := range scens {
+		scens[i] = synthScenario(int64(100+i), 1800)
+	}
+	sw, err := coord.Submit(config.Frontier(), scens, service.SweepOptions{Name: "fabric"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Done != n {
+		t.Fatalf("coordinator sweep: %+v", st)
+	}
+	for i, res := range sw.Results() {
+		if res == nil || res.Report == nil {
+			t.Fatalf("scenario %d has no report", i)
+		}
+		if res.Report.JobsCompleted == 0 && res.Report.EnergyMWh == 0 {
+			t.Fatalf("scenario %d report is empty: %+v", i, res.Report)
+		}
+	}
+	var dispatched float64
+	for _, url := range pool.Workers() {
+		dispatched += counterValue(t, reg, "exadigit_cluster_dispatched_total", "worker", url)
+	}
+	if int(dispatched) != n {
+		t.Fatalf("dispatched %v shards, want %d", dispatched, n)
+	}
+	if h := pool.HealthyWorkers(); h != 2 {
+		t.Fatalf("healthy workers = %d, want 2", h)
+	}
+}
+
+// TestDuplicateScenariosDispatchOnce: the coordinator's own
+// single-flight still collapses identical scenarios before they reach
+// the wire, so N copies of one scenario cost one remote shard.
+func TestDuplicateScenariosDispatchOnce(t *testing.T) {
+	_, srv := newWorker(t, service.Options{})
+	reg := obs.NewRegistry()
+	pool, err := New(Options{Workers: []string{srv.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 4, Runner: pool})
+	scens := []core.Scenario{synthScenario(1, 1800), synthScenario(1, 1800), synthScenario(1, 1800)}
+	sw, err := coord.Submit(config.Frontier(), scens, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Done+st.Cached != 3 || st.Failed != 0 {
+		t.Fatalf("dedup sweep: %+v", st)
+	}
+	if got := counterValue(t, reg, "exadigit_cluster_dispatched_total", "worker", srv.URL); got != 1 {
+		t.Fatalf("dispatched %v shards for 3 identical scenarios, want 1", got)
+	}
+}
+
+// TestRedispatchFromDeadWorker: a worker that is down from the start
+// (connection refused) loses its shards to the survivor and is marked
+// unhealthy; the sweep still completes exactly.
+func TestRedispatchFromDeadWorker(t *testing.T) {
+	_, live := newWorker(t, service.Options{Workers: 4})
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from the first dial
+
+	reg := obs.NewRegistry()
+	pool, err := New(Options{
+		Workers:    []string{live.URL, deadURL},
+		Registry:   reg,
+		ProbeAfter: time.Hour, // stay dead for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 8, Runner: pool})
+	const n = 16
+	scens := make([]core.Scenario, n)
+	for i := range scens {
+		scens[i] = synthScenario(int64(500+i), 1800)
+	}
+	sw, err := coord.Submit(config.Frontier(), scens, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Done != n || st.Failed != 0 {
+		t.Fatalf("dead-worker sweep: %+v", st)
+	}
+	if got := counterValue(t, reg, "exadigit_cluster_dispatched_total", "worker", live.URL); got != n {
+		t.Fatalf("live worker completed %v shards, want %d", got, n)
+	}
+	// With 16 scenarios rendezvous-sharded over 2 workers, the odds that
+	// none had dead-worker affinity are 2^-16; at least one re-dispatch
+	// must have been counted and the dead worker marked unhealthy.
+	if got := counterValue(t, reg, "exadigit_cluster_redispatched_total", "worker", deadURL); got < 1 {
+		t.Fatalf("redispatched from dead worker = %v, want >= 1", got)
+	}
+	if h := pool.HealthyWorkers(); h != 1 {
+		t.Fatalf("healthy workers = %d, want 1", h)
+	}
+}
+
+// TestPoolHonorsRetryAfter: a worker that answers 429 with an explicit
+// Retry-After before accepting makes the pool wait (throttled counter)
+// rather than fail or hammer; the shard then completes.
+func TestPoolHonorsRetryAfter(t *testing.T) {
+	_, worker := newWorker(t, service.Options{})
+	var rejected atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/api/sweeps") && rejected.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+			return
+		}
+		// Proxy everything else straight to the real worker.
+		req, _ := http.NewRequestWithContext(r.Context(), r.Method, worker.URL+r.URL.Path, r.Body)
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	defer gate.Close()
+
+	reg := obs.NewRegistry()
+	pool, err := New(Options{Workers: []string{gate.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 2, Runner: pool})
+	start := time.Now()
+	sw, err := coord.Submit(config.Frontier(), []core.Scenario{synthScenario(9, 1800)}, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Done != 1 {
+		t.Fatalf("throttled sweep: %+v", st)
+	}
+	if got := counterValue(t, reg, "exadigit_cluster_throttled_total", "worker", gate.URL); got != 2 {
+		t.Fatalf("throttled = %v, want 2", got)
+	}
+	// Two honored 1s Retry-After hints with ±20% jitter: at least ~1.6s
+	// must have elapsed if the hints were actually waited out.
+	if elapsed := time.Since(start); elapsed < 1500*time.Millisecond {
+		t.Fatalf("sweep finished in %v; Retry-After hints were not honored", elapsed)
+	}
+}
+
+// TestShardFailureIsTerminalNotRedispatched: a scenario the worker
+// rejects as a scenario-level failure must not burn the candidate list
+// or mark workers unhealthy — the failure belongs to the scenario.
+func TestShardFailureIsTerminalNotRedispatched(t *testing.T) {
+	wsvc, srv := newWorker(t, service.Options{MaxAttempts: 1, RetryBaseDelay: time.Millisecond})
+	wsvc.SetFaultInjector(&service.FaultInjector{
+		BeforeRun: func(ctx context.Context, f service.Fault) error {
+			return context.DeadlineExceeded // any persistent per-run error
+		},
+	})
+	reg := obs.NewRegistry()
+	pool, err := New(Options{Workers: []string{srv.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 2, Runner: pool, MaxAttempts: 1, RetryBaseDelay: time.Millisecond})
+	sw, err := coord.Submit(config.Frontier(), []core.Scenario{synthScenario(3, 1800)}, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Failed != 1 {
+		t.Fatalf("want 1 failed scenario, got %+v", st)
+	}
+	if got := counterValue(t, reg, "exadigit_cluster_redispatched_total", "worker", srv.URL); got != 0 {
+		t.Fatalf("scenario failure was re-dispatched %v times", got)
+	}
+	if h := pool.HealthyWorkers(); h != 1 {
+		t.Fatal("scenario failure marked the worker unhealthy")
+	}
+}
+
+// counterValue scrapes one labeled counter out of the registry's text
+// exposition — the same path an operator reads.
+func counterValue(t *testing.T, reg *obs.Registry, name, label, value string) float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo, err := obs.ParseExposition([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, ok := expo.Families[name]
+	if !ok {
+		return 0
+	}
+	for _, s := range fam.Series {
+		if s.Labels[label] == value {
+			return s.Value
+		}
+	}
+	return 0
+}

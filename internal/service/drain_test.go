@@ -1,0 +1,92 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrainRateEWMA pins the irregular-interval EWMA behind the
+// Retry-After hint: a steady completion cadence converges to its true
+// rate, a slowdown moves the estimate down within ~one time constant,
+// and same-instant impulses stay bounded instead of spiking to
+// infinity.
+func TestDrainRateEWMA(t *testing.T) {
+	var d drainRate
+	now := time.Unix(1_700_000_000, 0)
+	d.note(0, now) // stamp the epoch
+
+	// 2 scenarios/sec for 2 tau: the estimate must be within 20%.
+	for i := 0; i < 120; i++ {
+		now = now.Add(500 * time.Millisecond)
+		d.note(1, now)
+	}
+	if r := d.value(); r < 1.6 || r > 2.4 {
+		t.Fatalf("steady 2/s cadence estimated at %.2f/s", r)
+	}
+
+	// Slow to 0.2/s for one tau: the estimate must have moved most of
+	// the way down (strictly below half the old rate).
+	for i := 0; i < 6; i++ {
+		now = now.Add(5 * time.Second)
+		d.note(1, now)
+	}
+	if r := d.value(); r > 1.0 {
+		t.Fatalf("after slowdown to 0.2/s the estimate is still %.2f/s", r)
+	}
+
+	// A burst of same-instant completions must not blow the estimate up.
+	for i := 0; i < 100; i++ {
+		d.note(1, now)
+	}
+	if r := d.value(); r > 10 {
+		t.Fatalf("same-instant impulses spiked the estimate to %.2f/s", r)
+	}
+}
+
+// TestRetryAfterTracksDrainRate pins the saturated-queue hint: with no
+// drain observed it falls back to the per-worker guess; once the
+// service has measured its own completion rate, the hint is
+// pending/rate — jittered ±25% and clamped to [1, 60] — so a slow
+// plant advertises a long wait and a fast one a short wait.
+func TestRetryAfterTracksDrainRate(t *testing.T) {
+	s := New(Options{Workers: 2})
+	s.pending.Store(120)
+
+	// Fallback before any drain: 120 pending / 2 workers = 60s, clamped
+	// to the ceiling even after -25% jitter... so check the jitter band.
+	for i := 0; i < 20; i++ {
+		if sec := s.retryAfterSec(); sec < 45 || sec > 60 {
+			t.Fatalf("fallback hint %ds outside the jittered 120/2 band", sec)
+		}
+	}
+
+	// Feed a measured 10/s drain: 120 pending / 10 per sec = 12s ±25%.
+	now := time.Unix(1_700_000_000, 0)
+	s.drain.note(0, now)
+	for i := 0; i < 1200; i++ {
+		now = now.Add(100 * time.Millisecond)
+		s.drain.note(1, now)
+	}
+	lo, hi := 60, 0
+	for i := 0; i < 50; i++ {
+		sec := s.retryAfterSec()
+		if sec < 8 || sec > 16 {
+			t.Fatalf("measured-rate hint %ds outside 12s +/-25%% (+rounding)", sec)
+		}
+		if sec < lo {
+			lo = sec
+		}
+		if sec > hi {
+			hi = sec
+		}
+	}
+	if lo == hi {
+		t.Fatalf("50 hints all identical (%ds): jitter missing", lo)
+	}
+
+	// Clamp floor: near-empty queue still advertises at least 1s.
+	s.pending.Store(1)
+	if sec := s.retryAfterSec(); sec != 1 {
+		t.Fatalf("floor hint = %ds, want 1", sec)
+	}
+}

@@ -193,5 +193,18 @@ func (sw *Sweep) runRecovered(ctx context.Context, i, attempt int) (res *core.Re
 			return nil, ctx.Err()
 		}
 	}
+	// Coordinator mode: hand the attempt to the remote compute tier.
+	// Telemetry-writer scenarios stay local — their side effect cannot
+	// cross the wire, and the coordinator holds the compiled spec anyway.
+	if r := sw.svc.runner; r != nil && sw.scenarios[i].TelemetryTo == nil {
+		return r.RunScenario(ctx, RunRequest{
+			Spec:         sw.spec,
+			SpecHash:     sw.specHash,
+			Scenario:     sw.scenarios[i],
+			ScenarioHash: sw.hashes[i],
+			Index:        i,
+			Attempt:      attempt,
+		})
+	}
 	return sw.compiled.Twin().RunContext(ctx, sw.scenarios[i])
 }

@@ -176,19 +176,6 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, body)
 }
 
-// retryAfterSec estimates when the saturated queue will likely have
-// room: pending scenarios per worker, clamped to a sane header range.
-func (s *Service) retryAfterSec() int {
-	sec := int(s.pending.Load()) / s.workers
-	if sec < 1 {
-		sec = 1
-	}
-	if sec > 60 {
-		sec = 60
-	}
-	return sec
-}
-
 // handleMetrics serves the shared HTTP middleware counters together with
 // the result-cache accounting, the failure/recovery counters (retries,
 // panics recovered, timeouts, queue rejections), and — when a durable

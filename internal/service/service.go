@@ -79,6 +79,26 @@ type Options struct {
 	// TraceCap bounds the per-scenario lifecycle span ring buffer served
 	// at /api/sweeps/trace (0 → 1024).
 	TraceCap int
+	// Runner, when non-nil, replaces local simulation as the compute
+	// tier: each cache-missing scenario is dispatched through it (the
+	// cluster coordinator installs its worker client pool here). The
+	// memory cache and single-flight still apply, and the durable store
+	// is still read for hits — but computed results are NOT written back
+	// (the runner's workers own persistence, so a shared store counts
+	// each key's Put exactly once). Scenarios that cannot cross the wire
+	// are rejected at Submit (replay datasets) or computed locally
+	// (telemetry writers).
+	Runner ScenarioRunner
+	// LeaseTTL enables cross-node single-flight when several services
+	// share one Store directory: before computing a key locally, the
+	// service acquires a time-bounded lease on it and other nodes wait
+	// for the holder's Put instead of duplicating the run. Size it for
+	// the worst-case scenario compute; a holder renews every TTL/3, and
+	// a dead holder's lease is stolen after expiry. 0 disables leasing.
+	// Ignored when Runner is set — the coordinator must not lease before
+	// remote dispatch, or it would deadlock against the worker that
+	// leases the same key to compute it.
+	LeaseTTL time.Duration
 }
 
 // Service is the sweep server. Create with New; it has no background
@@ -88,7 +108,10 @@ type Service struct {
 	maxSweeps int
 	slots     chan struct{} // global simulation-worker pool
 	cache     *resultCache
-	store     *store.Store // durable tier; nil → memory-only
+	store     *store.Store   // durable tier; nil → memory-only
+	runner    ScenarioRunner // remote compute tier; nil → local pool
+	leaseTTL  time.Duration  // cross-node single-flight; 0 → no leasing
+	owner     string         // this service's lease identity
 	logf      httpmw.Logf
 	metrics   *httpmw.Metrics
 	reg       *obs.Registry
@@ -113,6 +136,7 @@ type Service struct {
 	rejections *obs.Counter
 	scenRate   *obs.Gauge   // scenarios/sec of the most recently finished sweep
 	pending    atomic.Int64 // queued+running scenarios across all sweeps (CAS admission)
+	drain      drainRate    // completion-rate EWMA behind Retry-After
 
 	faults faultHolder // test-only chaos hook
 
@@ -167,6 +191,9 @@ func New(opts Options) *Service {
 		slots:           make(chan struct{}, opts.Workers),
 		cache:           newResultCache(opts.CacheCap, opts.CacheMaxBytes),
 		store:           opts.Store,
+		runner:          opts.Runner,
+		leaseTTL:        opts.LeaseTTL,
+		owner:           leaseOwnerID(),
 		metrics:         &httpmw.Metrics{},
 		reg:             reg,
 		tracer:          obs.NewTracer(opts.TraceCap),
@@ -254,6 +281,10 @@ func (s *Service) registerMetrics() {
 				emit([]string{"put"}, float64(m.Puts))
 				emit([]string{"put_error"}, float64(m.PutErrors))
 				emit([]string{"corrupt_quarantined"}, float64(m.CorruptQuarantined))
+				emit([]string{"quarantine_purged"}, float64(m.QuarantinePurged))
+				emit([]string{"lease_acquired"}, float64(m.LeasesAcquired))
+				emit([]string{"lease_wait"}, float64(m.LeaseWaits))
+				emit([]string{"lease_steal"}, float64(m.LeaseSteals))
 			})
 		reg.GaugeFunc("exadigit_store_entries",
 			"Results resident in the durable store.",
@@ -440,6 +471,7 @@ type SweepStatus struct {
 type Sweep struct {
 	id         string
 	name       string
+	spec       config.SystemSpec // retained for remote dispatch (RunRequest.Spec)
 	specHash   string
 	createdAt  time.Time
 	compileSec float64            // spec-compile wall time, stamped on every span
@@ -562,6 +594,12 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 				return nil, fmt.Errorf("service: scenario %d: partition %d: replay is not a per-partition workload", i, p)
 			}
 		}
+		// A coordinator cannot ship replay datasets to a remote worker
+		// (they are programmatic-only and never cross the wire), so the
+		// rejection belongs here, not mid-sweep on a worker.
+		if s.runner != nil && (sc.Dataset != nil || sc.Workload == core.WorkloadReplay) {
+			return nil, fmt.Errorf("service: scenario %d: replay scenarios cannot be dispatched to remote workers", i)
+		}
 		// Resolve each cooled scenario's plant design up front (they are
 		// cached and shared with the run), so an invalid or infeasible
 		// CoolingSpec fails the submission instead of a worker mid-sweep.
@@ -596,6 +634,7 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	ctx, cancel := context.WithCancel(context.Background())
 	sw := &Sweep{
 		name:        opts.Name,
+		spec:        spec,
 		specHash:    compiled.Hash(),
 		createdAt:   time.Now(),
 		compileSec:  compileSec,
@@ -684,8 +723,13 @@ func (s *Service) admit(n int) error {
 	}
 }
 
-// release returns n scenarios' worth of queue capacity.
-func (s *Service) release(n int) { s.pending.Add(-int64(n)) }
+// release returns n scenarios' worth of queue capacity and feeds the
+// drain-rate estimate the saturated-queue Retry-After hint is derived
+// from.
+func (s *Service) release(n int) {
+	s.pending.Add(-int64(n))
+	s.drain.note(n, time.Now())
+}
 
 // Close stops admitting new sweeps (Submit returns ErrClosed). Already
 // submitted sweeps keep working; pair with Drain or CancelAll for the
@@ -1095,9 +1139,13 @@ func (sw *Sweep) runDirect(i int) {
 // and zero model builds), then simulation. Because only the key's leader
 // reaches the store, single-flight semantics extend across all three
 // tiers: N concurrent submissions of one scenario cost at most one disk
-// read plus one simulation.
+// read plus one simulation. With a shared store and a LeaseTTL, the
+// single-flight extends across nodes too: the leader leases the key
+// before computing locally, so of N services sharing the directory only
+// one simulates while the others poll for its Put.
 func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
-	if st := sw.svc.store; st != nil && sw.ctx.Err() == nil {
+	st := sw.svc.store
+	if st != nil && sw.ctx.Err() == nil {
 		if res, err := st.Get(sw.specHash, sw.hashes[i]); err == nil {
 			sw.svc.hits.Inc()
 			sw.svc.cache.complete(key, entry, res, nil)
@@ -1107,22 +1155,56 @@ func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 		// ErrNotFound and ErrCorrupt (quarantined) both mean compute; the
 		// recomputed result re-persists below, healing corrupt entries.
 	}
+	// Cross-node single-flight, local compute only: a coordinator never
+	// leases before remote dispatch (the worker that computes the key
+	// takes the lease; a coordinator holding it would deadlock them).
+	var lease *store.Lease
+	if st != nil && sw.svc.leaseTTL > 0 && sw.svc.runner == nil {
+		var res *core.Result
+		var err error
+		lease, res, err = sw.waitLease(i)
+		if res != nil {
+			// Another node computed and persisted the key while we waited.
+			sw.svc.hits.Inc()
+			sw.svc.cache.complete(key, entry, res, nil)
+			sw.record(i, res, nil, tierDisk)
+			return
+		}
+		if err != nil {
+			sw.svc.cache.complete(key, entry, nil, errAbandoned)
+			sw.record(i, nil, err, tierNone)
+			return
+		}
+	}
+	var stopRenew chan struct{}
+	if lease != nil {
+		stopRenew = make(chan struct{})
+		go sw.renewLease(lease, stopRenew)
+	}
 	res, ran, err := sw.simulate(i)
+	if stopRenew != nil {
+		close(stopRenew)
+	}
 	if !ran || errors.Is(err, context.Canceled) {
 		// Never got a slot, or this sweep's cancel aborted the run
 		// mid-day: release the key so another submitter can take over,
 		// rather than publishing the cancellation to unrelated waiters.
+		if lease != nil {
+			lease.Release()
+		}
 		sw.svc.cache.complete(key, entry, nil, errAbandoned)
 		sw.record(i, nil, err, tierNone)
 		return
 	}
 	sw.svc.cache.complete(key, entry, res, err)
 	if err == nil {
-		if st := sw.svc.store; st != nil {
+		if st != nil && sw.svc.runner == nil {
 			// Persist after publishing so waiters are never delayed by
 			// disk I/O. A failed Put is an observability event (store
 			// put_errors), not a scenario failure — the result is already
-			// served from memory.
+			// served from memory. Skipped in coordinator mode: the worker
+			// that computed the result persists it, so a shared store
+			// counts each key exactly once.
 			putStart := time.Now()
 			perr := st.Put(sw.specHash, sw.hashes[i], res)
 			sw.spans[i].setStoreSec(time.Since(putStart).Seconds())
@@ -1131,11 +1213,90 @@ func (sw *Sweep) lead(i int, key string, entry *cacheEntry) {
 			}
 		}
 	}
+	if lease != nil {
+		// Release only after the Put: a waiter that sees the lease go
+		// away must find the result on its next store poll.
+		lease.Release()
+	}
 	tier := tierCompute
 	if err != nil {
 		tier = tierNone
 	}
 	sw.record(i, res, err, tier)
+}
+
+// waitLease acquires the cross-node lease for scenario i, waiting out
+// (and polling the store under) any other node's live lease. It returns
+// exactly one of: a held lease (compute locally), a result another node
+// persisted while we waited, or an error (the sweep was cancelled). All
+// nil means lease I/O failed — fail open and compute without one; the
+// worst case is a duplicate compute, never a stuck scenario.
+func (sw *Sweep) waitLease(i int) (*store.Lease, *core.Result, error) {
+	st := sw.svc.store
+	ttl := sw.svc.leaseTTL
+	poll := ttl / 10
+	if poll < 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	for {
+		lease, err := st.AcquireLease(sw.specHash, sw.hashes[i], sw.svc.owner, ttl)
+		if err == nil {
+			// Re-check the store before computing: the previous holder may
+			// have Put between our miss and this acquire.
+			if res, gerr := st.Get(sw.specHash, sw.hashes[i]); gerr == nil {
+				lease.Release()
+				return nil, res, nil
+			}
+			return lease, nil, nil
+		}
+		if !errors.Is(err, store.ErrLeaseHeld) {
+			if sw.svc.logf != nil {
+				sw.svc.logf("service: lease %s/%s: %v (computing without lease)",
+					sw.specHash, sw.hashes[i], err)
+			}
+			return nil, nil, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-t.C:
+		case <-sw.ctx.Done():
+			t.Stop()
+			return nil, nil, sw.ctx.Err()
+		}
+		t.Stop()
+		if res, gerr := st.Get(sw.specHash, sw.hashes[i]); gerr == nil {
+			return nil, res, nil
+		}
+	}
+}
+
+// renewLease extends the held lease every TTL/3 until stop closes. A
+// failed renew means a holder that overran its TTL lost the lease to a
+// stealer; the compute still finishes and publishes (Puts are atomic and
+// idempotent) — the stealer's duplicate run is the documented
+// degradation mode, so the renewer just stops.
+func (sw *Sweep) renewLease(l *store.Lease, stop <-chan struct{}) {
+	interval := sw.svc.leaseTTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-sw.ctx.Done():
+			return
+		case <-t.C:
+			if err := l.Renew(sw.svc.leaseTTL); err != nil {
+				return
+			}
+		}
+	}
 }
 
 // record finalizes one scenario's status, returns its queue

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	leaseSpec = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	leaseScen = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+)
+
+func TestLeaseAcquireHoldRelease(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.AcquireLease(leaseSpec, leaseScen, "node-a", time.Minute)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// A second owner is refused while the lease is live.
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "node-b", time.Minute); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("second owner got %v, want ErrLeaseHeld", err)
+	}
+	// Re-entrant acquire by the holder renews instead of refusing.
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "node-a", time.Minute); err != nil {
+		t.Fatalf("re-entrant acquire: %v", err)
+	}
+	l.Release()
+	// Released: anyone can claim.
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "node-b", time.Minute); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	m := s.Stats()
+	if m.LeasesAcquired < 2 || m.LeaseWaits != 1 {
+		t.Fatalf("lease metrics %+v", m)
+	}
+}
+
+func TestLeaseStealOnExpiry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "dead-node", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	l, err := s.AcquireLease(leaseSpec, leaseScen, "survivor", time.Minute)
+	if err != nil {
+		t.Fatalf("steal of expired lease failed: %v", err)
+	}
+	if m := s.Stats(); m.LeaseSteals != 1 {
+		t.Fatalf("steals = %d, want 1 (%+v)", m.LeaseSteals, m)
+	}
+	// The dead node's handle can no longer renew or release the lease.
+	dead := &Lease{s: s, path: l.path, owner: "dead-node"}
+	if err := dead.Renew(time.Minute); err == nil {
+		t.Fatal("dead node renewed a stolen lease")
+	}
+	dead.Release()
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "third", time.Minute); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("stolen lease not held after dead-node Release: %v", err)
+	}
+}
+
+// TestLeaseConcurrentStealSingleWinner drives N goroutines at one
+// expired lease; exactly one must win each round (the others see
+// ErrLeaseHeld from the winner's fresh lease or lose the tombstone
+// race and retry internally).
+func TestLeaseConcurrentStealSingleWinner(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		if _, err := s.AcquireLease(leaseSpec, leaseScen, "dead", time.Nanosecond); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+		var mu sync.Mutex
+		winners := 0
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				l, err := s.AcquireLease(leaseSpec, leaseScen, string(rune('a'+g))+"-stealer", time.Minute)
+				if err == nil {
+					mu.Lock()
+					winners++
+					mu.Unlock()
+					_ = l
+				} else if !errors.Is(err, ErrLeaseHeld) {
+					t.Errorf("stealer %d: %v", g, err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if winners != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", round, winners)
+		}
+		// Clean the slate for the next round.
+		_ = os.Remove(s.EntryPath(leaseSpec, leaseScen) + leaseSuffix)
+	}
+}
+
+// TestOpenSweepsStaleLeases: a long-expired lease file is collected at
+// startup; a live one survives.
+func TestOpenSweepsStaleLeases(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireLease(leaseSpec, leaseScen, "live", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stale := s.EntryPath(leaseSpec, "cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc") + leaseSuffix
+	if err := overwriteLease(stale, "long-dead", -2*staleLeaseAge); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale lease survived the startup sweep")
+	}
+	live := s.EntryPath(leaseSpec, leaseScen) + leaseSuffix
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("live lease was swept: %v", err)
+	}
+	_ = s2
+}

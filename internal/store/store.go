@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"exadigit/internal/core"
 	"exadigit/internal/raps"
@@ -74,6 +75,21 @@ type Store struct {
 	puts    uint64
 	putErrs uint64
 	corrupt uint64 // entries quarantined (startup scan + read-time)
+
+	// Quarantine aging and cross-node lease accounting.
+	quarantinePurged uint64 // aged-out *.corrupt files deleted at Open
+	leaseAcquired    uint64 // leases successfully claimed (incl. steals)
+	leaseWaits       uint64 // acquires refused because a live owner held the key
+	leaseSteals      uint64 // expired/unreadable leases taken over
+}
+
+// Options configures Open behavior beyond the directory itself.
+type Options struct {
+	// QuarantineTTL ages out quarantined entries: at Open, *.corrupt
+	// files older than this are deleted (they were kept for forensics;
+	// past the TTL they are just dead bytes). 0 keeps quarantine files
+	// forever — the pre-TTL behavior.
+	QuarantineTTL time.Duration
 }
 
 // Metrics is the store's observability snapshot, served alongside the
@@ -84,15 +100,27 @@ type Metrics struct {
 	Puts               uint64 `json:"puts"`
 	PutErrors          uint64 `json:"put_errors"`
 	CorruptQuarantined uint64 `json:"corrupt_quarantined"`
-	Entries            int    `json:"entries"`
-	Bytes              int64  `json:"bytes"`
+	// QuarantinePurged counts quarantine files aged out by the startup
+	// sweep (Options.QuarantineTTL).
+	QuarantinePurged uint64 `json:"quarantine_purged"`
+	// Lease accounting for the cross-node single-flight protocol.
+	LeasesAcquired uint64 `json:"leases_acquired"`
+	LeaseWaits     uint64 `json:"lease_waits"`
+	LeaseSteals    uint64 `json:"lease_steals"`
+	Entries        int    `json:"entries"`
+	Bytes          int64  `json:"bytes"`
 }
 
 // Open roots a store at dir (created if missing) and rebuilds the index
 // by scanning existing entries. Entries without the integrity trailer —
 // e.g. a process killed mid-write before the atomic rename, or a file
 // truncated by the filesystem — are quarantined, not served.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions is Open with startup-sweep configuration: quarantined
+// entries older than Options.QuarantineTTL are deleted, and long-dead
+// lease files (expired past any plausible TTL) are collected.
+func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
@@ -101,6 +129,7 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
+	now := time.Now()
 	for _, sd := range specs {
 		if !sd.IsDir() || !validKey(sd.Name()) {
 			continue
@@ -111,14 +140,18 @@ func Open(dir string) (*Store, error) {
 		}
 		for _, e := range entries {
 			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, entrySuffix) {
+			if e.IsDir() {
+				continue
+			}
+			path := filepath.Join(dir, sd.Name(), name)
+			if !strings.HasSuffix(name, entrySuffix) {
+				s.sweepSidecar(path, name, now, opts)
 				continue
 			}
 			scen := strings.TrimSuffix(name, entrySuffix)
 			if !validKey(scen) {
 				continue
 			}
-			path := filepath.Join(dir, sd.Name(), name)
 			size, ok := checkTrailer(path)
 			if !ok {
 				s.quarantine(path)
@@ -131,6 +164,45 @@ func Open(dir string) (*Store, error) {
 	}
 	return s, nil
 }
+
+// sweepSidecar handles the non-entry files the startup scan walks past:
+// quarantined entries past their TTL are deleted (they were kept for
+// forensics and nobody came), lease files expired by a generous margin
+// are junk from dead processes (live stealers handle freshly expired
+// leases themselves — the margin guarantees no live holder or stealer
+// is racing this removal), and orphaned lease tombstones from a crash
+// mid-steal are collected on the same schedule.
+func (s *Store) sweepSidecar(path, name string, now time.Time, opts Options) {
+	switch {
+	case strings.HasSuffix(name, quarantineSuffix):
+		if opts.QuarantineTTL <= 0 {
+			return
+		}
+		if fi, err := os.Stat(path); err == nil && now.Sub(fi.ModTime()) > opts.QuarantineTTL {
+			if os.Remove(path) == nil {
+				s.quarantinePurged++
+			}
+		}
+	case strings.HasSuffix(name, leaseSuffix):
+		if rec, err := readLease(path); err == nil {
+			if now.Sub(time.Unix(0, rec.ExpiresUnixNano)) > staleLeaseAge {
+				_ = os.Remove(path)
+			}
+			return
+		}
+		// Unreadable lease: fall back to file age.
+		if fi, err := os.Stat(path); err == nil && now.Sub(fi.ModTime()) > staleLeaseAge {
+			_ = os.Remove(path)
+		}
+	case strings.Contains(name, ".tomb-"):
+		if fi, err := os.Stat(path); err == nil && now.Sub(fi.ModTime()) > staleLeaseAge {
+			_ = os.Remove(path)
+		}
+	}
+}
+
+// specDirOf returns the per-spec subdirectory for a spec hash.
+func specDirOf(dir, specHash string) string { return filepath.Join(dir, specHash) }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -152,6 +224,10 @@ func (s *Store) Stats() Metrics {
 		Puts:               s.puts,
 		PutErrors:          s.putErrs,
 		CorruptQuarantined: s.corrupt,
+		QuarantinePurged:   s.quarantinePurged,
+		LeasesAcquired:     s.leaseAcquired,
+		LeaseWaits:         s.leaseWaits,
+		LeaseSteals:        s.leaseSteals,
 		Entries:            len(s.index),
 		Bytes:              s.bytes,
 	}
@@ -342,12 +418,37 @@ func (s *Store) Get(specHash, scenHash string) (*core.Result, error) {
 	key := specHash + "/" + scenHash
 	s.mu.Lock()
 	size, ok := s.index[key]
-	if !ok {
-		s.misses++
-		s.mu.Unlock()
-		return nil, ErrNotFound
-	}
 	s.mu.Unlock()
+	if !ok {
+		// The index is a startup scan plus our own Puts — but when
+		// several nodes share this directory (the distributed-sweep
+		// deployment), a sibling may have persisted the key since. Probe
+		// the disk before declaring a miss: Put renames are atomic, so a
+		// visible file is a complete entry. One Stat per cold miss is
+		// noise next to the recompute a false miss would cause — and the
+		// cross-node lease protocol depends on waiters seeing the
+		// holder's Put through exactly this path.
+		var fi os.FileInfo
+		var statErr error
+		if validKey(specHash) && validKey(scenHash) {
+			fi, statErr = os.Stat(s.EntryPath(specHash, scenHash))
+		} else {
+			statErr = ErrNotFound
+		}
+		if statErr != nil {
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			return nil, ErrNotFound
+		}
+		size = fi.Size()
+		s.mu.Lock()
+		if _, dup := s.index[key]; !dup {
+			s.index[key] = size
+			s.bytes += size
+		}
+		s.mu.Unlock()
+	}
 
 	res, err := readEntry(s.EntryPath(specHash, scenHash), specHash, scenHash)
 	s.mu.Lock()

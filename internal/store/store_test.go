@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"exadigit/internal/core"
 	"exadigit/internal/raps"
@@ -282,5 +283,102 @@ func TestOverwriteKeepsAccounting(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("spec dir has %d files, want 1", len(entries))
+	}
+}
+
+// TestQuarantineAgedOutAtOpen: quarantined entries older than the
+// configured TTL are deleted by the startup sweep (and counted);
+// younger ones are kept for forensics, and TTL 0 keeps everything.
+func TestQuarantineAgedOutAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(specA, scenA, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(specA, scenB, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	oldQ := s1.EntryPath(specA, scenA) + quarantineSuffix
+	newQ := s1.EntryPath(specA, scenB) + quarantineSuffix
+	if err := os.Rename(s1.EntryPath(specA, scenA), oldQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s1.EntryPath(specA, scenB), newQ); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(oldQ, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	// TTL 0: nothing is touched.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s2.Stats(); m.QuarantinePurged != 0 {
+		t.Fatalf("TTL 0 purged %d files", m.QuarantinePurged)
+	}
+	if _, err := os.Stat(oldQ); err != nil {
+		t.Fatalf("TTL 0 removed a quarantine file: %v", err)
+	}
+
+	// 24h TTL: only the 48h-old file goes.
+	s3, err := OpenOptions(dir, Options{QuarantineTTL: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s3.Stats(); m.QuarantinePurged != 1 {
+		t.Fatalf("purged = %d, want 1 (%+v)", m.QuarantinePurged, m)
+	}
+	if _, err := os.Stat(oldQ); !os.IsNotExist(err) {
+		t.Fatal("aged quarantine file survived")
+	}
+	if _, err := os.Stat(newQ); err != nil {
+		t.Fatalf("young quarantine file deleted: %v", err)
+	}
+}
+
+// TestGetSeesSiblingWrites pins the multi-node store semantic: a key
+// persisted by ANOTHER Store instance on the same directory (another
+// node of a distributed sweep) is served by Get even though it is
+// absent from this instance's startup index. The cross-node lease
+// protocol depends on it — a waiter must see the holder's Put without
+// reopening the store.
+func TestGetSeesSiblingWrites(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Put(specA, scenA, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(specA, scenA)
+	if err != nil {
+		t.Fatalf("sibling write invisible: %v", err)
+	}
+	if got.Report == nil || got.Report.JobsCompleted != 42 {
+		t.Fatalf("sibling entry decoded wrong: %+v", got.Report)
+	}
+	m := b.Stats()
+	if m.Hits != 1 || m.Entries != 1 || m.Bytes <= 0 {
+		t.Fatalf("adopted entry not accounted: %+v", m)
+	}
+	// A second Get serves from the now-updated index.
+	if _, err := b.Get(specA, scenA); err != nil {
+		t.Fatal(err)
+	}
+	// Keys nobody wrote are still plain misses.
+	if _, err := b.Get(specA, scenB); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 }

@@ -3,13 +3,15 @@
 # trajectory can be tracked PR over PR (BENCH_PR1.json onward). PR 6
 # adds the durable-store restart path (BenchmarkSweepWarmRestart) with
 # its disk-tier disk_scen/s rate; PR 7 adds the /metrics scrape cost
-# under a saturated sweep (BenchmarkMetricsScrapeUnderLoad).
+# under a saturated sweep (BenchmarkMetricsScrapeUnderLoad); PR 8 adds
+# the distributed-sweep fabric (BenchmarkCoordinatorSweep) with its
+# 1-vs-3-worker cold throughput, scaling ratio, and efficiency.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1
