@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race cluster-test chaos check metrics-lint bench-smoke bench-json bench-compare ci
+.PHONY: all build vet test test-short test-race cluster-test chaos multihost-smoke check metrics-lint bench-smoke bench-json bench-compare ci
 
 all: build vet test
 
@@ -32,12 +32,21 @@ cluster-test:
 
 # Fault-injection suite: panics mid-simulation, deadline overruns,
 # transient and permanent failures, corrupted/truncated store entries,
-# queue saturation, kill-restart recovery, and the multi-node chaos
-# pair (worker killed mid-sweep, lease single-flight across nodes) —
-# under the race detector.
+# queue saturation, kill-restart recovery (both the result store and
+# the durable sweep journal — coordinator killed mid-sweep and resumed,
+# idempotent resubmission), and the multi-node chaos tests (worker
+# killed mid-sweep, lease single-flight across nodes) — under the race
+# detector.
 chaos:
-	$(GO) test -race -run 'Chaos|Restart|Corrupt|Truncated|Backpressure|CancelReleases' \
+	$(GO) test -race -run 'Chaos|Restart|Corrupt|Truncated|Backpressure|CancelReleases|Journal|Recover|Idempotent' \
 		./internal/service/... ./internal/store/... ./internal/cluster/...
+
+# Two-process smoke: a worker and a coordinator as separate serve
+# processes sharing one store directory; the coordinator is kill -9'd
+# mid-sweep and restarted, and must resume the journaled sweep to
+# completion and dedupe a same-key resubmission to the original id.
+multihost-smoke: build
+	./scripts/multihost_smoke.sh
 
 # Lint the live /metrics exposition of a fully wired server against the
 # strict format parser and the naming conventions.

@@ -129,6 +129,7 @@ func serve(args []string) {
 		attempts   = fs.Int("max-attempts", 3, "simulation attempts per scenario before its failure is permanent")
 		maxPending = fs.Int("max-pending", 4096, "queued+running scenario bound; beyond it submissions get 429 + Retry-After")
 		drain      = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight sweeps before cancelling them")
+		resume     = fs.Bool("resume", true, "re-adopt journaled sweeps from -store at startup: finished sweeps stay queryable, interrupted sweeps resume where the previous process died (needs -store)")
 		traceFile  = fs.String("trace", "", "append every scenario lifecycle span to FILE as NDJSON (the /api/sweeps/trace ring persisted)")
 		logEvery   = fs.Duration("metrics-log-every", time.Minute, "period of the metrics heartbeat log line (0 disables; final flush still happens at shutdown)")
 		pprofOn    = fs.Bool("pprof", true, "mount /debug/pprof profiling endpoints (behind the bearer token when one is set)")
@@ -230,6 +231,17 @@ func serve(args []string) {
 	}
 	svc := exadigit.NewSweepService(svcOpts)
 	svc.SetLogf(log.Printf)
+	if *resume && resultStore != nil {
+		// Recovery must precede serving: a request for a journaled sweep
+		// id races the re-adoption otherwise.
+		stats, err := svc.Recover()
+		if err != nil {
+			log.Printf("sweep recovery: %v (continuing without)", err)
+		} else if stats.Adopted+stats.Finished > 0 {
+			log.Printf("sweep recovery: resumed %d interrupted sweep(s) (%d scenarios restored terminal, %d re-enqueued), re-registered %d finished",
+				stats.Adopted, stats.Terminal, stats.Requeued, stats.Finished)
+		}
+	}
 	dash := exadigit.NewDashboardServer(tw)
 	dash.SetLogf(log.Printf)
 	dash.RegisterMetrics(reg)
@@ -316,11 +328,12 @@ func serve(args []string) {
 		log.Printf("received %v; draining in-flight sweeps (up to %v, signal again to cancel them)", sig, *drain)
 	}
 
-	// Shutdown sequence: stop admitting sweeps, drain what's running
+	// Shutdown sequence: stop admitting sweeps (refused submissions get
+	// a Retry-After derived from the drain window), drain what's running
 	// (a second signal cancels instead of waiting), then shut the
 	// listener down and flush the final metrics so the process's
 	// accounting isn't lost with it.
-	svc.Close()
+	svc.CloseDraining(*drain)
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
 	go func() {
 		<-sigc

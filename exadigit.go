@@ -170,6 +170,11 @@ type (
 	SweepOptions = service.SweepOptions
 	// SweepStatus is a point-in-time sweep snapshot.
 	SweepStatus = service.SweepStatus
+	// SweepRecoverStats summarizes a SweepService.Recover pass: the
+	// durable sweep journal (written into the result store's directory)
+	// lets a restarted service re-adopt interrupted sweeps instead of
+	// losing them — `exadigit serve -store DIR -resume`.
+	SweepRecoverStats = service.RecoverStats
 	// CompiledSpec shares per-spec power models and the cooling FMU
 	// design read-only across scenario runs.
 	CompiledSpec = core.CompiledSpec

@@ -288,3 +288,170 @@ func TestChaosLeaseSingleFlightAcrossNodes(t *testing.T) {
 			am, bm)
 	}
 }
+
+// TestChaosCoordinatorKillRestartResumesSweep closes the coordinator
+// SPOF: a coordinator fanning a keyed 32-scenario sweep across two
+// workers is killed mid-sweep (journal severed exactly as kill -9 would
+// leave it, all dispatches cancelled) and a brand-new coordinator over
+// the same store directory re-adopts the sweep from the durable journal
+// and finishes it. Exactly-once is asserted the way that cannot lie:
+// journal-terminal scenarios are restored without recompute, the sum of
+// worker store Puts equals the scenario count, the coordinator never
+// Puts, the resumed remainder rebuilds zero power models (the workers
+// outlived the coordinator with their compiled specs warm), and a
+// resubmission with the original idempotency key returns the original
+// sweep id.
+func TestChaosCoordinatorKillRestartResumesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos test")
+	}
+	const n = 32
+	dir := t.TempDir()
+
+	var (
+		stores []*store.Store
+		urls   []string
+	)
+	for i := 0; i < 2; i++ {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsvc, srv := newWorker(t, service.Options{
+			Workers:        2,
+			Store:          st,
+			MaxAttempts:    3,
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  50 * time.Millisecond,
+		})
+		wsvc.SetFaultInjector(slowInjector(10 * time.Millisecond))
+		stores = append(stores, st)
+		urls = append(urls, srv.URL)
+	}
+	newCoordinator := func() (*service.Service, *store.Store, *obs.Registry) {
+		cst, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		pool, err := New(Options{
+			Workers:      urls,
+			Registry:     reg,
+			Store:        cst,
+			ProbeAfter:   200 * time.Millisecond,
+			StallTimeout: 30 * time.Second,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord := service.New(service.Options{
+			Workers:        8,
+			Store:          cst,
+			Runner:         pool,
+			MaxAttempts:    4,
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  100 * time.Millisecond,
+		})
+		t.Cleanup(coord.CancelAll)
+		return coord, cst, reg
+	}
+
+	coord1, cst1, _ := newCoordinator()
+	scenarios := make([]core.Scenario, n)
+	for i := range scenarios {
+		scenarios[i] = synthScenario(int64(3000+i), 60)
+	}
+	sw, err := coord1.Submit(config.Frontier(), scenarios, service.SweepOptions{
+		Name: "kill-restart", Key: "coord-kill-key",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the sweep get under way on both workers — at least 6 terminal
+	// scenarios durably journaled and each worker warmed (its model
+	// built, shards persisted) — then kill the coordinator: sever the
+	// journal exactly as kill -9 would and cancel every dispatch.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if cst1.Stats().JournalAppends >= 6 &&
+			stores[0].Stats().Puts >= 1 && stores[1].Stats().Puts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never got under way: journal appends %d, worker puts %d/%d",
+				cst1.Stats().JournalAppends, stores[0].Stats().Puts, stores[1].Stats().Puts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sw.DetachJournal()
+	coord1.CancelAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_ = sw.Wait(ctx)
+	cancel()
+	// Give the workers a beat to abort the cancelled shards (the cancel
+	// fan-out is fire-and-forget HTTP) before the successor redispatches.
+	time.Sleep(250 * time.Millisecond)
+	t.Logf("killed coordinator with %d scenarios journaled", cst1.Stats().JournalAppends)
+
+	builds0 := config.ModelBuilds()
+	coord2, cst2, _ := newCoordinator()
+	stats, err := coord2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Adopted != 1 || stats.Finished != 0 {
+		t.Fatalf("recover stats %+v, want exactly 1 adopted sweep", stats)
+	}
+	if stats.Terminal < 6 || stats.Terminal+stats.Requeued != n {
+		t.Fatalf("recover stats %+v, want terminal+requeued == %d with >= 6 terminal", stats, n)
+	}
+	got, ok := coord2.Sweep(sw.ID())
+	if !ok {
+		t.Fatalf("restarted coordinator does not serve sweep %s", sw.ID())
+	}
+	final := waitSweep(t, got)
+	if !final.Recovered || final.Done+final.Cached != n || final.Failed != 0 || final.Cancelled != 0 {
+		t.Fatalf("resumed sweep final status %+v", final)
+	}
+
+	// Exactly-once across the kill: every key persisted exactly once by
+	// a worker, never by either coordinator, and the resumed remainder
+	// rebuilt nothing (the workers' compiled specs stayed warm).
+	var puts uint64
+	for i, s := range stores {
+		m := s.Stats()
+		t.Logf("worker %d store: puts=%d hits=%d", i, m.Puts, m.Hits)
+		puts += m.Puts
+	}
+	if puts != n {
+		t.Fatalf("cluster-wide store puts = %d, want exactly %d (duplicate or lost compute)", puts, n)
+	}
+	if cst1.Stats().Puts != 0 || cst2.Stats().Puts != 0 {
+		t.Fatalf("coordinator stores wrote %d/%d entries; runner mode must not Put",
+			cst1.Stats().Puts, cst2.Stats().Puts)
+	}
+	if d := config.ModelBuilds() - builds0; d != 0 {
+		t.Fatalf("resumed sweep rebuilt %d power models, want 0", d)
+	}
+	if rec := counterSum(t, coord2.Registry(), "exadigit_sweep_recovered_total"); rec != 1 {
+		t.Fatalf("exadigit_sweep_recovered_total = %v, want 1", rec)
+	}
+	if rq := counterSum(t, coord2.Registry(), "exadigit_sweep_requeued_scenarios_total"); int(rq) != stats.Requeued {
+		t.Fatalf("exadigit_sweep_requeued_scenarios_total = %v, want %d", rq, stats.Requeued)
+	}
+
+	// Same-key resubmission against the restarted coordinator returns
+	// the original sweep, not a recompute.
+	dup, existing, err := coord2.SubmitIdempotent(config.Frontier(), scenarios, service.SweepOptions{Key: "coord-kill-key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existing || dup.ID() != sw.ID() {
+		t.Fatalf("same-key resubmission: existing=%v id=%s, want %s", existing, dup.ID(), sw.ID())
+	}
+	if st := dup.Status(); !st.Recovered {
+		t.Fatal("deduped sweep lost its recovered flag")
+	}
+}

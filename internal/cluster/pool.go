@@ -256,6 +256,12 @@ type submitEnvelope struct {
 	Name      string                    `json:"name,omitempty"`
 	Spec      json.RawMessage           `json:"spec"`
 	Scenarios []service.ScenarioRequest `json:"scenarios"`
+	// Ephemeral keeps shard sweeps out of the worker's durable sweep
+	// journal: a shard is the coordinator's re-dispatchable work, and the
+	// coordinator's own journal is what survives a crash. A worker that
+	// re-adopted half-done shards would race the coordinator's
+	// re-dispatch of the same scenarios.
+	Ephemeral bool `json:"ephemeral,omitempty"`
 }
 
 // candidates orders the workers for a scenario hash: rendezvous
@@ -317,6 +323,7 @@ func (p *Pool) RunScenario(ctx context.Context, req service.RunRequest) (*core.R
 		Name:      fmt.Sprintf("shard-%.12s", req.ScenarioHash),
 		Spec:      specRaw,
 		Scenarios: []service.ScenarioRequest{wire},
+		Ephemeral: true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: marshal shard: %w", err)

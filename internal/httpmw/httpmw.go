@@ -109,10 +109,11 @@ func RouteLabel(path string) string {
 }
 
 // isIDSegment reports whether a path segment looks like a generated
-// identifier: a sweep id (sw-N), a pure number, or a content hash
-// (≥16 hex chars).
+// identifier: a sweep id ("sw-" + hex and dashes — both the historical
+// counter form sw-12 and the collision-free sw-<hexnano>-<rand> form),
+// a pure number, or a content hash (≥16 hex chars).
 func isIDSegment(s string) bool {
-	if rest, ok := strings.CutPrefix(s, "sw-"); ok && allDigits(rest) && rest != "" {
+	if rest, ok := strings.CutPrefix(s, "sw-"); ok && rest != "" && allHexDash(rest) {
 		return true
 	}
 	if s != "" && allDigits(s) {
@@ -136,6 +137,15 @@ func allDigits(s string) bool {
 func allHex(s string) bool {
 	for _, c := range s {
 		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allHexDash(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && c != '-' {
 			return false
 		}
 	}

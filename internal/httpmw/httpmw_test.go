@@ -138,6 +138,10 @@ func TestRouteLabel(t *testing.T) {
 		"/api/sweeps/sw-12":         "/api/sweeps/{id}",
 		"/api/sweeps/sw-97/results": "/api/sweeps/{id}/results",
 		"/api/sweeps/sw-/results":   "/api/sweeps/sw-/results", // not an id
+		// Durable time-prefixed ids: sw-<hex nanos>-<hex suffix>.
+		"/api/sweeps/sw-18f3a2b4c5d6e7f8-9abc":        "/api/sweeps/{id}",
+		"/api/sweeps/sw-18f3a2b4c5d6e7f8-9abc/stream": "/api/sweeps/{id}/stream",
+		"/api/sweeps/sw-NOPE/results":                 "/api/sweeps/sw-NOPE/results", // uppercase: not an id
 		"/api/experiments/42":       "/api/experiments/{id}",
 		"/api/run/deadbeefdeadbeef": "/api/run/{id}",     // 16 hex chars
 		"/api/run/deadbeef":         "/api/run/deadbeef", // too short for a hash

@@ -49,6 +49,10 @@ type Span struct {
 	// simulation ran), or "none" (failed or cancelled before resolution).
 	CacheTier string `json:"cache_tier"`
 	Error     string `json:"error,omitempty"`
+	// Recovered marks spans emitted by a sweep that was re-adopted from
+	// the durable journal after a restart (tier "journal" for scenarios
+	// whose terminal state was restored rather than recomputed).
+	Recovered bool `json:"recovered,omitempty"`
 	// CompileSec is the sweep's spec-compile time (zero when the compiled
 	// spec was shared from a previous sweep); QueueSec the wait from
 	// submission to the first attempt's worker slot (or to the terminal

@@ -110,8 +110,18 @@ type SubmitRequest struct {
 	// not left running forever.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 	// MaxAttempts overrides the server's retry budget for this sweep.
-	MaxAttempts int               `json:"max_attempts,omitempty"`
-	Scenarios   []ScenarioRequest `json:"scenarios"`
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// SweepKey is the idempotency key (the Idempotency-Key header takes
+	// precedence): a resubmission carrying a key already bound to a
+	// sweep — including one recovered from the journal after a server
+	// restart — returns that sweep's original id instead of recomputing.
+	SweepKey string `json:"sweep_key,omitempty"`
+	// Ephemeral opts this sweep out of the durable journal: it will not
+	// be re-adopted after a restart. Set by cluster coordinators on shard
+	// dispatches — the shard is the coordinator's re-dispatchable work
+	// and the coordinator's own journal is the durable record.
+	Ephemeral bool              `json:"ephemeral,omitempty"`
+	Scenarios []ScenarioRequest `json:"scenarios"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -119,6 +129,9 @@ type SubmitResponse struct {
 	ID             string   `json:"id"`
 	SpecHash       string   `json:"spec_hash"`
 	ScenarioHashes []string `json:"scenario_hashes"`
+	// Deduplicated marks a response serving an existing sweep matched by
+	// idempotency key (HTTP 200, not 202).
+	Deduplicated bool `json:"deduplicated,omitempty"`
 }
 
 // ResultEntry is one completed scenario on the results/stream endpoints.
@@ -214,11 +227,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Scenarios {
 		scenarios[i] = req.Scenarios[i].Scenario()
 	}
-	sw, err := s.Submit(spec, scenarios, SweepOptions{
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		key = req.SweepKey
+	}
+	sw, existing, err := s.SubmitIdempotent(spec, scenarios, SweepOptions{
 		Name:            req.Name,
 		MaxConcurrent:   req.MaxConcurrent,
 		ScenarioTimeout: time.Duration(req.TimeoutSec * float64(time.Second)),
 		MaxAttempts:     req.MaxAttempts,
+		Key:             key,
+		Ephemeral:       req.Ephemeral,
 	})
 	if err != nil {
 		switch {
@@ -228,14 +247,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrClosed):
+			// Draining, not gone: the hint is the remaining drain window,
+			// after which a restarted instance may be accepting again.
+			w.Header().Set("Retry-After", strconv.Itoa(s.closedRetryAfterSec()))
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{
+	code := http.StatusAccepted
+	if existing {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{
 		ID: sw.ID(), SpecHash: sw.SpecHash(), ScenarioHashes: sw.ScenarioHashes(),
+		Deduplicated: existing,
 	})
 }
 

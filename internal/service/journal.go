@@ -1,0 +1,397 @@
+package service
+
+// Sweep durability: the manifest/record journaling half lives here, and
+// so does startup recovery — the piece that closes the coordinator SPOF.
+// The result store already survives restarts; this file makes the sweeps
+// themselves survive too, by persisting each sweep's identity and
+// terminal outcomes into a store-hosted journal (store.SweepJournal) and
+// re-adopting incomplete sweeps at startup through the normal runner
+// seam, so recovery behaves identically whether scenarios compute on the
+// local pool or fan out to cluster workers.
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+	"exadigit/internal/store"
+)
+
+// newSweepID mints a collision-free sweep id: "sw-" + the submission
+// instant in hex nanoseconds + a random suffix. Unlike the old
+// process-local counter, ids from different processes (or the same
+// store directory across restarts) cannot collide — which the durable
+// journal requires, since a recovered sweep keeps its id. The alphabet
+// stays within what httpmw.RouteLabel normalizes and
+// store.ValidSweepID accepts.
+func newSweepID() string {
+	var b [4]byte
+	_, _ = cryptorand.Read(b[:])
+	return fmt.Sprintf("sw-%x-%x", time.Now().UnixNano(), b)
+}
+
+// journalSweep durably writes the sweep's manifest, arming per-scenario
+// record appends. No-ops without a store; degrades (log + journal_error
+// metric) when the sweep cannot be journaled — scenarios that cannot
+// cross a process boundary (replay datasets, telemetry writers) or a
+// failing disk never fail a submission that would have worked in memory.
+func (s *Service) journalSweep(sw *Sweep, opts SweepOptions) {
+	if s.store == nil || opts.Ephemeral {
+		return
+	}
+	reqs := make([]ScenarioRequest, len(sw.scenarios))
+	for i, sc := range sw.scenarios {
+		r, err := ScenarioRequestFrom(sc)
+		if err != nil {
+			if s.logf != nil {
+				s.logf("service: sweep %s not journaled (scenario %d: %v)", sw.id, i, err)
+			}
+			return
+		}
+		reqs[i] = r
+	}
+	specJSON, err := json.Marshal(sw.spec)
+	if err == nil {
+		var scenJSON []byte
+		if scenJSON, err = json.Marshal(reqs); err == nil {
+			var j *store.SweepJournal
+			j, err = s.store.CreateJournal(&store.SweepManifest{
+				ID:              sw.id,
+				Key:             sw.key,
+				Name:            sw.name,
+				SpecHash:        sw.specHash,
+				ScenarioHashes:  sw.hashes,
+				SpecJSON:        specJSON,
+				ScenariosJSON:   scenJSON,
+				MaxConcurrent:   opts.MaxConcurrent,
+				TimeoutSec:      sw.timeout.Seconds(),
+				MaxAttempts:     sw.maxAttempts,
+				CreatedUnixNano: sw.createdAt.UnixNano(),
+			})
+			if err == nil {
+				sw.journal = j
+				return
+			}
+		}
+	}
+	if s.logf != nil {
+		s.logf("service: sweep %s journal create: %v (continuing in-memory)", sw.id, err)
+	}
+}
+
+// appendJournal records one terminal scenario into the sweep's journal.
+// Cancellations are skipped on purpose: a cancelled scenario is work the
+// sweep still owes after a restart, which is exactly what re-adoption
+// recomputes.
+func (sw *Sweep) appendJournal(st ScenarioStatus) {
+	j := sw.journal
+	if j == nil {
+		return
+	}
+	switch st.State {
+	case StateDone, StateCached, StateFailed:
+	default:
+		return
+	}
+	err := j.Append(store.ScenarioRecord{
+		Index:    st.Index,
+		Hash:     st.Hash,
+		State:    string(st.State),
+		Error:    st.Error,
+		Attempts: st.Attempts,
+		WallSec:  st.WallSec,
+		CacheHit: st.CacheHit,
+	})
+	if err != nil && sw.svc.logf != nil {
+		sw.svc.logf("service: sweep %s journal append: %v (continuing in-memory)", sw.id, err)
+	}
+}
+
+// DetachJournal severs the sweep from its journal without sealing it:
+// on disk the journal looks exactly as a kill -9 at this instant would
+// have left it. Crash-recovery tests use this to fabricate a mid-sweep
+// process death without actually killing the test process (an in-process
+// teardown would otherwise journal a tidy cancelled disposition).
+func (sw *Sweep) DetachJournal() {
+	if j := sw.journal; j != nil {
+		j.Detach()
+	}
+}
+
+// Recovered reports whether this sweep was reconstructed from the
+// journal after a restart.
+func (sw *Sweep) Recovered() bool { return sw.recovered }
+
+// RecoverStats summarizes one startup recovery pass.
+type RecoverStats struct {
+	// Adopted counts incomplete sweeps re-adopted and resumed; Finished
+	// counts completed sweeps re-registered for status/results serving.
+	Adopted  int `json:"adopted"`
+	Finished int `json:"finished"`
+	// Terminal counts scenarios restored from journal records (plus the
+	// result store) without recompute; Requeued counts scenarios
+	// re-enqueued through the runner seam.
+	Terminal int `json:"terminal"`
+	Requeued int `json:"requeued"`
+}
+
+// Recover scans the store's sweep journals and re-adopts what the
+// previous process left behind: finished sweeps come back as queryable
+// status (GET /api/sweeps/{id} keeps working across restarts, results
+// lazily re-read from the store), incomplete sweeps are resumed —
+// journal-recorded scenarios whose results the store still holds are
+// marked terminal without recompute, and the remainder re-enters the
+// normal dispatch path, identically under a local pool or a cluster
+// runner. Idempotency keys are rebound, so resubmission against a
+// recovered sweep dedupes exactly as it would have before the crash.
+//
+// Call once at startup, before serving traffic. Without a store this is
+// a no-op.
+func (s *Service) Recover() (RecoverStats, error) {
+	var stats RecoverStats
+	if s.store == nil {
+		return stats, nil
+	}
+	entries, err := s.store.ScanJournals()
+	if err != nil {
+		return stats, err
+	}
+	for i := range entries {
+		e := &entries[i]
+		s.mu.Lock()
+		_, exists := s.sweeps[e.Manifest.ID]
+		s.mu.Unlock()
+		if exists {
+			continue
+		}
+		if e.EndDisposition != "" {
+			s.adoptFinished(e)
+			stats.Finished++
+			continue
+		}
+		requeued, terminal, err := s.adoptIncomplete(e)
+		if err != nil {
+			if s.logf != nil {
+				s.logf("service: recover %s: %v (journal left in place)", e.Manifest.ID, err)
+			}
+			continue
+		}
+		stats.Adopted++
+		stats.Requeued += requeued
+		stats.Terminal += terminal
+	}
+	return stats, nil
+}
+
+// recoveredShell builds the common skeleton of a journal-reconstructed
+// sweep: identity from the manifest, all bookkeeping slices sized, every
+// scenario initialized to the given state.
+func (s *Service) recoveredShell(m *store.SweepManifest, initial ScenarioState) *Sweep {
+	n := len(m.ScenarioHashes)
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &Sweep{
+		id:          m.ID,
+		name:        m.Name,
+		key:         m.Key,
+		recovered:   true,
+		specHash:    m.SpecHash,
+		createdAt:   time.Unix(0, m.CreatedUnixNano),
+		hashes:      append([]string(nil), m.ScenarioHashes...),
+		spans:       make([]spanState, n),
+		svc:         s,
+		timeout:     time.Duration(m.TimeoutSec * float64(time.Second)),
+		maxAttempts: m.MaxAttempts,
+		ctx:         ctx,
+		cancel:      cancel,
+		statuses:    make([]ScenarioStatus, n),
+		results:     make([]*core.Result, n),
+		notify:      make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if sw.timeout <= 0 {
+		sw.timeout = s.scenarioTimeout
+	}
+	if sw.maxAttempts <= 0 {
+		sw.maxAttempts = s.maxAttempts
+	}
+	// Scenario names are display-only; pull them from the wire forms
+	// without requiring a decodable spec.
+	var reqs []ScenarioRequest
+	_ = json.Unmarshal(m.ScenariosJSON, &reqs)
+	for i := range sw.statuses {
+		name := ""
+		if i < len(reqs) {
+			if name = reqs[i].Name; name == "" {
+				name = reqs[i].Workload
+			}
+		}
+		sw.statuses[i] = ScenarioStatus{Index: i, Name: name, Hash: m.ScenarioHashes[i], State: initial}
+	}
+	return sw
+}
+
+// applyRecord restores one journal record onto the shell's status slot.
+func applyRecord(sw *Sweep, rec store.ScenarioRecord) {
+	st := &sw.statuses[rec.Index]
+	st.State = ScenarioState(rec.State)
+	st.Error = rec.Error
+	st.Attempts = rec.Attempts
+	st.WallSec = rec.WallSec
+	st.CacheHit = rec.CacheHit
+}
+
+// registerRecovered publishes a reconstructed sweep into the registry.
+func (s *Service) registerRecovered(sw *Sweep) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, taken := s.sweeps[sw.id]; taken {
+		return fmt.Errorf("service: sweep id %s already registered", sw.id)
+	}
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	if sw.key != "" {
+		if _, bound := s.keys[sw.key]; !bound {
+			s.keys[sw.key] = sw.id
+		}
+	}
+	s.pruneLocked()
+	return nil
+}
+
+// adoptFinished re-registers a completed sweep for status and result
+// serving — no compile, no admission, no goroutines; scenarios without a
+// record were cancelled (cancellations are never journaled).
+func (s *Service) adoptFinished(e *store.JournalEntry) {
+	sw := s.recoveredShell(&e.Manifest, StateCancelled)
+	for _, rec := range e.Records {
+		if rec.Index < 0 || rec.Index >= len(sw.statuses) {
+			continue
+		}
+		applyRecord(sw, rec)
+	}
+	sw.cancel()
+	close(sw.done)
+	if err := s.registerRecovered(sw); err != nil {
+		if s.logf != nil {
+			s.logf("service: recover %s: %v", sw.id, err)
+		}
+		return
+	}
+	s.recFinished.Inc()
+}
+
+// adoptIncomplete resumes a sweep the previous process died holding:
+// verify the manifest's hashes against a fresh compile (a journal from a
+// different code version must recompute, not serve stale keys), restore
+// journal-terminal scenarios whose results the store still holds, and
+// re-enqueue the rest through run() — the same dispatch loop a live
+// submission uses, runner seam and all.
+func (s *Service) adoptIncomplete(e *store.JournalEntry) (requeued, terminal int, err error) {
+	m := &e.Manifest
+	var spec config.SystemSpec
+	if err := json.Unmarshal(m.SpecJSON, &spec); err != nil {
+		return 0, 0, fmt.Errorf("manifest spec: %w", err)
+	}
+	var reqs []ScenarioRequest
+	if err := json.Unmarshal(m.ScenariosJSON, &reqs); err != nil {
+		return 0, 0, fmt.Errorf("manifest scenarios: %w", err)
+	}
+	if len(reqs) != len(m.ScenarioHashes) {
+		return 0, 0, fmt.Errorf("manifest carries %d scenarios but %d hashes", len(reqs), len(m.ScenarioHashes))
+	}
+	scenarios := make([]core.Scenario, len(reqs))
+	for i := range reqs {
+		scenarios[i] = reqs[i].Scenario()
+	}
+	compileStart := time.Now()
+	compiled, err := s.compiledFor(spec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("spec recompile: %w", err)
+	}
+
+	sw := s.recoveredShell(m, StateQueued)
+	sw.spec = spec
+	sw.compiled = compiled
+	sw.scenarios = scenarios
+	sw.compileSec = time.Since(compileStart).Seconds()
+
+	// Trust journal records only where the content-addressed identity
+	// still checks out: same spec hash and, per scenario, the same
+	// recomputed hash. A mismatch (journal from an older build) falls
+	// back to recompute for the affected scenarios — correctness over
+	// thrift.
+	specOK := compiled.Hash() == m.SpecHash
+	if !specOK {
+		sw.specHash = compiled.Hash()
+		if s.logf != nil {
+			s.logf("service: recover %s: spec hash drifted %s -> %s; recomputing all scenarios",
+				sw.id, m.SpecHash, sw.specHash)
+		}
+	}
+	hashOK := make([]bool, len(scenarios))
+	for i, sc := range scenarios {
+		h, herr := HashScenario(sc)
+		if herr != nil {
+			return 0, 0, fmt.Errorf("scenario %d hash: %w", i, herr)
+		}
+		hashOK[i] = specOK && h == m.ScenarioHashes[i]
+		sw.hashes[i] = h
+		sw.statuses[i].Hash = h
+	}
+	var restored []ScenarioStatus
+	for _, rec := range e.Records {
+		if rec.Index < 0 || rec.Index >= len(sw.statuses) || !hashOK[rec.Index] {
+			continue
+		}
+		switch ScenarioState(rec.State) {
+		case StateDone, StateCached:
+			// A "done" record whose result the store has since lost
+			// (deleted, quarantined) is recomputed rather than served
+			// as a result-less success.
+			if !s.store.Has(sw.specHash, rec.Hash) {
+				continue
+			}
+		case StateFailed:
+		default:
+			continue
+		}
+		applyRecord(sw, rec)
+	}
+	for i := range sw.statuses {
+		if sw.statuses[i].Terminal() {
+			terminal++
+			restored = append(restored, sw.statuses[i])
+		} else {
+			requeued++
+		}
+	}
+
+	// Re-enqueued scenarios bypass the MaxPending gate — shedding
+	// journaled work at startup would turn a restart into data loss —
+	// but still count as pending so admission and Retry-After see the
+	// true backlog. Each re-run releases its reservation through the
+	// normal record() path.
+	s.pending.Add(int64(requeued))
+	if j, jerr := s.store.OpenJournal(sw.id); jerr == nil {
+		sw.journal = j
+	} else if s.logf != nil {
+		s.logf("service: recover %s: journal reopen: %v (resuming without journaling)", sw.id, jerr)
+	}
+	if err := s.registerRecovered(sw); err != nil {
+		s.pending.Add(-int64(requeued))
+		return 0, 0, err
+	}
+	s.recAdopted.Inc()
+	s.requeued.Add(uint64(requeued))
+	for _, st := range restored {
+		// The restored scenarios' lifecycle spans re-emit with the
+		// journal tier so the trace explains why no compute happened.
+		sw.emitSpan(st.Index, st, tierJournal)
+	}
+	go sw.run(m.MaxConcurrent)
+	return requeued, terminal, nil
+}

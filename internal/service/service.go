@@ -137,6 +137,13 @@ type Service struct {
 	scenRate   *obs.Gauge   // scenarios/sec of the most recently finished sweep
 	pending    atomic.Int64 // queued+running scenarios across all sweeps (CAS admission)
 	drain      drainRate    // completion-rate EWMA behind Retry-After
+	drainBy    atomic.Int64 // shutdown drain deadline (unixnano; 0 = none) behind the 503 Retry-After
+
+	// Journal-recovery and idempotency accounting (journal.go).
+	recAdopted  *obs.Counter
+	recFinished *obs.Counter
+	requeued    *obs.Counter
+	idemHits    *obs.Counter
 
 	faults faultHolder // test-only chaos hook
 
@@ -145,8 +152,8 @@ type Service struct {
 	specs     map[string]*core.CompiledSpec // spec hash → shared compiled spec
 	specOrder []string                      // spec hashes, oldest first
 	sweeps    map[string]*Sweep
-	order     []string // sweep ids in submission order
-	nextID    int
+	order     []string          // sweep ids in submission order
+	keys      map[string]string // idempotency key → sweep id
 }
 
 // maxCompiledSpecs bounds the compiled-spec cache: HTTP accepts
@@ -204,6 +211,7 @@ func New(opts Options) *Service {
 		maxPending:      opts.MaxPending,
 		specs:           make(map[string]*core.CompiledSpec),
 		sweeps:          make(map[string]*Sweep),
+		keys:            make(map[string]string),
 	}
 	s.registerMetrics()
 	return s
@@ -231,6 +239,14 @@ func (s *Service) registerMetrics() {
 		"Sweep submissions refused because the queue was saturated.")
 	s.scenRate = reg.Gauge("exadigit_sweep_scenarios_per_second",
 		"Throughput of the most recently finished sweep.")
+	s.recAdopted = reg.Counter("exadigit_sweep_recovered_total",
+		"Incomplete sweeps re-adopted from the durable journal at startup.")
+	s.recFinished = reg.Counter("exadigit_sweep_recovered_finished_total",
+		"Finished sweeps re-registered from the journal for status serving.")
+	s.requeued = reg.Counter("exadigit_sweep_requeued_scenarios_total",
+		"Scenarios re-enqueued by journal recovery (non-terminal at the crash).")
+	s.idemHits = reg.Counter("exadigit_sweep_idempotent_hits_total",
+		"Submissions deduplicated onto an existing sweep by idempotency key.")
 	reg.GaugeFunc("exadigit_sweep_pending_scenarios",
 		"Queued+running scenarios across all sweeps.",
 		func() float64 { return float64(s.pending.Load()) })
@@ -285,6 +301,9 @@ func (s *Service) registerMetrics() {
 				emit([]string{"lease_acquired"}, float64(m.LeasesAcquired))
 				emit([]string{"lease_wait"}, float64(m.LeaseWaits))
 				emit([]string{"lease_steal"}, float64(m.LeaseSteals))
+				emit([]string{"journal_create"}, float64(m.JournalCreates))
+				emit([]string{"journal_append"}, float64(m.JournalAppends))
+				emit([]string{"journal_error"}, float64(m.JournalErrors))
 			})
 		reg.GaugeFunc("exadigit_store_entries",
 			"Results resident in the durable store.",
@@ -411,6 +430,17 @@ type SweepOptions struct {
 	// MaxAttempts overrides the service's retry budget for this sweep
 	// (0 → Options.MaxAttempts).
 	MaxAttempts int
+	// Key is a client-supplied idempotency key: a submission carrying a
+	// key already bound to a live or journaled sweep returns that sweep
+	// instead of creating (and computing) a new one. Keys survive
+	// restarts via the durable journal.
+	Key string
+	// Ephemeral skips the durable journal: the sweep will not be
+	// re-adopted after a restart. Cluster shard dispatches set this —
+	// durability belongs to the coordinator that owns the parent sweep,
+	// and a worker re-adopting a half-done shard would race the
+	// coordinator's own re-dispatch of the same scenarios.
+	Ephemeral bool
 }
 
 // ScenarioState is the lifecycle of one scenario within a sweep.
@@ -464,6 +494,10 @@ type SweepStatus struct {
 	Failed    int              `json:"failed"`
 	Cancelled int              `json:"cancelled"`
 	Finished  bool             `json:"finished"`
+	// Recovered marks a sweep reconstructed from the durable journal
+	// after a restart; Key echoes its idempotency key when one was set.
+	Recovered bool             `json:"recovered,omitempty"`
+	Key       string           `json:"sweep_key,omitempty"`
 	Scenarios []ScenarioStatus `json:"scenarios,omitempty"`
 }
 
@@ -480,6 +514,9 @@ type Sweep struct {
 	hashes     []string
 	spans      []spanState // per-scenario lifecycle accounting
 	svc        *Service
+	key        string              // idempotency key ("" = none)
+	recovered  bool                // reconstructed from the journal after a restart
+	journal    *store.SweepJournal // durable manifest + terminal records; nil = not journaled
 
 	timeout     time.Duration // per-attempt deadline (0 → none)
 	maxAttempts int
@@ -500,6 +537,10 @@ const (
 	tierDisk    = "disk"
 	tierCompute = "compute"
 	tierNone    = "none"
+	// tierJournal marks a scenario whose terminal state was restored
+	// from the sweep journal at recovery — neither recomputed nor
+	// re-read, just trusted (the result store holds its entry).
+	tierJournal = "journal"
 )
 
 // spanState accumulates one scenario's lifecycle timings until the
@@ -549,6 +590,7 @@ func (sw *Sweep) emitSpan(i int, st ScenarioStatus, tier string) {
 		State:         string(st.State),
 		CacheTier:     tier,
 		Error:         st.Error,
+		Recovered:     sw.recovered,
 		CompileSec:    sw.compileSec,
 		QueueSec:      sp.queueSec,
 		TotalSec:      time.Since(sw.createdAt).Seconds(),
@@ -567,52 +609,65 @@ func (sw *Sweep) emitSpan(i int, st ScenarioStatus, tier string) {
 // the pool. The returned Sweep is immediately observable via Status,
 // Results, and Done.
 func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts SweepOptions) (*Sweep, error) {
+	sw, _, err := s.SubmitIdempotent(spec, scenarios, opts)
+	return sw, err
+}
+
+// SubmitIdempotent is Submit with idempotency-key deduplication made
+// observable: when opts.Key is already bound to a sweep — live, or
+// journaled and recovered after a restart — that sweep is returned with
+// existing=true and nothing is admitted or computed. The dedup is
+// key-based only; the caller owns keeping (key → scenarios) stable.
+func (s *Service) SubmitIdempotent(spec config.SystemSpec, scenarios []core.Scenario, opts SweepOptions) (sw *Sweep, existing bool, err error) {
+	if prev, ok := s.sweepForKey(opts.Key); ok {
+		return prev, true, nil
+	}
 	if len(scenarios) == 0 {
-		return nil, fmt.Errorf("service: sweep needs at least one scenario")
+		return nil, false, fmt.Errorf("service: sweep needs at least one scenario")
 	}
 	compileStart := time.Now()
 	compiled, err := s.compiledFor(spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	compileSec := time.Since(compileStart).Seconds()
 	hashes := make([]string, len(scenarios))
 	for i, sc := range scenarios {
 		if hashes[i], err = HashScenario(sc); err != nil {
-			return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+			return nil, false, fmt.Errorf("service: scenario %d: %w", i, err)
 		}
 		// Per-partition workload lists must cover the spec's partitions,
 		// and replay — programmatic-only, never valid per partition — is
 		// knowable now; catching both here fails the submission instead
 		// of a worker mid-sweep.
 		if n := len(sc.Partitions); n != 0 && n != len(spec.Partitions) {
-			return nil, fmt.Errorf("service: scenario %d: %d partition workloads for a %d-partition spec",
+			return nil, false, fmt.Errorf("service: scenario %d: %d partition workloads for a %d-partition spec",
 				i, n, len(spec.Partitions))
 		}
 		for p := range sc.Partitions {
 			if sc.Partitions[p].Workload == core.WorkloadReplay {
-				return nil, fmt.Errorf("service: scenario %d: partition %d: replay is not a per-partition workload", i, p)
+				return nil, false, fmt.Errorf("service: scenario %d: partition %d: replay is not a per-partition workload", i, p)
 			}
 		}
 		// A coordinator cannot ship replay datasets to a remote worker
 		// (they are programmatic-only and never cross the wire), so the
 		// rejection belongs here, not mid-sweep on a worker.
 		if s.runner != nil && (sc.Dataset != nil || sc.Workload == core.WorkloadReplay) {
-			return nil, fmt.Errorf("service: scenario %d: replay scenarios cannot be dispatched to remote workers", i)
+			return nil, false, fmt.Errorf("service: scenario %d: replay scenarios cannot be dispatched to remote workers", i)
 		}
 		// Resolve each cooled scenario's plant design up front (they are
 		// cached and shared with the run), so an invalid or infeasible
 		// CoolingSpec fails the submission instead of a worker mid-sweep.
 		if sc.CoolingSpec != nil {
 			if err := sc.CoolingSpec.Validate(); err != nil {
-				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+				return nil, false, fmt.Errorf("service: scenario %d: %w", i, err)
 			}
 			if _, err := compiled.CoolingDesignFor(*sc.CoolingSpec); err != nil {
-				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+				return nil, false, fmt.Errorf("service: scenario %d: %w", i, err)
 			}
 		} else if sc.Cooling {
 			if _, err := compiled.CoolingDesign(); err != nil {
-				return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+				return nil, false, fmt.Errorf("service: scenario %d: %w", i, err)
 			}
 		}
 	}
@@ -621,7 +676,7 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	// not reach for a long time. The reservation is released per scenario
 	// as each reaches a terminal state.
 	if err := s.admit(len(scenarios)); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	timeout := opts.ScenarioTimeout
 	if timeout <= 0 {
@@ -632,8 +687,9 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 		attempts = s.maxAttempts
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	sw := &Sweep{
+	sw = &Sweep{
 		name:        opts.Name,
+		key:         opts.Key,
 		spec:        spec,
 		specHash:    compiled.Hash(),
 		createdAt:   time.Now(),
@@ -661,15 +717,60 @@ func (s *Service) Submit(spec config.SystemSpec, scenarios []core.Scenario, opts
 	}
 
 	s.mu.Lock()
-	s.nextID++
-	sw.id = fmt.Sprintf("sw-%d", s.nextID)
+	if opts.Key != "" {
+		// Re-check under the registry lock: a concurrent submission with
+		// the same key may have registered between our fast-path check
+		// and here. Losing the race means undoing the admission without
+		// feeding the drain estimator (nothing completed).
+		if id, ok := s.keys[opts.Key]; ok {
+			if prev := s.sweeps[id]; prev != nil {
+				s.mu.Unlock()
+				s.pending.Add(-int64(len(scenarios)))
+				cancel()
+				s.idemHits.Inc()
+				return prev, true, nil
+			}
+		}
+	}
+	for {
+		sw.id = newSweepID()
+		if _, taken := s.sweeps[sw.id]; !taken {
+			break
+		}
+	}
 	s.sweeps[sw.id] = sw
 	s.order = append(s.order, sw.id)
+	if opts.Key != "" {
+		s.keys[opts.Key] = sw.id
+	}
 	s.pruneLocked()
 	s.mu.Unlock()
 
+	// Durability point: the manifest must be on disk before any work is
+	// admitted to the pool, so a crash from here on is recoverable. A
+	// journal that cannot be created degrades to today's in-memory-only
+	// sweep (logged + counted), never a failed submission.
+	s.journalSweep(sw, opts)
 	go sw.run(opts.MaxConcurrent)
-	return sw, nil
+	return sw, false, nil
+}
+
+// sweepForKey resolves an idempotency key to its live sweep.
+func (s *Service) sweepForKey(key string) (*Sweep, bool) {
+	if key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.keys[key]
+	if !ok {
+		return nil, false
+	}
+	sw, ok := s.sweeps[id]
+	if ok {
+		s.idemHits.Inc()
+	}
+	return sw, ok
 }
 
 // pruneLocked drops the oldest finished sweeps beyond the retention cap
@@ -693,12 +794,27 @@ func (s *Service) pruneLocked() {
 		}
 		if excess > 0 && (sw == nil || finished) {
 			delete(s.sweeps, id)
+			s.forgetLocked(id, sw)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// forgetLocked releases a dropped sweep's registry side state: its
+// idempotency-key binding and its durable journal (a pruned sweep must
+// not be re-adopted at the next restart). Callers hold s.mu.
+func (s *Service) forgetLocked(id string, sw *Sweep) {
+	if sw != nil && sw.key != "" && s.keys[sw.key] == id {
+		delete(s.keys, sw.key)
+	}
+	if s.store != nil {
+		if err := s.store.RemoveJournal(id); err != nil && s.logf != nil {
+			s.logf("service: sweep %s journal remove: %v", id, err)
+		}
+	}
 }
 
 // admit reserves queue capacity for n scenarios, refusing when the
@@ -738,6 +854,37 @@ func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+}
+
+// CloseDraining closes the service and records when the drain window
+// will end, so refused submissions (ErrClosed → 503) can carry a
+// Retry-After derived from the time actually remaining — the shutdown
+// counterpart of the saturated-queue hint.
+func (s *Service) CloseDraining(d time.Duration) {
+	if d > 0 {
+		s.drainBy.Store(time.Now().Add(d).UnixNano())
+	}
+	s.Close()
+}
+
+// closedRetryAfterSec derives the ErrClosed Retry-After hint from the
+// remaining drain window: a client told to come back after the deadline
+// finds either a restarted instance or a connection refused it can
+// handle. With no recorded deadline (Close without CloseDraining) a
+// minimal hint still beats none.
+func (s *Service) closedRetryAfterSec() int {
+	dl := s.drainBy.Load()
+	if dl == 0 {
+		return 1
+	}
+	sec := int(time.Until(time.Unix(0, dl)).Seconds()) + 1
+	switch {
+	case sec < 1:
+		return 1
+	case sec > 60:
+		return 60
+	}
+	return sec
 }
 
 // Drain blocks until every submitted sweep reaches a terminal state or
@@ -792,6 +939,7 @@ func (s *Service) Remove(id string) error {
 	}
 	s.mu.Lock()
 	delete(s.sweeps, id)
+	s.forgetLocked(id, sw)
 	for i, oid := range s.order {
 		if oid == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -875,6 +1023,8 @@ func (sw *Sweep) Status() SweepStatus {
 		SpecHash:  sw.specHash,
 		CreatedAt: sw.createdAt,
 		Total:     len(sw.statuses),
+		Recovered: sw.recovered,
+		Key:       sw.key,
 		Scenarios: append([]ScenarioStatus(nil), sw.statuses...),
 	}
 	for _, s := range sw.statuses {
@@ -899,11 +1049,40 @@ func (sw *Sweep) Status() SweepStatus {
 
 // Results snapshots the per-scenario results, indexed like the submitted
 // scenarios; unfinished or failed entries are nil. Results may be served
-// from the shared cache — treat them as read-only.
+// from the shared cache — treat them as read-only. For a sweep recovered
+// from the journal, results of journal-terminal scenarios are loaded
+// lazily from the durable store on first demand (recovery itself only
+// verifies they exist, so startup stays cheap).
 func (sw *Sweep) Results() []*core.Result {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if sw.recovered {
+		sw.loadRecoveredLocked()
+	}
 	return append([]*core.Result(nil), sw.results...)
+}
+
+// loadRecoveredLocked fills nil result slots of done/cached scenarios
+// from the durable store. Entries that have since been deleted or
+// quarantined simply stay nil — status is served from the journal
+// either way. Callers hold sw.mu.
+func (sw *Sweep) loadRecoveredLocked() {
+	st := sw.svc.store
+	if st == nil {
+		return
+	}
+	for i := range sw.statuses {
+		if sw.results[i] != nil {
+			continue
+		}
+		sc := &sw.statuses[i]
+		if sc.State != StateDone && sc.State != StateCached {
+			continue
+		}
+		if res, err := st.Get(sw.specHash, sc.Hash); err == nil {
+			sw.results[i] = res
+		}
+	}
 }
 
 // changed returns a channel closed at the next state change — the
@@ -932,6 +1111,12 @@ func (sw *Sweep) run(maxConcurrent int) {
 	var wg sync.WaitGroup
 loop:
 	for i := range sw.scenarios {
+		if sw.terminalAt(i) {
+			// Journal-restored terminal state (recovered sweep): the
+			// outcome is already recorded and its reservation was never
+			// re-admitted — nothing to dispatch.
+			continue
+		}
 		if sem != nil {
 			select {
 			case sem <- struct{}{}:
@@ -970,6 +1155,18 @@ loop:
 	}
 	if elapsed := time.Since(sw.createdAt).Seconds(); elapsed > 0 {
 		sw.svc.scenRate.Set(float64(len(sw.statuses)) / elapsed)
+	}
+	// Seal the journal: an end line tells the next startup this sweep
+	// owes nothing. Cancelled scenarios are deliberately not recorded as
+	// terminal facts, so the disposition carries whether any exist.
+	if j := sw.journal; j != nil {
+		disposition := "complete"
+		if st := sw.Status(); st.Cancelled > 0 {
+			disposition = "cancelled"
+		}
+		if err := j.End(disposition); err != nil && sw.svc.logf != nil {
+			sw.svc.logf("service: sweep %s journal end: %v", sw.id, err)
+		}
 	}
 	// Release per-sweep resources promptly: the scenario slice can pin
 	// multi-gigabyte replay datasets and the compiled spec pins power
@@ -1328,7 +1525,16 @@ func (sw *Sweep) record(i int, res *core.Result, err error, tier string) {
 		}
 		final = *st
 	})
+	sw.appendJournal(final)
 	sw.emitSpan(i, final, tier)
+}
+
+// terminalAt reports whether scenario i is already terminal — true only
+// for journal-restored states on a recovered sweep at dispatch time.
+func (sw *Sweep) terminalAt(i int) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.statuses[i].Terminal()
 }
 
 // cacheEntry is one in-flight or completed scenario result. done is

@@ -1,0 +1,356 @@
+package store
+
+// Tests for the durable sweep journal: manifest round-trip, append /
+// end semantics, crash artifacts (torn trailing lines), corrupt-manifest
+// quarantine, last-record-per-index resolution, and the isolation
+// invariant that the sweeps/ directory never leaks into the result-entry
+// scan.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest(id string) *SweepManifest {
+	return &SweepManifest{
+		ID:              id,
+		Key:             "client-key-1",
+		Name:            "capacity-study",
+		SpecHash:        specA,
+		ScenarioHashes:  []string{scenA, scenB},
+		SpecJSON:        json.RawMessage(`{"preset":"frontier"}`),
+		ScenariosJSON:   json.RawMessage(`[{"name":"a"},{"name":"b"}]`),
+		MaxConcurrent:   4,
+		TimeoutSec:      30,
+		MaxAttempts:     3,
+		CreatedUnixNano: 12345,
+	}
+}
+
+// TestJournalRoundTrip pins the full life of a journal: create with a
+// manifest, append terminal records, end — and ScanJournals returns the
+// same manifest, the surviving records, and the disposition.
+func TestJournalRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleManifest("sw-1a2b-f00d")
+	j, err := s.CreateJournal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "done", Attempts: 1, WallSec: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 1, Hash: scenB, State: "failed", Error: "boom", Attempts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.End("complete"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := s.ScanJournals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ScanJournals returned %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Manifest.ID != m.ID || e.Manifest.Key != m.Key || e.Manifest.SpecHash != m.SpecHash {
+		t.Fatalf("manifest mismatch: %+v", e.Manifest)
+	}
+	if string(e.Manifest.SpecJSON) != string(m.SpecJSON) {
+		t.Fatalf("spec JSON mismatch: %s", e.Manifest.SpecJSON)
+	}
+	if e.EndDisposition != "complete" {
+		t.Fatalf("disposition = %q, want complete", e.EndDisposition)
+	}
+	if len(e.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(e.Records))
+	}
+	if e.Records[0].State != "done" || e.Records[0].WallSec != 0.5 {
+		t.Fatalf("record 0 mismatch: %+v", e.Records[0])
+	}
+	if e.Records[1].State != "failed" || e.Records[1].Error != "boom" || e.Records[1].Attempts != 3 {
+		t.Fatalf("record 1 mismatch: %+v", e.Records[1])
+	}
+	st := s.Stats()
+	if st.JournalCreates != 1 || st.JournalAppends != 3 || st.JournalErrors != 0 {
+		t.Fatalf("metrics = creates %d appends %d errors %d", st.JournalCreates, st.JournalAppends, st.JournalErrors)
+	}
+}
+
+// TestJournalTornTailTolerated: a crash mid-append leaves a torn
+// trailing line; the scan keeps everything before the tear and reports
+// the sweep incomplete.
+func TestJournalTornTailTolerated(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.CreateJournal(sampleManifest("sw-dead-beef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Detach() // the file stays as a kill -9 would leave it
+
+	path := s.journalPath("sw-dead-beef")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"scenario","scenario":{"ind`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	entries, err := s.ScanJournals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ScanJournals returned %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.EndDisposition != "" {
+		t.Fatalf("torn journal reported disposition %q, want incomplete", e.EndDisposition)
+	}
+	if len(e.Records) != 1 || e.Records[0].State != "done" {
+		t.Fatalf("records before the tear lost: %+v", e.Records)
+	}
+	if s.Stats().CorruptQuarantined != 0 {
+		t.Fatal("torn tail must not quarantine the journal")
+	}
+}
+
+// TestJournalCorruptManifestQuarantined: a journal whose first line is
+// unreadable is renamed aside like a corrupt result entry, counted, and
+// excluded from the scan.
+func TestJournalCorruptManifestQuarantined(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(s.Dir(), journalDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "sw-bad-0"+journalSuffix)
+	if err := os.WriteFile(bad, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.ScanJournals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("corrupt journal surfaced in scan: %+v", entries)
+	}
+	if _, err := os.Stat(bad + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt journal not quarantined: %v", err)
+	}
+	if s.Stats().CorruptQuarantined != 1 {
+		t.Fatalf("CorruptQuarantined = %d, want 1", s.Stats().CorruptQuarantined)
+	}
+}
+
+// TestJournalLastRecordPerIndexWins: a retried scenario appends a second
+// record for the same index; the scan keeps only the newest, in the
+// original position.
+func TestJournalLastRecordPerIndexWins(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.CreateJournal(sampleManifest("sw-aa-bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "failed", Error: "transient"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 1, Hash: scenB, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "done", Attempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Detach()
+	entries, err := s.ScanJournals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Records) != 2 {
+		t.Fatalf("unexpected scan result: %+v", entries)
+	}
+	r0 := entries[0].Records[0]
+	if r0.Index != 0 || r0.State != "done" || r0.Attempts != 2 {
+		t.Fatalf("last record for index 0 did not win: %+v", r0)
+	}
+}
+
+// TestJournalReopenAppend: OpenJournal on an existing journal keeps
+// appending to the same file — the recovered-sweep resume path.
+func TestJournalReopenAppend(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.CreateJournal(sampleManifest("sw-11-22"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Detach()
+
+	j2, err := s.OpenJournal("sw-11-22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(ScenarioRecord{Index: 1, Hash: scenB, State: "cached", CacheHit: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.End("complete"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.ScanJournals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Records) != 2 || entries[0].EndDisposition != "complete" {
+		t.Fatalf("reopened journal lost state: %+v", entries)
+	}
+	if !entries[0].Records[1].CacheHit {
+		t.Fatal("cache_hit flag lost across reopen")
+	}
+	if _, err := s.OpenJournal("sw-no-such"); err == nil {
+		t.Fatal("OpenJournal on a missing journal must error")
+	}
+}
+
+// TestJournalRemove: removal deletes the file, is idempotent, and
+// rejects invalid IDs before touching the filesystem.
+func TestJournalRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.CreateJournal(sampleManifest("sw-ff-ee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Detach()
+	if s.JournalCount() != 1 {
+		t.Fatalf("JournalCount = %d, want 1", s.JournalCount())
+	}
+	if err := s.RemoveJournal("sw-ff-ee"); err != nil {
+		t.Fatal(err)
+	}
+	if s.JournalCount() != 0 {
+		t.Fatalf("journal survived removal")
+	}
+	if err := s.RemoveJournal("sw-ff-ee"); err != nil {
+		t.Fatalf("removing a missing journal must be a no-op, got %v", err)
+	}
+	if err := s.RemoveJournal("../escape"); err == nil {
+		t.Fatal("invalid id accepted by RemoveJournal")
+	}
+}
+
+// TestJournalDirInvisibleToEntryScan: the sweeps/ directory must never
+// be mistaken for a spec-hash directory by the result-entry startup
+// scan, and journals must not count as entries.
+func TestJournalDirInvisibleToEntryScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(specA, scenA, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.CreateJournal(sampleManifest("sw-ab-cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ScenarioRecord{Index: 0, Hash: scenA, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Detach()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store indexed %d entries, want 1 (journal leaked into entry scan)", s2.Len())
+	}
+	if s2.Stats().CorruptQuarantined != 0 {
+		t.Fatal("journal quarantined by the entry scan")
+	}
+	if s2.JournalCount() != 1 {
+		t.Fatalf("journal lost across reopen: count = %d", s2.JournalCount())
+	}
+}
+
+// TestStoreHas: Has sees both indexed entries and entries another
+// process wrote to the shared directory, without reading them.
+func TestStoreHas(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(specA, scenA) {
+		t.Fatal("Has on an empty store")
+	}
+	if err := s.Put(specA, scenA, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(specA, scenA) {
+		t.Fatal("Has missed an indexed entry")
+	}
+	// A sibling store over the same directory writes a second key; the
+	// first store's index has never seen it, but the disk probe must.
+	sib, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sib.Put(specA, scenB, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(specA, scenB) {
+		t.Fatal("Has missed a sibling-written entry on disk")
+	}
+	if s.Has(specA, "ZZ-not-hex") {
+		t.Fatal("Has accepted an invalid key")
+	}
+}
+
+// TestValidSweepID pins the id alphabet: sw- prefix, lowercase hex and
+// dashes only, bounded length.
+func TestValidSweepID(t *testing.T) {
+	good := []string{"sw-1", "sw-18f3a2b4c5d6e7f8-9abc", "sw-a-b-c"}
+	for _, id := range good {
+		if !ValidSweepID(id) {
+			t.Errorf("ValidSweepID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", "sw-", "sw", "sweep-12", "sw-XYZ", "sw-12/..", "sw-12.journal",
+		"sw-" + strings.Repeat("a", 80)}
+	for _, id := range bad {
+		if ValidSweepID(id) {
+			t.Errorf("ValidSweepID(%q) = true, want false", id)
+		}
+	}
+}

@@ -88,6 +88,15 @@ func (s *Store) AcquireLease(specHash, scenHash, owner string, ttl time.Duration
 	if err := os.MkdirAll(specDirOf(s.dir, specHash), 0o755); err != nil {
 		return nil, fmt.Errorf("store: lease: %w", err)
 	}
+	// Serialize same-process acquirers. The file protocol alone cannot
+	// close the window between tombstoning an expired lease and
+	// re-creating the fresh one: a second stealer that read the expired
+	// record before the rename can tombstone the *fresh* lease and win a
+	// second time. In-process that window is closed here; across
+	// processes the guarantee stays "at most one live holder, modulo
+	// clock skew" as documented above.
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	path := s.EntryPath(specHash, scenHash) + leaseSuffix
 	for {
 		created, err := writeLeaseExcl(path, owner, ttl)
@@ -163,22 +172,30 @@ func (l *Lease) Release() {
 	_ = os.Remove(l.path)
 }
 
-// writeLeaseExcl creates the lease file with O_EXCL, returning false
-// (no error) when it already exists.
+// writeLeaseExcl atomically creates the lease file, returning false (no
+// error) when it already exists. The record is fully written and synced
+// to a unique temp file first, then hard-linked into place — link fails
+// with EEXIST when the path exists, giving O_EXCL semantics without the
+// torn window of create-then-write (a concurrent reader must never see
+// an empty lease and mistake it for stealable junk).
 func writeLeaseExcl(path, owner string, ttl time.Duration) (bool, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	tmp, err := tombstoneName(path)
 	if err != nil {
+		return false, err
+	}
+	data, err := json.Marshal(leaseRecord{Owner: owner, ExpiresUnixNano: time.Now().Add(ttl).UnixNano()})
+	if err != nil {
+		return false, fmt.Errorf("store: lease: %w", err)
+	}
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return false, fmt.Errorf("store: lease: %w", err)
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, path); err != nil {
 		if os.IsExist(err) {
 			return false, nil
 		}
 		return false, fmt.Errorf("store: lease: %w", err)
-	}
-	enc := json.NewEncoder(f)
-	werr := enc.Encode(leaseRecord{Owner: owner, ExpiresUnixNano: time.Now().Add(ttl).UnixNano()})
-	cerr := f.Close()
-	if werr != nil || cerr != nil {
-		_ = os.Remove(path)
-		return false, fmt.Errorf("store: lease: write: %v/%v", werr, cerr)
 	}
 	return true, nil
 }

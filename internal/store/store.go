@@ -67,6 +67,10 @@ var endLine = []byte(`{"type":"end"}`)
 type Store struct {
 	dir string
 
+	// leaseMu serializes AcquireLease within this process (lease.go);
+	// it is never held together with mu.
+	leaseMu sync.Mutex
+
 	mu      sync.Mutex
 	index   map[string]int64 // "spec/scen" → entry size in bytes
 	bytes   int64
@@ -81,6 +85,11 @@ type Store struct {
 	leaseAcquired    uint64 // leases successfully claimed (incl. steals)
 	leaseWaits       uint64 // acquires refused because a live owner held the key
 	leaseSteals      uint64 // expired/unreadable leases taken over
+
+	// Sweep-journal accounting (journal.go).
+	journalCreates uint64 // manifests durably written
+	journalAppends uint64 // scenario/end records durably appended
+	journalErrs    uint64 // journal I/O failures (degraded to in-memory)
 }
 
 // Options configures Open behavior beyond the directory itself.
@@ -107,6 +116,11 @@ type Metrics struct {
 	LeasesAcquired uint64 `json:"leases_acquired"`
 	LeaseWaits     uint64 `json:"lease_waits"`
 	LeaseSteals    uint64 `json:"lease_steals"`
+	// Sweep-journal accounting: manifests written, records appended,
+	// and I/O failures that degraded journaling to in-memory-only.
+	JournalCreates uint64 `json:"journal_creates"`
+	JournalAppends uint64 `json:"journal_appends"`
+	JournalErrors  uint64 `json:"journal_errors"`
 	Entries        int    `json:"entries"`
 	Bytes          int64  `json:"bytes"`
 }
@@ -228,6 +242,9 @@ func (s *Store) Stats() Metrics {
 		LeasesAcquired:     s.leaseAcquired,
 		LeaseWaits:         s.leaseWaits,
 		LeaseSteals:        s.leaseSteals,
+		JournalCreates:     s.journalCreates,
+		JournalAppends:     s.journalAppends,
+		JournalErrors:      s.journalErrs,
 		Entries:            len(s.index),
 		Bytes:              s.bytes,
 	}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Two-process kill-restart smoke for the durable sweep journal: a worker
+# and a coordinator run as separate serve processes sharing one -store
+# directory; a keyed sweep is submitted to the coordinator, the
+# coordinator is kill -9'd mid-sweep, and a restarted coordinator over
+# the same directory must (a) resume the journaled sweep to completion
+# with zero failures and recovered:true, and (b) dedupe a resubmission
+# carrying the original Idempotency-Key back to the original sweep id.
+# Wired into `make multihost-smoke` and CI's race job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKER_PORT=${WORKER_PORT:-18081}
+COORD_PORT=${COORD_PORT:-18080}
+WORKER_URL="http://127.0.0.1:${WORKER_PORT}"
+COORD_URL="http://127.0.0.1:${COORD_PORT}"
+TMP=$(mktemp -d)
+BIN="$TMP/exadigit"
+WORKER_PID=""
+COORD_PID=""
+
+cleanup() {
+  [ -n "$COORD_PID" ] && kill -9 "$COORD_PID" 2>/dev/null || true
+  [ -n "$WORKER_PID" ] && kill -9 "$WORKER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- worker log ---" >&2; tail -30 "$TMP/worker.log" >&2 || true
+  echo "--- coordinator log ---" >&2; tail -30 "$TMP/coord.log" >&2 || true
+  exit 1
+}
+
+# json_field FILE KEY: first string value for "key":"value" (no jq in CI).
+json_str() { sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p" "$1" | head -1; }
+json_num() { sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1" | head -1; }
+
+wait_ready() { # wait_ready URL NAME
+  for _ in $(seq 1 100); do
+    if curl -fsS -o /dev/null "$1/api/sweeps" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  fail "$2 never became ready at $1"
+}
+
+echo "== building exadigit"
+go build -o "$BIN" ./cmd/exadigit
+
+echo "== starting worker on :$WORKER_PORT (shared store $TMP/store)"
+"$BIN" serve -addr "127.0.0.1:${WORKER_PORT}" -store "$TMP/store" \
+  -workers 1 -warm 0 -metrics-log-every 0 >"$TMP/worker.log" 2>&1 &
+WORKER_PID=$!
+disown "$WORKER_PID"
+wait_ready "$WORKER_URL" worker
+
+start_coordinator() {
+  "$BIN" serve -addr "127.0.0.1:${COORD_PORT}" -store "$TMP/store" \
+    -workers "$WORKER_URL" -warm 0 -metrics-log-every 0 >>"$TMP/coord.log" 2>&1 &
+  COORD_PID=$!
+  disown "$COORD_PID"
+  wait_ready "$COORD_URL" coordinator
+}
+
+echo "== starting coordinator on :$COORD_PORT"
+start_coordinator
+
+# Day-long synthetic scenarios on a single-slot worker: slow enough that
+# the kill below lands mid-sweep, fast enough to finish in seconds.
+SUBMIT_BODY=$TMP/submit.json
+{
+  printf '{"name":"multihost-smoke","scenarios":['
+  for i in $(seq 1 8); do
+    [ "$i" -gt 1 ] && printf ','
+    printf '{"workload":"synthetic","horizon_sec":86400,"tick_sec":15,"generator":{"seed":%d}}' "$i"
+  done
+  printf ']}'
+} >"$SUBMIT_BODY"
+
+echo "== submitting keyed 8-scenario sweep"
+curl -fsS -X POST -H 'Idempotency-Key: multihost-smoke-key' \
+  -H 'Content-Type: application/json' --data-binary @"$SUBMIT_BODY" \
+  "$COORD_URL/api/sweeps" >"$TMP/ack1.json" || fail "submit refused"
+SWEEP_ID=$(json_str "$TMP/ack1.json" id)
+[ -n "$SWEEP_ID" ] || fail "no sweep id in $(cat "$TMP/ack1.json")"
+echo "   sweep id: $SWEEP_ID"
+
+echo "== waiting for the sweep to get under way, then kill -9 the coordinator"
+STARTED=0
+for _ in $(seq 1 200); do
+  curl -fsS "$COORD_URL/api/sweeps/$SWEEP_ID" >"$TMP/status.json" 2>/dev/null || true
+  DONE=$(json_num "$TMP/status.json" done); DONE=${DONE:-0}
+  CACHED=$(json_num "$TMP/status.json" cached); CACHED=${CACHED:-0}
+  if [ $((DONE + CACHED)) -ge 2 ] && [ $((DONE + CACHED)) -lt 8 ]; then STARTED=1; break; fi
+  [ $((DONE + CACHED)) -ge 8 ] && break
+  sleep 0.05
+done
+if [ "$STARTED" -ne 1 ]; then
+  fail "never caught the sweep mid-flight (status: $(cat "$TMP/status.json" 2>/dev/null))"
+fi
+kill -9 "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+echo "   killed coordinator $COORD_PID mid-sweep ($(cat "$TMP/status.json" | tr -d '\n' | cut -c1-120)...)"
+COORD_PID=""
+
+echo "== restarting coordinator over the same store"
+start_coordinator
+
+echo "== polling recovered sweep $SWEEP_ID to completion"
+OK=0
+for _ in $(seq 1 600); do
+  if curl -fsS "$COORD_URL/api/sweeps/$SWEEP_ID" >"$TMP/status.json" 2>/dev/null; then
+    FINISHED=$(grep -c '"finished":true' "$TMP/status.json" || true)
+    if [ "$FINISHED" -ge 1 ]; then OK=1; break; fi
+  fi
+  sleep 0.1
+done
+[ "$OK" -eq 1 ] || fail "recovered sweep never finished (status: $(cat "$TMP/status.json" 2>/dev/null))"
+grep -q '"recovered":true' "$TMP/status.json" || fail "finished sweep not marked recovered: $(cat "$TMP/status.json")"
+DONE=$(json_num "$TMP/status.json" done); DONE=${DONE:-0}
+CACHED=$(json_num "$TMP/status.json" cached); CACHED=${CACHED:-0}
+TOTAL=$(json_num "$TMP/status.json" total)
+[ "$TOTAL" = "8" ] || fail "total=$TOTAL, want 8"
+[ $((DONE + CACHED)) -eq 8 ] || fail "done+cached=$((DONE + CACHED)), want 8"
+if grep -q '"failed":[1-9]' "$TMP/status.json"; then fail "recovered sweep has failures: $(cat "$TMP/status.json")"; fi
+echo "   recovered sweep finished: done=$DONE cached=$CACHED"
+
+echo "== resubmitting with the original Idempotency-Key"
+HTTP_CODE=$(curl -sS -o "$TMP/ack2.json" -w '%{http_code}' -X POST \
+  -H 'Idempotency-Key: multihost-smoke-key' -H 'Content-Type: application/json' \
+  --data-binary @"$SUBMIT_BODY" "$COORD_URL/api/sweeps")
+[ "$HTTP_CODE" = "200" ] || fail "resubmission returned HTTP $HTTP_CODE, want 200 (body: $(cat "$TMP/ack2.json"))"
+DUP_ID=$(json_str "$TMP/ack2.json" id)
+[ "$DUP_ID" = "$SWEEP_ID" ] || fail "resubmission minted new sweep $DUP_ID, want $SWEEP_ID"
+grep -q '"deduplicated":true' "$TMP/ack2.json" || fail "resubmission not marked deduplicated: $(cat "$TMP/ack2.json")"
+echo "   deduplicated to original id $DUP_ID"
+
+echo "PASS: multihost kill-restart smoke (sweep $SWEEP_ID survived coordinator kill -9)"
