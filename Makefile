@@ -21,7 +21,8 @@ test-short:
 # packages whose invariants are all about shared state under load.
 test-race:
 	$(GO) test -race ./internal/service/... ./internal/store/... \
-		./internal/cluster/... ./internal/obs/...
+		./internal/cluster/... ./internal/obs/... \
+		./internal/optimize/... ./internal/surrogate/... ./internal/uq/...
 
 # Distributed-sweep fabric suite under the race detector: wire
 # round-trip hash stability, rendezvous sharding, worker health and
@@ -57,15 +58,15 @@ metrics-lint:
 check: vet metrics-lint
 
 # Quick perf smoke: the headline day-replay benchmarks (with the
-# dense-vs-event speedup metric), the multi-day fan-out, and the
-# /metrics scrape cost under load.
+# dense-vs-event speedup metric), the multi-day fan-out, the /metrics
+# scrape cost under load, and the surrogate-accelerated optimizer.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep|Optimize$$' -benchtime 1x .
 
-# Emit the benchmark series as JSON (BENCH_PR8.json) so the perf
+# Emit the benchmark series as JSON (BENCH_PR10.json) so the perf
 # trajectory is tracked PR over PR.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR8.json
+	./scripts/bench_json.sh BENCH_PR10.json
 
 # Diff the two most recent BENCH_PR*.json series benchmark by benchmark
 # (ns/op old vs new and the speedup ratio).

@@ -672,6 +672,82 @@ func BenchmarkAblationControlDt(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimize measures the surrogate-accelerated inner loop of
+// the co-design optimizer (the PR 10 headline): the same study — an
+// 8-generation, population-384 energy minimisation over workload
+// arrival rate and job wall time — runs twice, once with every
+// candidate twin-evaluated (DisableSurrogate) and once with the
+// conformal-gated surrogate screening. Both arms settle the same number
+// of candidates; the surrogate arm promotes only UQ fallbacks, the
+// predicted Pareto frontier, and the predicted top K to the twin.
+// Reported: candidate-settling throughput per arm, the screening
+// speedup (target ≥20×), the fallback share, and the divergence of the
+// surrogate arm's twin-exact best from the full arm's (target ≤1%).
+func BenchmarkOptimize(b *testing.B) {
+	study := OptimizeStudySpec{
+		Knobs: []OptimizeKnob{
+			{Name: "workload.arrival_mean_sec", Min: 30, Max: 300, Step: 0.5},
+			{Name: "workload.wall_mean_sec", Min: 300, Max: 3600, Step: 10},
+		},
+		Objectives: []OptimizeObjective{
+			{Metric: "energy_mwh"},
+		},
+		Population:  384,
+		Generations: 8,
+		InitSample:  16,
+		PromoteTopK: 2,
+		Seed:        17,
+	}
+	base := Scenario{
+		Name: "optimize-bench", Workload: WorkloadSynthetic,
+		HorizonSec: 1800, TickSec: 15,
+		Generator: DefaultGeneratorConfig(), NoExport: true, NoHistory: true,
+	}
+	base.Generator.Seed = 9000
+	spec := FrontierSpec()
+
+	runArm := func(disable bool) (sec float64, res *OptimizeStudyResult) {
+		svc := NewSweepService(SweepServiceOptions{})
+		arm := study
+		arm.DisableSurrogate = disable
+		start := time.Now()
+		st, err := svc.SubmitStudy(spec, base, arm, StudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		status := st.Status()
+		if status.State != service.StudyDone {
+			b.Fatalf("arm(disable=%v): %s (%s)", disable, status.State, status.Error)
+		}
+		return time.Since(start).Seconds(), st.Result()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullSec, full := runArm(true)
+		surrSec, surr := runArm(false)
+		// Candidates settled = twin evaluations + surrogate screenings;
+		// both arms face the same deduplicated candidate stream.
+		fullCands := float64(full.TwinEvals + full.Screened)
+		surrCands := float64(surr.TwinEvals + surr.Screened)
+		fullRate := fullCands / fullSec
+		surrRate := surrCands / surrSec
+		if full.Best == nil || surr.Best == nil {
+			b.Fatal("an arm found no feasible best")
+		}
+		div := math.Abs(surr.Best.Objectives["energy_mwh"]-full.Best.Objectives["energy_mwh"]) /
+			full.Best.Objectives["energy_mwh"] * 100
+		b.ReportMetric(fullRate, "twin_cands/s")
+		b.ReportMetric(surrRate, "surr_cands/s")
+		b.ReportMetric(surrRate/fullRate, "speedup_x")
+		b.ReportMetric(float64(surr.Fallbacks)/surrCands*100, "fallback%")
+		b.ReportMetric(div, "divergence%")
+	}
+}
+
 // BenchmarkAblationSchedulers compares FCFS/SJF/EASY on an
 // oversubscribed day.
 func BenchmarkAblationSchedulers(b *testing.B) {

@@ -263,6 +263,8 @@ func serve(args []string) {
 	sweepAPI := svc.Handler()
 	mux.Handle("/api/sweeps", sweepAPI)
 	mux.Handle("/api/sweeps/", sweepAPI)
+	mux.Handle("/api/optimize", sweepAPI)
+	mux.Handle("/api/optimize/", sweepAPI)
 	mux.Handle("GET /metrics", reg.Handler())
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -306,6 +308,8 @@ func serve(args []string) {
 	log.Printf("  POST /api/sweeps/{id}/cancel   — cancel queued and in-flight work (aborts mid-day)")
 	log.Printf("  GET  /api/sweeps/metrics       — JSON metrics snapshot (http/cache/failures/store)")
 	log.Printf("  GET  /api/sweeps/trace         — NDJSON scenario lifecycle spans (?limit=N)")
+	log.Printf("  POST /api/optimize             — submit a co-design study (surrogate-screened search)")
+	log.Printf("  GET  /api/optimize/{id}/stream — NDJSON per-generation progress, then the result")
 	log.Printf("  GET  /metrics                  — Prometheus text exposition")
 	if *pprofOn {
 		log.Printf("  GET  /debug/pprof/             — runtime profiling (heap, cpu, goroutines)")

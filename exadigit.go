@@ -451,3 +451,41 @@ type SetpointResult = optimize.Result
 func OptimizeSetpoints(plantCfg CoolingConfig, study SetpointStudy) (*SetpointResult, error) {
 	return optimize.Run(plantCfg, study)
 }
+
+// Closed-loop co-design optimizer (the L5 autonomous level run against
+// the full twin): a multi-objective search over design and control
+// knobs whose outer loop evaluates candidates as sweep-service
+// scenarios and whose inner loop screens them on an online-trained,
+// conformal-gated surrogate. Submit studies programmatically via
+// SweepService.SubmitStudy or over HTTP at POST /api/optimize.
+type (
+	// OptimizeKnob is one search dimension (see OptimizeKnobNames).
+	OptimizeKnob = optimize.Knob
+	// OptimizeObjective is one report metric to minimize or maximize.
+	OptimizeObjective = optimize.Objective
+	// OptimizeConstraint bounds a report metric for feasibility.
+	OptimizeConstraint = optimize.Constraint
+	// OptimizeStudySpec configures a study: knobs, objectives,
+	// constraints, population, generations, surrogate/UQ settings.
+	OptimizeStudySpec = optimize.StudySpec
+	// OptimizeCandidate is one twin-evaluated design point.
+	OptimizeCandidate = optimize.Candidate
+	// OptimizeStudyResult is the completed study: baseline, best,
+	// twin-exact Pareto frontier, and evaluation accounting.
+	OptimizeStudyResult = optimize.StudyResult
+	// OptimizeProgress is one generation's cumulative study snapshot.
+	OptimizeProgress = optimize.Progress
+	// Study is a running or finished study handle (SweepService.SubmitStudy).
+	Study = service.Study
+	// StudyOptions names a study and opts into surrogate warm-starting.
+	StudyOptions = service.StudyOptions
+	// StudyStatus is a study's observable snapshot.
+	StudyStatus = service.StudyStatus
+)
+
+// OptimizeKnobNames lists every knob the co-design search space
+// supports: plant setpoints, AutoCSM design quantities, solver choice,
+// scenario timing/weather, and workload mix.
+func OptimizeKnobNames() []string {
+	return optimize.KnobNames()
+}

@@ -47,6 +47,7 @@ func Compile(spec config.CoolingSpec) (cooling.Config, error) {
 			})
 		}
 		applySolver(&cfg, spec)
+		applySetpoints(&cfg, spec)
 		return cfg, nil
 	}
 	cfg, err := Generate(spec)
@@ -54,6 +55,7 @@ func Compile(spec config.CoolingSpec) (cooling.Config, error) {
 		return cfg, err
 	}
 	applySolver(&cfg, spec)
+	applySetpoints(&cfg, spec)
 	return cfg, nil
 }
 
@@ -70,6 +72,20 @@ func applySolver(cfg *cooling.Config, spec config.CoolingSpec) {
 	}
 	if spec.SolverAbsTol > 0 {
 		cfg.AbsTol = spec.SolverAbsTol
+	}
+}
+
+// applySetpoints overlays the spec's control-setpoint overrides — the
+// tower leaving-water target and the primary header ΔP target, the L5
+// co-design knobs — onto a resolved plant. Zero fields leave the plant
+// untouched, so presets without overrides stay bit-identical to their
+// hand-calibrated Config.
+func applySetpoints(cfg *cooling.Config, spec config.CoolingSpec) {
+	if spec.CTSupplySetC > 0 {
+		cfg.CTSupplySetC = spec.CTSupplySetC
+	}
+	if spec.HTWHeaderSetPa > 0 {
+		cfg.HTWHeaderSetPa = spec.HTWHeaderSetPa
 	}
 }
 

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/obs"
+	"exadigit/internal/optimize"
+	"exadigit/internal/service"
+)
+
+// TestCoordinatorStudy: an optimization study submitted to a coordinator
+// service completes with every candidate evaluation dispatched across
+// real remote workers — the optimizer's outer loop rides the same fabric
+// as hand-submitted sweeps.
+func TestCoordinatorStudy(t *testing.T) {
+	_, srvA := newWorker(t, service.Options{})
+	_, srvB := newWorker(t, service.Options{})
+	reg := obs.NewRegistry()
+	pool, err := New(Options{Workers: []string{srvA.URL, srvB.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := service.New(service.Options{Workers: 8, Runner: pool})
+
+	study := optimize.StudySpec{
+		Knobs: []optimize.Knob{
+			{Name: "scenario.tick_sec", Min: 15, Max: 45, Step: 15},
+			{Name: "scenario.wetbulb_c", Min: 1, Max: 10, Step: 1},
+		},
+		Objectives:  []optimize.Objective{{Metric: "energy_mwh"}},
+		Population:  8,
+		Generations: 2,
+		PromoteTopK: 2,
+		Seed:        11,
+	}
+	st, err := coord.SubmitStudy(config.Frontier(), synthScenario(50, 900), study, service.StudyOptions{Name: "fabric-study"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := st.Wait(ctx); err != nil {
+		t.Fatalf("study did not finish: %v", err)
+	}
+	status := st.Status()
+	if status.State != service.StudyDone {
+		t.Fatalf("study state %s (%s)", status.State, status.Error)
+	}
+	res := st.Result()
+	if res == nil || res.Best == nil || res.TwinEvals == 0 {
+		t.Fatalf("study result: %+v", res)
+	}
+	var dispatched float64
+	for _, url := range pool.Workers() {
+		dispatched += counterValue(t, reg, "exadigit_cluster_dispatched_total", "worker", url)
+	}
+	if int(dispatched) == 0 {
+		t.Fatal("no candidate evaluations were dispatched to workers")
+	}
+}

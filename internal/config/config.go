@@ -98,6 +98,16 @@ type CoolingSpec struct {
 	PrimaryFlowGPM float64 `json:"primary_flow_gpm"`
 	TowerFlowGPM   float64 `json:"tower_flow_gpm"`
 
+	// CTSupplySetC and HTWHeaderSetPa override the resolved plant's
+	// control setpoints — the tower leaving-water temperature target and
+	// the primary header differential-pressure target — after preset
+	// resolution or AutoCSM sizing. They are the L5 co-design knobs: the
+	// optimizer sweeps them per candidate without re-sizing the plant.
+	// Zero leaves the resolved plant untouched (omitempty keeps every
+	// pre-existing spec hash stable).
+	CTSupplySetC   float64 `json:"ct_supply_set_c,omitempty"`
+	HTWHeaderSetPa float64 `json:"htw_header_set_pa,omitempty"`
+
 	// Solver selects the plant's thermal integration scheme: "" or "rk4"
 	// keeps the fixed-step bit-reproducible reference, "adaptive" enables
 	// the error-controlled stepper with the quiescence fast path. Applied
@@ -274,6 +284,9 @@ func (c *CoolingSpec) Validate() error {
 	if err := c.validateSolver(); err != nil {
 		return err
 	}
+	if err := c.validateSetpoints(); err != nil {
+		return err
+	}
 	if c.Preset != "" {
 		if _, ok := cooling.Preset(c.Preset); !ok {
 			return fmt.Errorf("config: %w", &FieldError{
@@ -326,6 +339,33 @@ func (c *CoolingSpec) Validate() error {
 			Field:      "ct_supply_c",
 			Constraint: fmt.Sprintf("CT supply %v °C must exceed design wet bulb %v °C", c.CTSupplyC, c.DesignWetBulbC),
 			Suggestion: "raise ct_supply_c or lower design_wetbulb_c",
+		})
+	}
+	return nil
+}
+
+// validateSetpoints checks the control-setpoint overrides. They apply
+// to presets and generated plants alike, so the checks are physical
+// sanity bounds rather than design-ladder relations (the resolved plant
+// enforces those at run time).
+func (c *CoolingSpec) validateSetpoints() error {
+	if c.CTSupplySetC < 0 {
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "ct_supply_set_c", Constraint: "must be non-negative",
+			Suggestion: "omit it to keep the resolved plant's tower setpoint",
+		})
+	}
+	if c.CTSupplySetC > 0 && c.Preset == "" && c.CTSupplySetC <= c.DesignWetBulbC {
+		return fmt.Errorf("config: %w", &FieldError{
+			Field:      "ct_supply_set_c",
+			Constraint: fmt.Sprintf("setpoint %v °C must exceed the design wet bulb %v °C (a tower cannot cool below it)", c.CTSupplySetC, c.DesignWetBulbC),
+			Suggestion: "raise ct_supply_set_c above design_wetbulb_c",
+		})
+	}
+	if c.HTWHeaderSetPa < 0 {
+		return fmt.Errorf("config: %w", &FieldError{
+			Field: "htw_header_set_pa", Constraint: "must be non-negative",
+			Suggestion: "omit it to keep the resolved plant's header ΔP setpoint",
 		})
 	}
 	return nil

@@ -45,9 +45,17 @@ type Evaluation struct {
 // Result reports the study.
 type Result struct {
 	Baseline Evaluation
-	Best     Evaluation
-	All      []Evaluation
-	SavingMW float64 // baseline aux − best aux
+	// BaselineFeasible reports whether the plant's own setpoints satisfy
+	// the study constraints — when false, SavingMW is measured against
+	// an operating point the plant should not be run at, and the study's
+	// real value is Best itself, not the delta.
+	BaselineFeasible bool
+	Best             Evaluation
+	// BestFound is false when no candidate (nor the baseline) was
+	// feasible; Best is then the zero Evaluation and SavingMW is 0.
+	BestFound bool
+	All       []Evaluation
+	SavingMW  float64 // baseline aux − best aux (0 unless BestFound)
 }
 
 // Run evaluates every candidate pair on a fresh plant and returns the
@@ -73,7 +81,15 @@ func Run(plantCfg cooling.Config, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Baseline: baseline, Best: baseline}
+	// Best must only ever hold a feasible evaluation: an infeasible
+	// baseline (e.g. a plant whose own setpoints violate the coolant
+	// spec at this operating point) used to seed Best unconditionally,
+	// so feasible candidates with higher aux power could never displace
+	// it and SavingMW went negative/meaningless.
+	res := &Result{Baseline: baseline, BaselineFeasible: baseline.Feasible}
+	if baseline.Feasible {
+		res.Best, res.BestFound = baseline, true
+	}
 	for _, ct := range cfg.CTSupplyCandidatesC {
 		for _, hdr := range cfg.HTWHeaderCandidatesPa {
 			ev, err := evaluate(plantCfg, cfg, ct, hdr)
@@ -81,12 +97,14 @@ func Run(plantCfg cooling.Config, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			res.All = append(res.All, ev)
-			if ev.Feasible && ev.AuxMW < res.Best.AuxMW {
-				res.Best = ev
+			if ev.Feasible && (!res.BestFound || ev.AuxMW < res.Best.AuxMW) {
+				res.Best, res.BestFound = ev, true
 			}
 		}
 	}
-	res.SavingMW = res.Baseline.AuxMW - res.Best.AuxMW
+	if res.BestFound {
+		res.SavingMW = res.Baseline.AuxMW - res.Best.AuxMW
+	}
 	return res, nil
 }
 

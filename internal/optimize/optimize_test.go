@@ -60,6 +60,80 @@ func TestSetpointOptimizationAtPartLoad(t *testing.T) {
 	}
 }
 
+func TestInfeasibleBaselineCannotWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plant study")
+	}
+	// Probe run: measure what the baseline (CT 22 °C) and a colder
+	// candidate (CT 20 °C) actually achieve at this operating point, so
+	// the constraint can be pinned between them.
+	probe, err := Run(cooling.Frontier(), Config{
+		CTSupplyCandidatesC:   []float64{20},
+		HTWHeaderCandidatesPa: []float64{140e3},
+		HeatMW:                9,
+		WetBulbC:              12,
+		MaxSecSupplyC:         99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := probe.All[0]
+	if cand.SecSupplyC >= probe.Baseline.SecSupplyC {
+		t.Skipf("colder tower water did not lower the secondary supply (%v vs %v)",
+			cand.SecSupplyC, probe.Baseline.SecSupplyC)
+	}
+
+	// A coolant limit between the two makes the baseline infeasible and
+	// the candidate feasible — but the candidate pays more aux power
+	// (colder tower water costs fan/pump work). The buggy selection
+	// seeded Best with the infeasible baseline and its lower AuxMW could
+	// never be displaced.
+	limit := (cand.SecSupplyC + probe.Baseline.SecSupplyC) / 2
+	res, err := Run(cooling.Frontier(), Config{
+		CTSupplyCandidatesC:   []float64{20},
+		HTWHeaderCandidatesPa: []float64{140e3},
+		HeatMW:                9,
+		WetBulbC:              12,
+		MaxSecSupplyC:         limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineFeasible || res.Baseline.Feasible {
+		t.Fatal("baseline should be infeasible under the pinned limit")
+	}
+	if !res.BestFound {
+		t.Fatal("the feasible candidate should have been selected")
+	}
+	if !res.Best.Feasible || res.Best.CTSupplyC != 20 {
+		t.Fatalf("best = %+v, want the feasible CT 20 candidate", res.Best)
+	}
+}
+
+func TestNoFeasibleEvaluationReportsNone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plant study")
+	}
+	// An impossible coolant limit leaves nothing feasible: the study
+	// must say so instead of selecting the infeasible baseline.
+	res, err := Run(cooling.Frontier(), Config{
+		CTSupplyCandidatesC:   []float64{24},
+		HTWHeaderCandidatesPa: []float64{140e3},
+		HeatMW:                9,
+		WetBulbC:              12,
+		MaxSecSupplyC:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFound || res.BaselineFeasible {
+		t.Fatalf("nothing is feasible, got BestFound=%v BaselineFeasible=%v", res.BestFound, res.BaselineFeasible)
+	}
+	if res.SavingMW != 0 {
+		t.Fatalf("SavingMW must be 0 with no feasible selection, got %v", res.SavingMW)
+	}
+}
+
 func TestInfeasibleCandidatesRejected(t *testing.T) {
 	if testing.Short() {
 		t.Skip("plant study")

@@ -1,0 +1,199 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"exadigit/internal/raps"
+)
+
+// Objective is one optimization target over a report metric. Weight
+// scales the metric's contribution to the scalarized ranking (default
+// 1); Maximize flips the sense (objectives minimize by default).
+type Objective struct {
+	Metric   string  `json:"metric"`
+	Weight   float64 `json:"weight,omitempty"`
+	Maximize bool    `json:"maximize,omitempty"`
+}
+
+// Constraint bounds a report metric; candidates violating any
+// constraint are infeasible (kept out of Best and the frontier, but
+// still recorded and still used as surrogate training data).
+type Constraint struct {
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+}
+
+// Candidate is one evaluated design point. Objectives holds the exact
+// full-twin metric values — candidates only enter the archive through a
+// twin evaluation, never from a surrogate prediction, so every reported
+// number re-evaluates bit-identically.
+type Candidate struct {
+	// Params maps knob name → value (JSON maps serialize key-sorted, so
+	// the wire form is deterministic).
+	Params map[string]float64 `json:"params"`
+	// Vector is the snapped knob vector in knob-list order.
+	Vector []float64 `json:"vector"`
+	// Objectives maps metric name → twin-exact value (objective and
+	// constraint metrics both).
+	Objectives map[string]float64 `json:"objectives"`
+	// Scalar is the weighted scalarization the Best selection ranks by
+	// (lower is better; maximized objectives contribute negatively).
+	Scalar   float64 `json:"scalar"`
+	Feasible bool    `json:"feasible"`
+	// Infeasible carries why (constraint violation or evaluation error).
+	Infeasible string `json:"infeasible,omitempty"`
+	// Generation the candidate was twin-evaluated in (−1 = baseline).
+	Generation int `json:"generation"`
+	// CacheHit marks a twin evaluation served from the sweep service's
+	// result cache or durable store instead of being computed.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// objectiveSet is the validated objective/constraint configuration.
+type objectiveSet struct {
+	objectives  []Objective
+	constraints []Constraint
+	// targets is the deduplicated union of objective and constraint
+	// metrics, in first-mention order — the surrogate's target list.
+	targets []string
+}
+
+func newObjectiveSet(objectives []Objective, constraints []Constraint) (*objectiveSet, error) {
+	if len(objectives) == 0 {
+		objectives = []Objective{{Metric: "energy_mwh", Weight: 1}}
+	}
+	os := &objectiveSet{
+		objectives:  append([]Objective(nil), objectives...),
+		constraints: append([]Constraint(nil), constraints...),
+	}
+	seen := make(map[string]bool)
+	add := func(metric string) error {
+		if _, err := metricValue(&zeroReport, metric); err != nil {
+			return err
+		}
+		if !seen[metric] {
+			seen[metric] = true
+			os.targets = append(os.targets, metric)
+		}
+		return nil
+	}
+	seenObj := make(map[string]bool)
+	for i := range os.objectives {
+		o := &os.objectives[i]
+		if o.Weight == 0 {
+			o.Weight = 1
+		}
+		if o.Weight < 0 {
+			return nil, fmt.Errorf("optimize: objective %q: negative weight (use maximize instead)", o.Metric)
+		}
+		if seenObj[o.Metric] {
+			return nil, fmt.Errorf("optimize: objective %q listed twice", o.Metric)
+		}
+		seenObj[o.Metric] = true
+		if err := add(o.Metric); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range os.constraints {
+		if c.Max == nil && c.Min == nil {
+			return nil, fmt.Errorf("optimize: constraint %q needs max and/or min", c.Metric)
+		}
+		if err := add(c.Metric); err != nil {
+			return nil, err
+		}
+	}
+	return os, nil
+}
+
+// values extracts every target metric into a map keyed by metric name.
+func (os *objectiveSet) values(get func(string) (float64, error)) (map[string]float64, error) {
+	m := make(map[string]float64, len(os.targets))
+	for _, t := range os.targets {
+		v, err := get(t)
+		if err != nil {
+			return nil, err
+		}
+		m[t] = v
+	}
+	return m, nil
+}
+
+// scalar ranks a metric map: Σ weight·value with maximized metrics
+// negated. Lower is better.
+func (os *objectiveSet) scalar(vals map[string]float64) float64 {
+	s := 0.0
+	for _, o := range os.objectives {
+		v := vals[o.Metric]
+		if o.Maximize {
+			v = -v
+		}
+		s += o.Weight * v
+	}
+	return s
+}
+
+// feasible checks every constraint; the first violation names itself.
+func (os *objectiveSet) feasible(vals map[string]float64) (bool, string) {
+	for _, c := range os.constraints {
+		v := vals[c.Metric]
+		if c.Max != nil && v > *c.Max {
+			return false, fmt.Sprintf("%s %.6g > max %.6g", c.Metric, v, *c.Max)
+		}
+		if c.Min != nil && v < *c.Min {
+			return false, fmt.Sprintf("%s %.6g < min %.6g", c.Metric, v, *c.Min)
+		}
+	}
+	return true, ""
+}
+
+// dominates reports whether a Pareto-dominates b: at least as good on
+// every objective (in each objective's own sense) and strictly better
+// on one.
+func (os *objectiveSet) dominates(a, b map[string]float64) bool {
+	strict := false
+	for _, o := range os.objectives {
+		av, bv := a[o.Metric], b[o.Metric]
+		if o.Maximize {
+			av, bv = -av, -bv
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// frontier extracts the non-dominated feasible subset, sorted by
+// scalar (best first) for stable, readable output.
+func (os *objectiveSet) frontier(cands []Candidate) []Candidate {
+	var front []Candidate
+	for i := range cands {
+		if !cands[i].Feasible {
+			continue
+		}
+		dominated := false
+		for j := range cands {
+			if i == j || !cands[j].Feasible {
+				continue
+			}
+			if os.dominates(cands[j].Objectives, cands[i].Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, cands[i])
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool { return front[i].Scalar < front[j].Scalar })
+	return front
+}
+
+// zeroReport backs metric-name validation (metricValue never fails on
+// a well-formed name regardless of report content).
+var zeroReport raps.Report

@@ -158,6 +158,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /api/sweeps/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /api/optimize", s.handleOptimizeSubmit)
+	mux.HandleFunc("GET /api/optimize", s.handleOptimizeList)
+	mux.HandleFunc("GET /api/optimize/{id}", s.handleOptimizeStatus)
+	mux.HandleFunc("GET /api/optimize/{id}/result", s.handleOptimizeResult)
+	mux.HandleFunc("GET /api/optimize/{id}/stream", s.handleOptimizeStream)
+	mux.HandleFunc("POST /api/optimize/{id}/cancel", s.handleOptimizeCancel)
 	return httpmw.Wrap(mux, s.logf, s.metrics)
 }
 

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"exadigit/internal/config"
+	"exadigit/internal/core"
+	"exadigit/internal/optimize"
+	"exadigit/internal/store"
+	"exadigit/internal/surrogate"
+)
+
+// quickStudy is a small real-twin study: a 3×10 grid over simulation
+// tick and outdoor wet bulb, two objectives, sized to finish in a few
+// twin evaluations per generation.
+func quickStudy() optimize.StudySpec {
+	return optimize.StudySpec{
+		Knobs: []optimize.Knob{
+			{Name: "scenario.tick_sec", Min: 15, Max: 45, Step: 15},
+			{Name: "scenario.wetbulb_c", Min: 1, Max: 10, Step: 1},
+		},
+		Objectives: []optimize.Objective{
+			{Metric: "energy_mwh"},
+			{Metric: "throughput_per_hr", Maximize: true},
+		},
+		Population:  10,
+		Generations: 2,
+		PromoteTopK: 2,
+		Seed:        7,
+	}
+}
+
+func waitStudy(t *testing.T, st *Study) StudyStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := st.Wait(ctx); err != nil {
+		t.Fatalf("study %s did not finish: %v", st.ID(), err)
+	}
+	return st.Status()
+}
+
+// TestStudyEndToEnd: a study over the real twin completes, reports a
+// twin-exact best and frontier, and persists its surrogate fit to the
+// durable store. A cold re-run of the same study on the same service is
+// then served entirely from cache with zero spec recompilations.
+func TestStudyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Options{Workers: 4, Store: st})
+	base := synthScenario(1, 900)
+	study := quickStudy()
+
+	first, err := svc.SubmitStudy(config.Frontier(), base, study, StudyOptions{Name: "co-design"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := waitStudy(t, first)
+	if status.State != StudyDone {
+		t.Fatalf("study state %s (%s)", status.State, status.Error)
+	}
+	res := first.Result()
+	if res == nil || res.Best == nil || len(res.Frontier) == 0 {
+		t.Fatalf("study finished without a best/frontier: %+v", res)
+	}
+	if res.TwinEvals == 0 || res.Generations != study.Generations {
+		t.Fatalf("accounting: %+v", res)
+	}
+	if res.BaselineObjectives == nil {
+		t.Fatal("baseline objectives missing")
+	}
+	for _, c := range res.Frontier {
+		if c.Objectives["energy_mwh"] <= 0 {
+			t.Fatalf("frontier member without twin-exact objectives: %+v", c)
+		}
+	}
+	if status.Progress == nil || status.Progress.Generation != study.Generations-1 {
+		t.Fatalf("status progress: %+v", status.Progress)
+	}
+
+	// The trained surrogate was persisted under the durable store.
+	blob, err := st.GetBlob(optimizeModelBlobName(first.specHash, study))
+	if err != nil {
+		t.Fatalf("persisted model: %v", err)
+	}
+	var m surrogate.Model
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("persisted model decode: %v", err)
+	}
+	if !m.Trained() || m.Dims() != 2 {
+		t.Fatalf("persisted model untrained or wrong dims: trained=%v dims=%d", m.Trained(), m.Dims())
+	}
+
+	// Cold re-run, same service: the driver is deterministic, so it
+	// re-requests the exact same scenarios — every twin evaluation is a
+	// cache hit and the compiled spec is reused (0 model rebuilds).
+	buildsBefore := config.ModelBuilds()
+	second, err := svc.SubmitStudy(config.Frontier(), base, study, StudyOptions{Name: "warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := waitStudy(t, second); s2.State != StudyDone {
+		t.Fatalf("re-run state %s (%s)", s2.State, s2.Error)
+	}
+	res2 := second.Result()
+	if res2.TwinEvals != res.TwinEvals || res2.Screened != res.Screened || res2.Fallbacks != res.Fallbacks {
+		t.Fatalf("re-run diverged: %d/%d/%d vs %d/%d/%d twin/screened/fallbacks",
+			res2.TwinEvals, res2.Screened, res2.Fallbacks, res.TwinEvals, res.Screened, res.Fallbacks)
+	}
+	if res2.CachedEvals != res2.TwinEvals {
+		t.Fatalf("re-run computed %d of %d evaluations instead of riding the cache",
+			res2.TwinEvals-res2.CachedEvals, res2.TwinEvals)
+	}
+	if got := config.ModelBuilds() - buildsBefore; got != 0 {
+		t.Fatalf("re-run rebuilt %d power models, want 0", got)
+	}
+	if res2.Best.Scalar != res.Best.Scalar {
+		t.Fatalf("re-run best diverged: %v vs %v", res2.Best.Scalar, res.Best.Scalar)
+	}
+
+	// Warm start: a third study loads the persisted fit.
+	third, err := svc.SubmitStudy(config.Frontier(), base, study, StudyOptions{Name: "warm-start", WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 := waitStudy(t, third); s3.State != StudyDone || !s3.WarmStarted {
+		t.Fatalf("warm-started study: state=%s warm=%v (%s)", s3.State, s3.WarmStarted, s3.Error)
+	}
+}
+
+// TestStudyCancel: cancelling a running study terminates it with the
+// cancelled state.
+func TestStudyCancel(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	study := quickStudy()
+	study.Generations = 6
+	st, err := svc.SubmitStudy(config.Frontier(), synthScenario(2, 1800), study, StudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Cancel()
+	status := waitStudy(t, st)
+	if status.State != StudyCancelled {
+		t.Fatalf("state %s, want cancelled", status.State)
+	}
+	if _, ok := svc.StudyByID(st.ID()); !ok {
+		t.Fatal("cancelled study dropped from registry")
+	}
+}
+
+// TestStudyRejectsClosedService: a draining service refuses new studies.
+func TestStudyRejectsClosedService(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	svc.Close()
+	if _, err := svc.SubmitStudy(config.Frontier(), synthScenario(3, 900), quickStudy(), StudyOptions{}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestStudyHTTPRoundTrip drives the whole HTTP surface: submit, list,
+// status, NDJSON progress stream (progress lines then a terminal line
+// carrying the result), and the result endpoint.
+func TestStudyHTTPRoundTrip(t *testing.T) {
+	svc := New(Options{Workers: 4})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	study := quickStudy()
+	study.Population = 8
+	body, _ := json.Marshal(OptimizeRequest{
+		Name: "http-study",
+		Base: &ScenarioRequest{
+			Name: "synth", Workload: "synthetic", HorizonSec: 900, TickSec: 15,
+		},
+		Study: study,
+	})
+	resp, err := http.Post(srv.URL+"/api/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	var ack OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.ID == "" || ack.SpecHash == "" {
+		t.Fatalf("ack: %+v", ack)
+	}
+
+	// The stream carries per-generation progress, then the result.
+	stream, err := http.Get(srv.URL + "/api/optimize/" + ack.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var entries []optimizeStreamEntry
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var e optimizeStreamEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("stream line: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) < study.Generations+1 {
+		t.Fatalf("stream delivered %d entries, want >= %d", len(entries), study.Generations+1)
+	}
+	final := entries[len(entries)-1]
+	if final.State != StudyDone || final.Result == nil || final.Result.Best == nil {
+		t.Fatalf("final stream entry: %+v", final)
+	}
+	for _, e := range entries[:len(entries)-1] {
+		if e.Progress == nil {
+			t.Fatalf("non-final stream entry without progress: %+v", e)
+		}
+	}
+
+	// Status, list, and result endpoints agree.
+	resp, err = http.Get(srv.URL + "/api/optimize/" + ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status StudyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.State != StudyDone {
+		t.Fatalf("status: %+v", status)
+	}
+	resp, err = http.Get(srv.URL + "/api/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Studies []StudyStatus `json:"studies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Studies) != 1 || list.Studies[0].ID != ack.ID {
+		t.Fatalf("list: %+v", list)
+	}
+	resp, err = http.Get(srv.URL + "/api/optimize/" + ack.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result optimize.StudyResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if result.Best == nil || len(result.Frontier) == 0 {
+		t.Fatalf("result: %+v", result)
+	}
+
+	// Unknown study: 404.
+	resp, err = http.Get(srv.URL + "/api/optimize/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown study: %d", resp.StatusCode)
+	}
+}
+
+// TestStudyEvaluatorPerCandidateValidation: an invalid candidate plant
+// becomes that candidate's infeasibility, not a study-fatal error.
+func TestStudyEvaluatorPerCandidateValidation(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	compiled, err := core.Compile(config.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &sweepEvaluator{svc: svc, spec: config.Frontier(), compiled: compiled, studyID: "opt-test"}
+	bad := synthScenario(9, 900)
+	bad.CoolingSpec = &config.CoolingSpec{NumCDUs: -1}
+	good := synthScenario(9, 900)
+	outs, err := ev.Evaluate(context.Background(), 0, []core.Scenario{bad, good})
+	if err != nil {
+		t.Fatalf("batch failed wholesale: %v", err)
+	}
+	if outs[0].Err == "" || outs[0].Report != nil {
+		t.Fatalf("invalid candidate outcome: %+v", outs[0])
+	}
+	if outs[1].Err != "" || outs[1].Report == nil {
+		t.Fatalf("valid candidate outcome: %+v", outs[1])
+	}
+}

@@ -145,6 +145,12 @@ type Service struct {
 	requeued    *obs.Counter
 	idemHits    *obs.Counter
 
+	// Optimizer accounting (optimize.go).
+	optEvals       *obs.CounterVec
+	optFallbacks   *obs.Counter
+	optGenerations *obs.Counter
+	optFrontier    *obs.Gauge
+
 	faults faultHolder // test-only chaos hook
 
 	mu        sync.Mutex
@@ -154,6 +160,10 @@ type Service struct {
 	sweeps    map[string]*Sweep
 	order     []string          // sweep ids in submission order
 	keys      map[string]string // idempotency key → sweep id
+
+	// Optimization studies (optimize.go).
+	studies    map[string]*Study
+	studyOrder []string // study ids in submission order
 }
 
 // maxCompiledSpecs bounds the compiled-spec cache: HTTP accepts
@@ -212,6 +222,7 @@ func New(opts Options) *Service {
 		specs:           make(map[string]*core.CompiledSpec),
 		sweeps:          make(map[string]*Sweep),
 		keys:            make(map[string]string),
+		studies:         make(map[string]*Study),
 	}
 	s.registerMetrics()
 	return s
@@ -312,6 +323,7 @@ func (s *Service) registerMetrics() {
 			"Bytes resident in the durable store.",
 			func() float64 { return float64(st.Stats().Bytes) })
 	}
+	s.registerOptimizeMetrics()
 	s.metrics.Register(reg, "sweeps")
 }
 
@@ -482,18 +494,18 @@ func (st ScenarioStatus) Terminal() bool {
 
 // SweepStatus is a point-in-time snapshot of a sweep.
 type SweepStatus struct {
-	ID        string           `json:"id"`
-	Name      string           `json:"name,omitempty"`
-	SpecHash  string           `json:"spec_hash"`
-	CreatedAt time.Time        `json:"created_at"`
-	Total     int              `json:"total"`
-	Queued    int              `json:"queued"`
-	Running   int              `json:"running"`
-	Done      int              `json:"done"`
-	Cached    int              `json:"cached"`
-	Failed    int              `json:"failed"`
-	Cancelled int              `json:"cancelled"`
-	Finished  bool             `json:"finished"`
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	SpecHash  string    `json:"spec_hash"`
+	CreatedAt time.Time `json:"created_at"`
+	Total     int       `json:"total"`
+	Queued    int       `json:"queued"`
+	Running   int       `json:"running"`
+	Done      int       `json:"done"`
+	Cached    int       `json:"cached"`
+	Failed    int       `json:"failed"`
+	Cancelled int       `json:"cancelled"`
+	Finished  bool      `json:"finished"`
 	// Recovered marks a sweep reconstructed from the durable journal
 	// after a restart; Key echoes its idempotency key when one was set.
 	Recovered bool             `json:"recovered,omitempty"`
@@ -906,7 +918,9 @@ func (s *Service) Drain(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	return nil
+	// Studies fail fast once the service is closed (their next
+	// generation submission refuses), so this converges too.
+	return s.drainStudies(ctx)
 }
 
 // CancelAll aborts every sweep — the impatient half of shutdown (second
@@ -922,6 +936,7 @@ func (s *Service) CancelAll() {
 	for _, sw := range sweeps {
 		sw.Cancel()
 	}
+	s.cancelAllStudies()
 }
 
 // Remove drops a finished sweep from the registry, releasing the

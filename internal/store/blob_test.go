@@ -1,0 +1,81 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBlob("optimize-model.json"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing blob: got %v, want ErrNotFound", err)
+	}
+	payload := []byte(`{"version":1}`)
+	if err := s.PutBlob("optimize-model.json", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetBlob("optimize-model.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("blob = %q, want %q", got, payload)
+	}
+	// Overwrite replaces atomically.
+	if err := s.PutBlob("optimize-model.json", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetBlob("optimize-model.json"); string(got) != "v2" {
+		t.Fatalf("overwritten blob = %q", got)
+	}
+}
+
+func TestBlobNameValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".", ".hidden", "a/b", "../escape", "a b", "x\x00y"} {
+		if err := s.PutBlob(name, []byte("x")); err == nil {
+			t.Errorf("PutBlob(%q) accepted", name)
+		}
+		if _, err := s.GetBlob(name); !errors.Is(err, ErrNotFound) {
+			t.Errorf("GetBlob(%q): got %v, want ErrNotFound", name, err)
+		}
+	}
+}
+
+func TestBlobAreaInvisibleToEntryScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBlob("optimize-abc123.json", []byte(`{"k":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the startup scan must neither index nor quarantine blobs.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("blob indexed as a result entry: %d entries", s2.Len())
+	}
+	if got, err := s2.GetBlob("optimize-abc123.json"); err != nil || string(got) != `{"k":1}` {
+		t.Fatalf("blob lost across reopen: %q, %v", got, err)
+	}
+	// No quarantine sidecar appeared next to the blob.
+	matches, _ := filepath.Glob(filepath.Join(dir, blobDir, "*"+quarantineSuffix))
+	if len(matches) != 0 {
+		t.Fatalf("blob quarantined: %v", matches)
+	}
+	if _, err := os.Stat(s2.BlobPath("optimize-abc123.json")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// truth is an exactly-quadratic 3-knob response the model must nail.
+func truth(x []float64) []float64 {
+	a, b, c := x[0], x[1], x[2]
+	return []float64{
+		2 + 0.5*a - 0.2*b + 0.1*a*a + 0.05*a*c,
+		-1 + b*b - 0.3*c + 0.2*a*b,
+	}
+}
+
+func trainSet(n int, seed int64) ([][]float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()*10 - 5, rng.Float64() * 2, rng.Float64()*4 + 1}
+		Y[i] = truth(X[i])
+	}
+	return X, Y
+}
+
+func newTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel([]float64{-5, 0, 1}, []float64{5, 2, 5}, []string{"u", "v"}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelFitsQuadraticExactly(t *testing.T) {
+	m := newTestModel(t)
+	X, Y := trainSet(40, 1)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i)/10 - 2.5, float64(i%7) / 4, 1.5 + float64(i%5)/2}
+		got, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := truth(x)
+		for tgt := range want {
+			if math.Abs(got[tgt]-want[tgt]) > 1e-6 {
+				t.Fatalf("point %d target %d: predicted %v want %v", i, tgt, got[tgt], want[tgt])
+			}
+		}
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	m := newTestModel(t)
+	X, Y := trainSet(30, 2)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Trained() {
+		t.Fatal("round-tripped model lost its weights")
+	}
+	if back.TrainingHash() != m.TrainingHash() || back.TrainingHash() == "" {
+		t.Fatalf("training hash not preserved: %q vs %q", back.TrainingHash(), m.TrainingHash())
+	}
+	if back.Rows() != m.Rows() {
+		t.Fatalf("rows not preserved: %d vs %d", back.Rows(), m.Rows())
+	}
+	x := []float64{1.25, 0.5, 3}
+	a, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("target %d: prediction drifted across serialization: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestModelTrainingHashTracksData(t *testing.T) {
+	m1, m2 := newTestModel(t), newTestModel(t)
+	X, Y := trainSet(30, 3)
+	if err := m1.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	Y[7][0] += 1e-9 // a single-bit-ish change must change the hash
+	if err := m2.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if m1.TrainingHash() == m2.TrainingHash() {
+		t.Fatal("training hash ignored a data change")
+	}
+}
+
+func TestModelRejectsBadInput(t *testing.T) {
+	m := newTestModel(t)
+	if _, err := m.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("predict before fit should error")
+	}
+	X, Y := trainSet(m.MinTrainRows()-1, 4)
+	if err := m.Fit(X, Y); err == nil {
+		t.Fatal("fit below MinTrainRows should error")
+	}
+	X, Y = trainSet(30, 5)
+	if err := m.Fit(X, Y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	var bad Model
+	if err := json.Unmarshal([]byte(`{"version":2}`), &bad); err == nil {
+		t.Fatal("unknown version should error")
+	}
+	if err := json.Unmarshal([]byte(`{"version":1,"features":{"lo":[0],"hi":[1]},"targets":["u"],"weights":[[1,2]]}`), &bad); err == nil {
+		t.Fatal("weight-length mismatch should error")
+	}
+}

@@ -1,0 +1,100 @@
+package uq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Calibrator is a split-conformal prediction-error calibrator: it
+// collects absolute residuals |prediction − truth| observed on held-out
+// full-twin evaluations and turns them into a distribution-free
+// prediction-interval radius at a configured confidence level. The
+// optimizer uses it as the surrogate fallback gate — a candidate whose
+// predicted-error interval is too wide (or whose calibrator has too few
+// residuals to be trusted at all) is promoted to a full-twin run
+// instead of being screened on the surrogate.
+//
+// The guarantee is the standard split-conformal one: if future
+// residuals are exchangeable with the observed ones, the radius covers
+// a fresh residual with probability ≥ confidence. The residual window
+// is bounded (oldest dropped first) so the gate tracks the model as it
+// is refit online.
+type Calibrator struct {
+	confidence float64
+	minSamples int
+	window     int
+	residuals  []float64 // insertion order; quantiled on demand
+}
+
+// NewCalibrator builds a calibrator at the given confidence level
+// (0 < confidence < 1; e.g. 0.9 → the radius covers ≥90 % of future
+// residuals). minSamples ≤ 0 defaults to 8 — below it the calibrator
+// reports not Ready and the gate must fall back. window ≤ 0 defaults
+// to 256 retained residuals.
+func NewCalibrator(confidence float64, minSamples, window int) (*Calibrator, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("uq: confidence must be in (0,1), got %v", confidence)
+	}
+	if minSamples <= 0 {
+		minSamples = 8
+	}
+	if window <= 0 {
+		window = 256
+	}
+	return &Calibrator{confidence: confidence, minSamples: minSamples, window: window}, nil
+}
+
+// Confidence returns the configured coverage level.
+func (c *Calibrator) Confidence() float64 { return c.confidence }
+
+// Observe records one held-out absolute residual. Negative inputs are
+// folded (a residual is a magnitude).
+func (c *Calibrator) Observe(r float64) {
+	if r < 0 {
+		r = -r
+	}
+	c.residuals = append(c.residuals, r)
+	if len(c.residuals) > c.window {
+		c.residuals = c.residuals[len(c.residuals)-c.window:]
+	}
+}
+
+// Len is the retained residual count.
+func (c *Calibrator) Len() int { return len(c.residuals) }
+
+// Ready reports whether enough residuals have been observed for Radius
+// to be meaningful at the configured confidence: at least minSamples,
+// and enough that the conformal rank ⌈(n+1)·confidence⌉ lands inside
+// the sample (otherwise the honest radius is unbounded).
+func (c *Calibrator) Ready() bool {
+	n := len(c.residuals)
+	return n >= c.minSamples && conformalRank(n, c.confidence) <= n
+}
+
+// Radius returns the split-conformal interval radius: the
+// ⌈(n+1)·confidence⌉-th smallest observed residual. Returns +Inf when
+// not Ready — an infinite interval, which any finite gate rejects.
+func (c *Calibrator) Radius() float64 {
+	n := len(c.residuals)
+	k := conformalRank(n, c.confidence)
+	if n < c.minSamples || k > n {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), c.residuals...)
+	sort.Float64s(sorted)
+	return sorted[k-1]
+}
+
+// conformalRank is ⌈(n+1)·confidence⌉ — the order statistic whose value
+// covers a fresh exchangeable residual with probability ≥ confidence.
+func conformalRank(n int, confidence float64) int {
+	k := int(float64(n+1) * confidence)
+	if float64(k) < float64(n+1)*confidence {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,133 @@
+package uq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestConformalMissRateWithinConfidence is the gate property test: for
+// several residual distributions and seeds, calibrate on one sample and
+// check that the empirical miss rate on a held-out sample — the
+// fraction of fresh residuals exceeding the calibrated radius, i.e. the
+// fraction of surrogate predictions the gate would wrongly trust —
+// stays within the configured confidence level (plus binomial slack).
+func TestConformalMissRateWithinConfidence(t *testing.T) {
+	draws := map[string]func(*rand.Rand) float64{
+		"halfnormal":  func(r *rand.Rand) float64 { return math.Abs(r.NormFloat64()) },
+		"uniform":     func(r *rand.Rand) float64 { return r.Float64() * 3 },
+		"exponential": func(r *rand.Rand) float64 { return r.ExpFloat64() * 0.5 },
+		"heavy": func(r *rand.Rand) float64 {
+			v := r.NormFloat64()
+			return v * v // χ²₁: heavy right tail
+		},
+	}
+	const calN, holdN = 200, 4000
+	for _, conf := range []float64{0.8, 0.9, 0.95} {
+		for name, draw := range draws {
+			for seed := int64(0); seed < 5; seed++ {
+				rng := rand.New(rand.NewSource(seed*7919 + 13))
+				c, err := NewCalibrator(conf, 8, calN)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < calN; i++ {
+					c.Observe(draw(rng))
+				}
+				if !c.Ready() {
+					t.Fatalf("%s conf=%v seed=%d: calibrator not ready after %d residuals", name, conf, seed, calN)
+				}
+				radius := c.Radius()
+				misses := 0
+				for i := 0; i < holdN; i++ {
+					if draw(rng) > radius {
+						misses++
+					}
+				}
+				missRate := float64(misses) / holdN
+				// Allowed miss rate is 1−confidence; the conformal rank
+				// guarantees ≤ that in expectation. Allow ~4σ of combined
+				// calibration-sample + held-out binomial noise.
+				allowed := 1 - conf
+				slack := 4 * math.Sqrt(allowed*(1-allowed)*(1/float64(calN)+1/float64(holdN)))
+				if missRate > allowed+slack {
+					t.Errorf("%s conf=%v seed=%d: miss rate %.4f exceeds %.4f+%.4f",
+						name, conf, seed, missRate, allowed, slack)
+				}
+			}
+		}
+	}
+}
+
+func TestConformalRadiusMonotoneInConfidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var res []float64
+	for i := 0; i < 300; i++ {
+		res = append(res, math.Abs(rng.NormFloat64()))
+	}
+	prev := -1.0
+	for _, conf := range []float64{0.5, 0.7, 0.9, 0.99} {
+		c, err := NewCalibrator(conf, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			c.Observe(r)
+		}
+		rad := c.Radius()
+		if rad < prev {
+			t.Fatalf("radius not monotone in confidence: %v at %v after %v", rad, conf, prev)
+		}
+		prev = rad
+	}
+}
+
+func TestConformalNotReadyIsInfinite(t *testing.T) {
+	c, err := NewCalibrator(0.9, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		c.Observe(1)
+	}
+	if c.Ready() {
+		t.Fatal("ready below minSamples")
+	}
+	if !math.IsInf(c.Radius(), 1) {
+		t.Fatalf("radius before ready should be +Inf, got %v", c.Radius())
+	}
+	// At high confidence a small sample cannot honestly bound the tail:
+	// ⌈(n+1)·c⌉ > n must also report not Ready.
+	hc, err := NewCalibrator(0.99, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		hc.Observe(1)
+	}
+	if hc.Ready() {
+		t.Fatal("ready although the conformal rank exceeds the sample")
+	}
+	if _, err := NewCalibrator(1.2, 0, 0); err == nil {
+		t.Fatal("confidence out of range should error")
+	}
+}
+
+func TestConformalWindowSlides(t *testing.T) {
+	c, err := NewCalibrator(0.9, 8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		c.Observe(100) // stale large residuals
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(0.1) // model got refit and is now accurate
+	}
+	if c.Len() != 50 {
+		t.Fatalf("window kept %d residuals, want 50", c.Len())
+	}
+	if r := c.Radius(); r > 0.1+1e-12 {
+		t.Fatalf("stale residuals still dominate the radius: %v", r)
+	}
+}

@@ -5,13 +5,16 @@
 # its disk-tier disk_scen/s rate; PR 7 adds the /metrics scrape cost
 # under a saturated sweep (BenchmarkMetricsScrapeUnderLoad); PR 8 adds
 # the distributed-sweep fabric (BenchmarkCoordinatorSweep) with its
-# 1-vs-3-worker cold throughput, scaling ratio, and efficiency.
+# 1-vs-3-worker cold throughput, scaling ratio, and efficiency; PR 10
+# adds the surrogate-accelerated co-design optimizer
+# (BenchmarkOptimize) with its screening speedup, fallback share, and
+# best-candidate divergence.
 #
 # Usage: scripts/bench_json.sh [output.json]
 set -e
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR10.json}
 
-go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep' -benchtime 1x . |
+go test -run '^$' -bench 'TwinDay|TableIV|RunBatchDays|SweepService|SweepWarmRestart|CoolingVariantSweep|MidDayCancel|MetricsScrapeUnderLoad|CoordinatorSweep|Optimize$' -benchtime 1x . |
 	awk '
 	/^Benchmark/ {
 		name = $1
